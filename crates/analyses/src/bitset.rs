@@ -1,0 +1,354 @@
+//! A hybrid sparse/dense bitset over `u32` keys.
+//!
+//! Points-to sets are tiny for most pointers (the paper's Figure 1: almost
+//! all clusters are small) but a few are large, so the set starts as a
+//! sorted vector and promotes itself to a dense bitmap once it grows past a
+//! threshold. All analyses in this workspace use [`VarSet`] for points-to
+//! sets and cluster membership.
+
+const PROMOTE_AT: usize = 96;
+
+/// A set of `u32` keys (variable or class indices).
+///
+/// # Examples
+///
+/// ```
+/// use bootstrap_analyses::bitset::VarSet;
+///
+/// let mut s = VarSet::new();
+/// assert!(s.insert(7));
+/// assert!(!s.insert(7));
+/// assert!(s.contains(7));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VarSet {
+    /// Sorted vector of keys (small sets).
+    Sparse(Vec<u32>),
+    /// Dense bitmap plus cached cardinality (large sets).
+    Dense {
+        /// 64-bit words of the bitmap.
+        words: Vec<u64>,
+        /// Number of set bits.
+        len: usize,
+    },
+}
+
+impl Default for VarSet {
+    fn default() -> Self {
+        VarSet::Sparse(Vec::new())
+    }
+}
+
+impl VarSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set from an iterator of keys.
+    pub fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for k in iter {
+            s.insert(k);
+        }
+        s
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            VarSet::Sparse(v) => v.len(),
+            VarSet::Dense { len, .. } => *len,
+        }
+    }
+
+    /// Returns `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u32) -> bool {
+        match self {
+            VarSet::Sparse(v) => v.binary_search(&key).is_ok(),
+            VarSet::Dense { words, .. } => {
+                let w = (key / 64) as usize;
+                w < words.len() && words[w] & (1u64 << (key % 64)) != 0
+            }
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was not already present.
+    pub fn insert(&mut self, key: u32) -> bool {
+        match self {
+            VarSet::Sparse(v) => match v.binary_search(&key) {
+                Ok(_) => false,
+                Err(pos) => {
+                    v.insert(pos, key);
+                    if v.len() > PROMOTE_AT {
+                        self.promote();
+                    }
+                    true
+                }
+            },
+            VarSet::Dense { words, len } => {
+                let w = (key / 64) as usize;
+                if w >= words.len() {
+                    words.resize(w + 1, 0);
+                }
+                let mask = 1u64 << (key % 64);
+                if words[w] & mask == 0 {
+                    words[w] |= mask;
+                    *len += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: u32) -> bool {
+        match self {
+            VarSet::Sparse(v) => match v.binary_search(&key) {
+                Ok(pos) => {
+                    v.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            VarSet::Dense { words, len } => {
+                let w = (key / 64) as usize;
+                if w >= words.len() {
+                    return false;
+                }
+                let mask = 1u64 << (key % 64);
+                if words[w] & mask != 0 {
+                    words[w] &= !mask;
+                    *len -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn promote(&mut self) {
+        if let VarSet::Sparse(v) = self {
+            let max = v.last().copied().unwrap_or(0);
+            let mut words = vec![0u64; (max / 64 + 1) as usize];
+            for &k in v.iter() {
+                words[(k / 64) as usize] |= 1u64 << (k % 64);
+            }
+            let len = v.len();
+            *self = VarSet::Dense { words, len };
+        }
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &VarSet) -> bool {
+        if other.is_empty() {
+            return false;
+        }
+        // Fast dense/dense path.
+        if let (VarSet::Dense { words, len }, VarSet::Dense { words: ow, .. }) = (&mut *self, other)
+        {
+            if ow.len() > words.len() {
+                words.resize(ow.len(), 0);
+            }
+            let mut changed = false;
+            let mut count = 0usize;
+            for (w, o) in words.iter_mut().zip(ow.iter()) {
+                let new = *w | *o;
+                if new != *w {
+                    changed = true;
+                    *w = new;
+                }
+            }
+            if changed {
+                for w in words.iter() {
+                    count += w.count_ones() as usize;
+                }
+                *len = count;
+            }
+            return changed;
+        }
+        let mut changed = false;
+        for k in other.iter() {
+            changed |= self.insert(k);
+        }
+        changed
+    }
+
+    /// Returns `true` if the sets share at least one element.
+    pub fn intersects(&self, other: &VarSet) -> bool {
+        if self.len() > other.len() {
+            return other.intersects(self);
+        }
+        self.iter().any(|k| other.contains(k))
+    }
+
+    /// Iterates over the keys in ascending order.
+    pub fn iter(&self) -> VarSetIter<'_> {
+        match self {
+            VarSet::Sparse(v) => VarSetIter::Sparse(v.iter()),
+            VarSet::Dense { words, .. } => VarSetIter::Dense {
+                words,
+                word_idx: 0,
+                current: words.first().copied().unwrap_or(0),
+            },
+        }
+    }
+}
+
+impl FromIterator<u32> for VarSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        VarSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a VarSet {
+    type Item = u32;
+    type IntoIter = VarSetIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`VarSet`], returned by [`VarSet::iter`].
+#[derive(Debug)]
+pub enum VarSetIter<'a> {
+    /// Iterating a sparse set.
+    Sparse(std::slice::Iter<'a, u32>),
+    /// Iterating a dense set.
+    Dense {
+        /// The bitmap words.
+        words: &'a [u64],
+        /// Current word index.
+        word_idx: usize,
+        /// Remaining bits of the current word.
+        current: u64,
+    },
+}
+
+impl Iterator for VarSetIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            VarSetIter::Sparse(it) => it.next().copied(),
+            VarSetIter::Dense {
+                words,
+                word_idx,
+                current,
+            } => loop {
+                if *current != 0 {
+                    let bit = current.trailing_zeros();
+                    *current &= *current - 1;
+                    return Some(*word_idx as u32 * 64 + bit);
+                }
+                *word_idx += 1;
+                if *word_idx >= words.len() {
+                    return None;
+                }
+                *current = words[*word_idx];
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_insert_and_iterate_sorted() {
+        let mut s = VarSet::new();
+        for k in [5u32, 1, 9, 3] {
+            assert!(s.insert(k));
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5, 9]);
+        assert!(s.contains(9));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn promotes_to_dense_and_stays_correct() {
+        let mut s = VarSet::new();
+        for k in 0..200u32 {
+            s.insert(k * 3);
+        }
+        assert!(matches!(s, VarSet::Dense { .. }));
+        assert_eq!(s.len(), 200);
+        assert!(s.contains(3 * 199));
+        assert!(!s.contains(1));
+        assert_eq!(s.iter().count(), 200);
+        assert_eq!(s.iter().max(), Some(597));
+    }
+
+    #[test]
+    fn union_sparse_into_sparse() {
+        let mut a = VarSet::from_iter([1, 2, 3]);
+        let b = VarSet::from_iter([3, 4]);
+        assert!(a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert!(!a.union_with(&b), "second union is a no-op");
+    }
+
+    #[test]
+    fn union_dense_into_dense() {
+        let mut a: VarSet = (0..150).collect();
+        let b: VarSet = (100..300).collect();
+        assert!(a.union_with(&b));
+        assert_eq!(a.len(), 300);
+        assert!(!a.union_with(&b));
+    }
+
+    #[test]
+    fn union_mixed_representations() {
+        let mut a = VarSet::from_iter([1000, 2000]);
+        let b: VarSet = (0..200).collect();
+        assert!(a.union_with(&b));
+        assert_eq!(a.len(), 202);
+        let mut c: VarSet = (0..200).collect();
+        let d = VarSet::from_iter([5000]);
+        assert!(c.union_with(&d));
+        assert!(c.contains(5000));
+    }
+
+    #[test]
+    fn remove_from_both_representations() {
+        let mut s = VarSet::from_iter([1, 2, 3]);
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert_eq!(s.len(), 2);
+        let mut d: VarSet = (0..200).collect();
+        assert!(d.remove(100));
+        assert!(!d.contains(100));
+        assert_eq!(d.len(), 199);
+    }
+
+    #[test]
+    fn intersects() {
+        let a = VarSet::from_iter([1, 5, 9]);
+        let b = VarSet::from_iter([2, 5]);
+        let c = VarSet::from_iter([4, 6]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let big: VarSet = (0..500).collect();
+        assert!(big.intersects(&a));
+        assert!(a.intersects(&big));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = VarSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let mut t = VarSet::from_iter([1]);
+        assert!(!t.union_with(&s));
+    }
+}

@@ -1,0 +1,270 @@
+//! A "One-Flow" analysis in the spirit of Das (PLDI 2000): one level of
+//! directional (inclusion) constraints on top of unification.
+//!
+//! The paper suggests cascading such an analysis *between* Steensgaard and
+//! Andersen ("Another option is to cascade another analysis like the
+//! One-Flow analysis (Das 2000) between Steensgaard and Andersen"). Our
+//! rendition keeps top-level copies directional (`x = y` only flows
+//! `pts(y)` into `pts(x)`, never back), while everything reached *through a
+//! dereference* unifies bidirectionally, exactly one level of flow:
+//!
+//! * `x = &y` — `pts(x) ∋ y`;
+//! * `x = y` — directed edge `y → x`;
+//! * `x = *y` — for each object `o ∈ pts(y)`: bidirectional edges `o ↔ x`
+//!   (contents below the top level unify);
+//! * `*x = y` — for each object `o ∈ pts(x)`: bidirectional edges `y ↔ o`.
+//!
+//! Its precision therefore lies strictly between Steensgaard (all
+//! assignments bidirectional) and Andersen (all assignments directional).
+
+use std::collections::HashMap;
+
+use bootstrap_ir::{Program, Stmt, VarId};
+
+use crate::bitset::VarSet;
+
+/// The result of the One-Flow analysis: one points-to set per variable.
+///
+/// # Examples
+///
+/// ```
+/// let p = bootstrap_ir::parse_program(
+///     "int a; int b; int c; int *x; int *q; int *r;
+///      void main() { x = &a; q = &b; r = &c; q = x; q = r; }",
+/// )
+/// .unwrap();
+/// let of = bootstrap_analyses::oneflow::analyze(&p);
+/// let v = |n: &str| p.var_named(n).unwrap();
+/// // Directional: q absorbs x's and r's targets, but x keeps only {a}.
+/// assert_eq!(of.points_to_vars(v("x")).len(), 1);
+/// assert_eq!(of.points_to_vars(v("q")).len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OneFlowResult {
+    pts: Vec<VarSet>,
+}
+
+impl OneFlowResult {
+    /// The points-to set of `v`.
+    pub fn points_to(&self, v: VarId) -> &VarSet {
+        &self.pts[v.index()]
+    }
+
+    /// The points-to set of `v` as sorted [`VarId`]s.
+    pub fn points_to_vars(&self, v: VarId) -> Vec<VarId> {
+        self.pts[v.index()]
+            .iter()
+            .map(|i| VarId::new(i as usize))
+            .collect()
+    }
+
+    /// Returns `true` if `p` and `q` may alias under One-Flow.
+    pub fn may_alias(&self, p: VarId, q: VarId) -> bool {
+        self.pts[p.index()].intersects(&self.pts[q.index()])
+    }
+
+    /// One-Flow clusters over `pointers`: one cluster per pointed-to object
+    /// plus singletons for empty pointers (analogous to
+    /// [`crate::andersen::AndersenResult::clusters`]).
+    pub fn clusters(&self, pointers: &[VarId]) -> Vec<Vec<VarId>> {
+        let mut by_object: HashMap<u32, Vec<VarId>> = HashMap::new();
+        let mut out = Vec::new();
+        for &p in pointers {
+            let set = &self.pts[p.index()];
+            if set.is_empty() {
+                out.push(vec![p]);
+            } else {
+                for o in set.iter() {
+                    by_object.entry(o).or_default().push(p);
+                }
+            }
+        }
+        for (_, mut members) in by_object {
+            members.sort();
+            members.dedup();
+            out.push(members);
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Runs the One-Flow analysis over every statement of `program`.
+pub fn analyze(program: &Program) -> OneFlowResult {
+    let n = program.var_count();
+    let mut pts: Vec<VarSet> = vec![VarSet::new(); n];
+    let mut edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut loads: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut stores: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut worklist: Vec<u32> = Vec::new();
+
+    fn add_edge(edges: &mut [Vec<u32>], worklist: &mut Vec<u32>, s: u32, d: u32) {
+        if s != d && !edges[s as usize].contains(&d) {
+            edges[s as usize].push(d);
+            worklist.push(s);
+        }
+    }
+
+    for (_, stmt) in program.all_locs() {
+        match *stmt {
+            Stmt::AddrOf { dst, obj } => {
+                if pts[dst.index()].insert(obj.index() as u32) {
+                    worklist.push(dst.index() as u32);
+                }
+            }
+            Stmt::Copy { dst, src } => {
+                add_edge(
+                    &mut edges,
+                    &mut worklist,
+                    src.index() as u32,
+                    dst.index() as u32,
+                );
+            }
+            Stmt::Load { dst, src } => {
+                loads[src.index()].push(dst.index() as u32);
+                worklist.push(src.index() as u32);
+            }
+            Stmt::Store { dst, src } => {
+                stores[dst.index()].push(src.index() as u32);
+                worklist.push(dst.index() as u32);
+            }
+            Stmt::Null { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
+        }
+    }
+
+    while let Some(v) = worklist.pop() {
+        let v = v as usize;
+        if !loads[v].is_empty() || !stores[v].is_empty() {
+            let objects: Vec<u32> = pts[v].iter().collect();
+            let lds = loads[v].clone();
+            let sts = stores[v].clone();
+            for &o in &objects {
+                // One level of flow only: below the top level, propagation
+                // is bidirectional (unification-like).
+                for &d in &lds {
+                    add_edge(&mut edges, &mut worklist, o, d);
+                    add_edge(&mut edges, &mut worklist, d, o);
+                }
+                for &s in &sts {
+                    add_edge(&mut edges, &mut worklist, s, o);
+                    add_edge(&mut edges, &mut worklist, o, s);
+                }
+            }
+        }
+        let targets = edges[v].clone();
+        for d in targets {
+            if v == d as usize {
+                continue;
+            }
+            let (a, b) = if v < d as usize {
+                let (lo, hi) = pts.split_at_mut(d as usize);
+                (&lo[v], &mut hi[0])
+            } else {
+                let (lo, hi) = pts.split_at_mut(v);
+                (&hi[0], &mut lo[d as usize])
+            };
+            if b.union_with(a) {
+                worklist.push(d);
+            }
+        }
+    }
+    OneFlowResult { pts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootstrap_ir::parse_program;
+
+    fn run(src: &str) -> (Program, OneFlowResult) {
+        let p = parse_program(src).unwrap();
+        let of = analyze(&p);
+        (p, of)
+    }
+
+    #[test]
+    fn directional_top_level() {
+        let (p, of) = run(
+            "int a; int b; int *x; int *y;
+             void main() { x = &a; y = &b; y = x; }",
+        );
+        let v = |n: &str| p.var_named(n).unwrap();
+        assert!(of.may_alias(v("x"), v("y")));
+        assert_eq!(of.points_to_vars(v("x")).len(), 1);
+        assert_eq!(of.points_to_vars(v("y")).len(), 2);
+    }
+
+    #[test]
+    fn more_precise_than_steensgaard() {
+        let src = "int a; int b; int c; int *p; int *q; int *r;
+             void main() { p = &a; q = &b; r = &c; q = p; q = r; }";
+        let (prog, of) = run(src);
+        let st = crate::steensgaard::analyze(&prog);
+        let v = |n: &str| prog.var_named(n).unwrap();
+        // Steensgaard puts p and r in the same partition; One-Flow keeps
+        // their points-to sets apart.
+        assert_eq!(st.class_of(v("p")), st.class_of(v("r")));
+        assert!(!of.may_alias(v("p"), v("r")));
+    }
+
+    #[test]
+    fn coarser_than_andersen_below_top_level() {
+        // Reading through z (w = *z) unifies w with x bidirectionally under
+        // One-Flow, so x picks up w's target b; Andersen keeps x precise.
+        let src = "int a; int b; int *x; int *w; int **z;
+             void main() { x = &a; w = &b; z = &x; w = *z; }";
+        let (prog, of) = run(src);
+        let an = crate::andersen::analyze(&prog);
+        let v = |n: &str| prog.var_named(n).unwrap();
+        assert!(!an.points_to(v("x")).contains(v("b").index() as u32));
+        assert!(of.points_to(v("x")).contains(v("b").index() as u32));
+    }
+
+    #[test]
+    fn load_store_through_pointer() {
+        let (p, of) = run(
+            "int a; int b; int *x; int *y; int **z;
+             void main() { x = &a; z = &x; *z = &b; y = *z; }",
+        );
+        let v = |n: &str| p.var_named(n).unwrap();
+        assert!(of.may_alias(v("x"), v("y")));
+        assert!(of.points_to(v("y")).contains(v("b").index() as u32));
+    }
+
+    #[test]
+    fn clusters_cover_all_pointers() {
+        let (p, of) = run(
+            "int a; int *x; int *never;
+             void main() { x = &a; }",
+        );
+        let pointers = vec![p.var_named("x").unwrap(), p.var_named("never").unwrap()];
+        let clusters = of.clusters(&pointers);
+        let mut covered: Vec<VarId> = clusters.into_iter().flatten().collect();
+        covered.sort();
+        covered.dedup();
+        assert_eq!(covered, {
+            let mut ps = pointers.clone();
+            ps.sort();
+            ps
+        });
+    }
+
+    #[test]
+    fn soundness_vs_andersen_on_small_programs() {
+        // One-Flow must over-approximate Andersen.
+        let src = "int a; int b; int *x; int *y; int **z; int *w;
+             void main() { x = &a; y = &b; z = &x; *z = y; w = *z; x = w; }";
+        let (prog, of) = run(src);
+        let an = crate::andersen::analyze(&prog);
+        for v in prog.var_ids() {
+            for o in an.points_to(v).iter() {
+                assert!(
+                    of.points_to(v).contains(o),
+                    "One-Flow lost {} -> {}",
+                    prog.var(v).name(),
+                    prog.var(VarId::new(o as usize)).name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Union-find (disjoint set) with union by rank and path halving.
+//!
+//! This is the substrate of Steensgaard's almost-linear-time analysis: the
+//! equivalence classes it maintains become the paper's *Steensgaard
+//! partitions*.
+
+/// A growable disjoint-set forest over `u32` keys.
+///
+/// # Examples
+///
+/// ```
+/// use bootstrap_analyses::unionfind::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// assert_eq!(uf.find(0), uf.find(1));
+/// assert_ne!(uf.find(0), uf.find(2));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates a forest of `n` singletons.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements (not classes).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Adds a fresh singleton and returns its key.
+    pub fn push(&mut self) -> u32 {
+        let k = self.parent.len() as u32;
+        self.parent.push(k);
+        self.rank.push(0);
+        k
+    }
+
+    /// Finds the representative of `x`, compressing paths.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Finds the representative of `x` without mutating (no compression).
+    pub fn find_const(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Unions the classes of `a` and `b`; returns the surviving
+    /// representative, or `None` if they were already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> Option<u32> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return None;
+        }
+        let (root, child) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[child as usize] = root;
+        if self.rank[root as usize] == self.rank[child as usize] {
+            self.rank[root as usize] += 1;
+        }
+        Some(root)
+    }
+
+    /// Returns `true` if `a` and `b` are in the same class.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let mut uf = UnionFind::new(3);
+        assert!(!uf.same(0, 1));
+        assert!(uf.same(2, 2));
+    }
+
+    #[test]
+    fn union_transitivity() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn union_returns_root_and_none_when_joined() {
+        let mut uf = UnionFind::new(2);
+        let r = uf.union(0, 1).unwrap();
+        assert!(r == 0 || r == 1);
+        assert_eq!(uf.union(0, 1), None);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut uf = UnionFind::new(0);
+        let a = uf.push();
+        let b = uf.push();
+        assert_eq!(uf.len(), 2);
+        uf.union(a, b);
+        assert!(uf.same(a, b));
+    }
+
+    #[test]
+    fn find_const_matches_find() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(0);
+        for i in 0..10 {
+            assert_eq!(uf.find_const(i), r);
+        }
+    }
+
+    #[test]
+    fn chains_compress() {
+        let mut uf = UnionFind::new(1000);
+        for i in 0..999u32 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..1000u32 {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+}

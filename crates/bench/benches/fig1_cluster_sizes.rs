@@ -1,0 +1,56 @@
+//! Regenerates Figure 1 of the paper: cluster-size frequencies for the
+//! `autofs` benchmark, Steensgaard partitions vs. Andersen clusters.
+//!
+//! Prints one row per observed cluster size:
+//! `size steensgaard_count andersen_count` — the two scatter series of the
+//! paper's figure. The expected shape: both series are dense at small
+//! sizes, and the Steensgaard series has an isolated point far to the
+//! right (the big partition) that the Andersen series pulls sharply left.
+
+use std::collections::BTreeMap;
+
+use bootstrap_core::{Config, Session};
+
+fn main() {
+    let preset = bootstrap_workloads::presets::by_name("autofs").expect("autofs preset");
+    let program = preset.generate();
+
+    // Steensgaard series: the pure partition cover.
+    let session = Session::new(&program, Config::default());
+    let steens_hist = session.steensgaard_cover().size_histogram();
+
+    // Andersen series: clustering applied to every partition (threshold 0),
+    // matching the figure's per-benchmark Andersen clustering.
+    let session_all = Session::new(
+        &program,
+        Config {
+            andersen_threshold: 0,
+            ..Config::default()
+        },
+    );
+    let andersen_hist = session_all.cover().size_histogram();
+
+    let mut sizes: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    for (size, n) in &steens_hist {
+        sizes.entry(*size).or_default().0 = *n;
+    }
+    for (size, n) in &andersen_hist {
+        sizes.entry(*size).or_default().1 = *n;
+    }
+
+    println!("Figure 1 reproduction — cluster size frequencies for autofs");
+    println!("paper shape: dense at small sizes; Steensgaard max {} vs Andersen max {}",
+        preset.paper.steens_max, preset.paper.andersen_max);
+    println!();
+    println!("{:>6} {:>12} {:>10}", "size", "steensgaard", "andersen");
+    for (size, (s, a)) in &sizes {
+        println!("{size:>6} {s:>12} {a:>10}");
+    }
+    let steens_max = steens_hist.keys().max().copied().unwrap_or(0);
+    let andersen_max = andersen_hist.keys().max().copied().unwrap_or(0);
+    println!();
+    println!(
+        "measured max: steensgaard {steens_max}, andersen {andersen_max} (paper: {} vs {})",
+        preset.paper.steens_max, preset.paper.andersen_max
+    );
+}

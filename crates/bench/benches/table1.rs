@@ -1,0 +1,65 @@
+//! Regenerates Table 1 of the paper: flow- and context-sensitive alias
+//! analysis without clustering vs. with Steensgaard and Andersen
+//! clustering, over the twenty benchmark presets.
+//!
+//! Run with `cargo bench --bench table1`; set
+//! `BOOTSTRAP_BENCH_PROFILE=full` for all rows. Each measured row is
+//! printed next to the paper's reference numbers so the shape comparison
+//! (who wins, by what factor, where refinement stops paying off) is
+//! immediate.
+
+use bootstrap_bench::{fmt_baseline, fmt_secs, run_row, Profile};
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("Table 1 reproduction — profile {profile:?} (BOOTSTRAP_BENCH_PROFILE=full for all rows)");
+    println!(
+        "times in seconds; baseline capped at {}; St/An times are 5-way simulated-parallel maxima",
+        fmt_secs(profile.baseline_cap())
+    );
+    println!();
+    println!(
+        "{:<18} {:>7} {:>8} | {:>7} {:>7} | {:>9} | {:>8} {:>6} {:>8} | {:>8} {:>6} {:>8}",
+        "example", "kstmts", "ptrs", "part", "clust", "no-clust", "St#", "StMax", "StTime", "An#", "AnMax", "AnTime"
+    );
+    println!("{}", "-".repeat(127));
+    for preset in profile.presets() {
+        let row = run_row(&preset, profile);
+        println!(
+            "{:<18} {:>7.1} {:>8} | {:>7} {:>7} | {:>9} | {:>8} {:>6} {:>8} | {:>8} {:>6} {:>8}",
+            row.name,
+            row.kstmts,
+            row.pointers,
+            fmt_secs(row.partitioning),
+            fmt_secs(row.clustering),
+            fmt_baseline(row.unclustered, profile.baseline_cap()),
+            row.steens_clusters,
+            row.steens_max,
+            fmt_secs(row.steens_time),
+            row.andersen_clusters,
+            row.andersen_max,
+            fmt_secs(row.andersen_time),
+        );
+        let p = &preset.paper;
+        println!(
+            "{:<18} {:>7.1} {:>8} | {:>7} {:>7} | {:>9} | {:>8} {:>6} {:>8} | {:>8} {:>6} {:>8}",
+            format!("  (paper {})", p.name),
+            p.kloc,
+            p.pointers,
+            p.partitioning_secs,
+            p.clustering_secs,
+            p.fscs_unclustered_secs
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "> 900".to_string()),
+            p.steens_clusters,
+            p.steens_max,
+            p.steens_secs,
+            p.andersen_clusters,
+            p.andersen_max,
+            p.andersen_secs,
+        );
+    }
+    println!();
+    println!("shape checks: (a) clustering beats the capped baseline, (b) Andersen refinement");
+    println!("helps when AnMax << StMax (sendmail) and not when AnMax ~= StMax (mt_daapd).");
+}

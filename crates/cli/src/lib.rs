@@ -1,0 +1,425 @@
+//! Command-line front end for the bootstrapped pointer alias analysis.
+//!
+//! ```text
+//! bootstrap-alias partitions  <file.c>
+//! bootstrap-alias clusters    <file.c> [--threshold N]
+//! bootstrap-alias relevant    <file.c> --vars a,b
+//! bootstrap-alias sources     <file.c> --var p [--at FUNC] [--path-sensitive]
+//! bootstrap-alias may-alias   <file.c> --pair p,q [--at FUNC] [--path-sensitive]
+//! bootstrap-alias must-alias  <file.c> --pair p,q [--at FUNC] [--path-sensitive]
+//! bootstrap-alias dot         <file.c> (--cfg FUNC | --callgraph)
+//! bootstrap-alias stats       <file.c>
+//! ```
+//!
+//! Query locations default to the exit of `main`; `--at FUNC` queries at
+//! the exit of `FUNC`. All commands parse mini-C, resolve function
+//! pointers (devirtualization), and run the bootstrapping cascade.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use bootstrap_analyses::steensgaard;
+use bootstrap_core::{AnalysisBudget, Config, Outcome, Session};
+use bootstrap_ir::{CallGraph, Loc, Program, VarId};
+
+/// A CLI error: bad usage or a failed analysis.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: bootstrap-alias <command> <file.c> [options]
+
+commands:
+  partitions   print the Steensgaard alias partitions
+  clusters     print the bootstrapped cluster cover (--threshold N, default 60)
+  relevant     print Algorithm 1's relevant statements (--vars a,b,..)
+  sources      print value sources of a pointer (--var p) [--at FUNC]
+  may-alias    query may-alias for a pair (--pair p,q) [--at FUNC]
+  must-alias   query must-alias for a pair (--pair p,q) [--at FUNC]
+  dot          emit Graphviz (--cfg FUNC | --callgraph)
+  stats        print program and cascade statistics
+
+options:
+  --at FUNC          query at the exit of FUNC (default: main)
+  --threshold N      Andersen threshold for `clusters`
+  --path-sensitive   enable the path-sensitive mode
+  --vars a,b  /  --var p  /  --pair p,q   variable selectors
+";
+
+/// Parsed command-line options.
+struct Opts {
+    command: String,
+    file: String,
+    at: Option<String>,
+    threshold: Option<usize>,
+    path_sensitive: bool,
+    vars: Vec<String>,
+    cfg: Option<String>,
+    callgraph: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, CliError> {
+    if args.len() < 2 {
+        return err(format!("missing command or file\n{USAGE}"));
+    }
+    let mut opts = Opts {
+        command: args[0].clone(),
+        file: args[1].clone(),
+        at: None,
+        threshold: None,
+        path_sensitive: false,
+        vars: Vec::new(),
+        cfg: None,
+        callgraph: false,
+    };
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--at" => {
+                i += 1;
+                opts.at = Some(take(args, i, "--at")?);
+            }
+            "--threshold" => {
+                i += 1;
+                let raw = take(args, i, "--threshold")?;
+                opts.threshold = Some(
+                    raw.parse()
+                        .map_err(|_| CliError(format!("invalid threshold `{raw}`")))?,
+                );
+            }
+            "--path-sensitive" => opts.path_sensitive = true,
+            "--vars" | "--var" | "--pair" => {
+                i += 1;
+                let raw = take(args, i, "--vars")?;
+                opts.vars = raw.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--cfg" => {
+                i += 1;
+                opts.cfg = Some(take(args, i, "--cfg")?);
+            }
+            "--callgraph" => opts.callgraph = true,
+            other => return err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn take(args: &[String], i: usize, flag: &str) -> Result<String, CliError> {
+    args.get(i)
+        .cloned()
+        .ok_or_else(|| CliError(format!("{flag} needs a value")))
+}
+
+/// Runs the CLI and returns the text it would print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad usage, unreadable/unparsable input, unknown
+/// variable or function names, or an analysis that exceeds its budget.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    if args.first().map(String::as_str) == Some("--help") || args.is_empty() {
+        return Ok(USAGE.to_string());
+    }
+    let opts = parse_args(args)?;
+    let source = std::fs::read_to_string(&opts.file)
+        .map_err(|e| CliError(format!("cannot read {}: {e}", opts.file)))?;
+    let mut program = bootstrap_ir::parse_program(&source)
+        .map_err(|e| CliError(format!("{}: {e}", opts.file)))?;
+    steensgaard::resolve_and_devirtualize(&mut program);
+
+    match opts.command.as_str() {
+        "partitions" => cmd_partitions(&program),
+        "clusters" => cmd_clusters(&program, &opts),
+        "relevant" => cmd_relevant(&program, &opts),
+        "sources" => cmd_sources(&program, &opts),
+        "may-alias" => cmd_alias(&program, &opts, false),
+        "must-alias" => cmd_alias(&program, &opts, true),
+        "dot" => cmd_dot(&program, &opts),
+        "stats" => cmd_stats(&program, &opts),
+        other => err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn config_of(opts: &Opts) -> Config {
+    Config {
+        andersen_threshold: opts.threshold.unwrap_or(60),
+        path_sensitive: opts.path_sensitive,
+        ..Config::default()
+    }
+}
+
+fn lookup_var(program: &Program, name: &str) -> Result<VarId, CliError> {
+    program
+        .var_named(name)
+        .ok_or_else(|| CliError(format!("unknown variable `{name}`")))
+}
+
+fn query_loc(program: &Program, opts: &Opts) -> Result<Loc, CliError> {
+    let fname = opts.at.as_deref().unwrap_or("main");
+    let f = program
+        .func_named(fname)
+        .ok_or_else(|| CliError(format!("unknown function `{fname}`")))?;
+    Ok(program.func(f).exit())
+}
+
+fn cmd_partitions(program: &Program) -> Result<String, CliError> {
+    let st = steensgaard::analyze(program);
+    let mut out = String::new();
+    for (key, members) in st.alias_partitions(program) {
+        let names: Vec<&str> = members.iter().map(|m| program.var(*m).name()).collect();
+        let _ = writeln!(out, "partition {}: {{{}}}", key.index(), names.join(", "));
+    }
+    Ok(out)
+}
+
+fn cmd_clusters(program: &Program, opts: &Opts) -> Result<String, CliError> {
+    let session = Session::new(program, config_of(opts));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} clusters (max size {}), threshold {}",
+        session.cover().len(),
+        session.cover().max_cluster_size(),
+        config_of(opts).andersen_threshold
+    );
+    for c in session.cover().clusters() {
+        let names: Vec<&str> = c.members.iter().map(|m| program.var(*m).name()).collect();
+        let _ = writeln!(out, "cluster {} [{:?}]: {{{}}}", c.id, c.origin, names.join(", "));
+    }
+    Ok(out)
+}
+
+fn cmd_relevant(program: &Program, opts: &Opts) -> Result<String, CliError> {
+    if opts.vars.is_empty() {
+        return err("relevant needs --vars a,b,..");
+    }
+    let members: Vec<VarId> = opts
+        .vars
+        .iter()
+        .map(|n| lookup_var(program, n))
+        .collect::<Result<_, _>>()?;
+    let st = steensgaard::analyze(program);
+    let rel = bootstrap_core::relevant_statements(program, &st, &members);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "V_P: {} variables, St_P: {} statements",
+        rel.var_count(),
+        rel.stmt_count()
+    );
+    let mut locs: Vec<Loc> = rel.stmts().collect();
+    locs.sort();
+    for loc in locs {
+        let _ = writeln!(
+            out,
+            "  {} {}: {}",
+            program.func(loc.func).name(),
+            loc.stmt,
+            bootstrap_ir::display::stmt_to_string(program, program.stmt_at(loc))
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_sources(program: &Program, opts: &Opts) -> Result<String, CliError> {
+    let [name] = opts.vars.as_slice() else {
+        return err("sources needs --var p");
+    };
+    let v = lookup_var(program, name)?;
+    let loc = query_loc(program, opts)?;
+    let session = Session::new(program, config_of(opts));
+    let az = session.analyzer();
+    let mut budget = AnalysisBudget::steps(session.config().query_step_budget);
+    match az.sources(v, loc, &mut budget) {
+        Outcome::Done(srcs) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "sources of {name} at exit of {}:", program.func(loc.func).name());
+            for (s, c) in srcs {
+                let _ = writeln!(out, "  {} under {}", s.display(program), c);
+            }
+            Ok(out)
+        }
+        Outcome::TimedOut => err("query exceeded its budget"),
+    }
+}
+
+fn cmd_alias(program: &Program, opts: &Opts, must: bool) -> Result<String, CliError> {
+    let [a, b] = opts.vars.as_slice() else {
+        return err("alias queries need --pair p,q");
+    };
+    let (va, vb) = (lookup_var(program, a)?, lookup_var(program, b)?);
+    let loc = query_loc(program, opts)?;
+    let session = Session::new(program, config_of(opts));
+    let az = session.analyzer();
+    let result = if must {
+        az.must_alias(va, vb, loc)
+    } else {
+        az.may_alias(va, vb, loc)
+    };
+    match result {
+        Outcome::Done(ans) => Ok(format!(
+            "{}({a}, {b}) at exit of {} = {ans}\n",
+            if must { "must_alias" } else { "may_alias" },
+            program.func(loc.func).name()
+        )),
+        Outcome::TimedOut => err("query exceeded its budget"),
+    }
+}
+
+fn cmd_dot(program: &Program, opts: &Opts) -> Result<String, CliError> {
+    if let Some(fname) = &opts.cfg {
+        let f = program
+            .func_named(fname)
+            .ok_or_else(|| CliError(format!("unknown function `{fname}`")))?;
+        return Ok(bootstrap_ir::dot::cfg_dot(program, f));
+    }
+    if opts.callgraph {
+        let cg = CallGraph::build(program);
+        return Ok(bootstrap_ir::dot::callgraph_dot(program, &cg));
+    }
+    err("dot needs --cfg FUNC or --callgraph")
+}
+
+fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
+    let session = Session::new(program, config_of(opts));
+    let steens_cover = session.steensgaard_cover();
+    let mut out = String::new();
+    let _ = writeln!(out, "functions:            {}", program.func_count());
+    let _ = writeln!(out, "variables:            {}", program.var_count());
+    let _ = writeln!(out, "pointers:             {}", program.pointer_count());
+    let _ = writeln!(out, "ir statements:        {}", program.stmt_count());
+    let _ = writeln!(out, "steensgaard clusters: {} (max {})", steens_cover.len(), steens_cover.max_cluster_size());
+    let _ = writeln!(out, "bootstrapped cover:   {} (max {})", session.cover().len(), session.cover().max_cluster_size());
+    let _ = writeln!(out, "partitioning time:    {:?}", session.timings().steensgaard);
+    let _ = writeln!(out, "clustering time:      {:?}", session.timings().clustering);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("bootstrap_cli_{name}_{}.c", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const DEMO: &str = "
+        int a; int b; int *p; int *q;
+        void main() { p = &a; q = p; }
+    ";
+
+    fn run_args(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn help_and_usage_errors() {
+        assert!(run_args(&["--help"]).unwrap().contains("usage"));
+        assert!(run_args(&["partitions"]).is_err());
+        assert!(run_args(&["bogus", "/nonexistent.c"]).is_err());
+    }
+
+    #[test]
+    fn partitions_lists_groups() {
+        let f = write_temp("partitions", DEMO);
+        let out = run_args(&["partitions", &f]).unwrap();
+        assert!(out.contains("partition"));
+        assert!(out.contains('p') && out.contains('q'));
+    }
+
+    #[test]
+    fn may_alias_pair() {
+        let f = write_temp("may", DEMO);
+        let out = run_args(&["may-alias", &f, "--pair", "p,q"]).unwrap();
+        assert!(out.contains("= true"), "{out}");
+        let out = run_args(&["must-alias", &f, "--pair", "p,q"]).unwrap();
+        assert!(out.contains("= true"), "{out}");
+    }
+
+    #[test]
+    fn sources_prints_origins() {
+        let f = write_temp("sources", DEMO);
+        let out = run_args(&["sources", &f, "--var", "q"]).unwrap();
+        assert!(out.contains("&a"), "{out}");
+    }
+
+    #[test]
+    fn relevant_prints_slice() {
+        let f = write_temp("relevant", DEMO);
+        let out = run_args(&["relevant", &f, "--vars", "p"]).unwrap();
+        assert!(out.contains("St_P"));
+        assert!(out.contains("p = &a"));
+    }
+
+    #[test]
+    fn clusters_respects_threshold() {
+        let f = write_temp("clusters", DEMO);
+        let out = run_args(&["clusters", &f, "--threshold", "0"]).unwrap();
+        assert!(out.contains("clusters"), "{out}");
+        assert!(out.contains("threshold 0"));
+    }
+
+    #[test]
+    fn dot_outputs() {
+        let f = write_temp("dot", DEMO);
+        let out = run_args(&["dot", &f, "--cfg", "main"]).unwrap();
+        assert!(out.starts_with("digraph"));
+        let out = run_args(&["dot", &f, "--callgraph"]).unwrap();
+        assert!(out.contains("callgraph"));
+        assert!(run_args(&["dot", &f]).is_err());
+    }
+
+    #[test]
+    fn stats_summarizes() {
+        let f = write_temp("stats", DEMO);
+        let out = run_args(&["stats", &f]).unwrap();
+        assert!(out.contains("pointers:"));
+        assert!(out.contains("bootstrapped cover:"));
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let f = write_temp("unknown", DEMO);
+        let e = run_args(&["sources", &f, "--var", "nope"]).unwrap_err();
+        assert!(e.to_string().contains("unknown variable"));
+        let e = run_args(&["may-alias", &f, "--pair", "p,q", "--at", "nofunc"]).unwrap_err();
+        assert!(e.to_string().contains("unknown function"));
+    }
+
+    #[test]
+    fn path_sensitive_flag_changes_verdict() {
+        let f = write_temp(
+            "ps",
+            "int c; int a; int b; int *x; int *y;
+             void main() {
+                 if (c) { x = &a; } else { x = &b; }
+                 if (c) { y = &b; } else { y = &a; }
+             }",
+        );
+        let insensitive = run_args(&["may-alias", &f, "--pair", "x,y"]).unwrap();
+        assert!(insensitive.contains("= true"));
+        let sensitive =
+            run_args(&["may-alias", &f, "--pair", "x,y", "--path-sensitive"]).unwrap();
+        assert!(sensitive.contains("= false"), "{sensitive}");
+    }
+}

@@ -1,0 +1,901 @@
+//! Interprocedural alias queries: the FSCI driver (Algorithm 3), the
+//! dovetailing points-to oracle (Algorithm 2) and flow- and
+//! context-sensitive queries (§3).
+//!
+//! An [`Analyzer`] is a caching query context over a [`Session`]. It owns
+//! one [`ClusterEngine`] per Steensgaard partition (created lazily) plus a
+//! memoized FSCI points-to cache. The dovetail invariant — summaries for a
+//! partition at depth *d* only consult FSCI sets of strictly higher
+//! partitions — is enforced dynamically with an in-progress guard: on
+//! re-entry (the cyclic case) the oracle reports "unknown" and the engine
+//! falls back to Steensgaard candidates plus Definition 8 constraints.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+use bootstrap_analyses::ClassId;
+use bootstrap_ir::{FuncId, Loc, Stmt, VarId};
+
+use crate::budget::{AnalysisBudget, Outcome};
+use crate::constraint::Cond;
+use crate::cover::Cluster;
+use crate::engine::{ClusterEngine, EngineCx, PtsOracle};
+use crate::parallel::ClusterReport;
+use crate::session::Session;
+use crate::summary::{Source, Value};
+
+/// An error raised by a malformed query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The supplied calling context does not form a valid call chain
+    /// ending at the queried location's function.
+    InvalidContext(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidContext(msg) => write!(f, "invalid context: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A caching query context over a [`Session`].
+///
+/// Not `Sync`: create one analyzer per thread (the underlying [`Session`]
+/// is shareable).
+///
+/// # Examples
+///
+/// ```
+/// use bootstrap_core::{Config, Session};
+///
+/// let program = bootstrap_ir::parse_program(
+///     "int a; int *p; int *q; void main() { p = &a; q = p; }",
+/// )
+/// .unwrap();
+/// let session = Session::new(&program, Config::default());
+/// let az = session.analyzer();
+/// let main_exit = program.entry().unwrap().exit();
+/// let p = program.var_named("p").unwrap();
+/// let q = program.var_named("q").unwrap();
+/// assert!(az.may_alias(p, q, main_exit).unwrap());
+/// ```
+pub struct Analyzer<'s> {
+    session: &'s Session<'s>,
+    engines: RefCell<HashMap<ClassId, Rc<RefCell<ClusterEngine>>>>,
+    fsci_cache: RefCell<HashMap<(VarId, Loc), Option<Rc<Vec<VarId>>>>>,
+    /// FSCI computations currently on the oracle stack; re-entry on the
+    /// same `(variable, location)` is a genuine cyclic dependency (the
+    /// paper's same-depth case) and degrades to the Steensgaard fallback.
+    fsci_stack: RefCell<HashSet<(VarId, Loc)>>,
+}
+
+impl<'s> Analyzer<'s> {
+    pub(crate) fn new(session: &'s Session<'s>) -> Self {
+        Self {
+            session,
+            engines: RefCell::new(HashMap::new()),
+            fsci_cache: RefCell::new(HashMap::new()),
+            fsci_stack: RefCell::new(HashSet::new()),
+        }
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &'s Session<'s> {
+        self.session
+    }
+
+    fn cx(&self) -> EngineCx<'s> {
+        self.session.engine_cx()
+    }
+
+    /// The (lazily created) engine for the Steensgaard alias partition
+    /// with key `key` (see
+    /// [`bootstrap_analyses::SteensgaardResult::partition_key`]).
+    fn partition_engine(&self, key: ClassId) -> Rc<RefCell<ClusterEngine>> {
+        if let Some(e) = self.engines.borrow().get(&key) {
+            return Rc::clone(e);
+        }
+        let mut members = self.session.partition_members(key).to_vec();
+        if members.is_empty() {
+            // Non-pointer or synthetic variables are not in any alias
+            // partition; analyze them as their own location class.
+            members = self.session.steens().members(key).to_vec();
+        }
+        let engine = Rc::new(RefCell::new(ClusterEngine::with_options(
+            self.cx(),
+            members,
+            self.session.config().cond_cap,
+            self.session.config().path_sensitive,
+        )));
+        self.engines.borrow_mut().insert(key, Rc::clone(&engine));
+        engine
+    }
+
+    /// Flow-sensitive, context-insensitive value sources of `p` just before
+    /// `loc`, over all contexts (Theorem 5 / Algorithm 3): each source is
+    /// where a maximally complete update sequence ending in `p` begins.
+    pub fn sources(
+        &self,
+        p: VarId,
+        loc: Loc,
+        budget: &mut AnalysisBudget,
+    ) -> Outcome<Vec<(Source, Cond)>> {
+        let class = self.session.steens().partition_key(p);
+        let engine = self.partition_engine(class);
+        // A caller may already hold this partition's engine (recursive FSCI
+        // resolution within one partition, or a user driving an engine
+        // directly with the analyzer as oracle); fall back to a throwaway
+        // single-pointer engine rather than panicking — Algorithm 1's
+        // closure from {p} still pulls in everything that affects p.
+        let result = match engine.try_borrow_mut() {
+            Ok(mut e) => self.sources_with_engine(&mut e, p, loc, budget),
+            Err(_) => {
+                let mut fresh = ClusterEngine::with_options(
+                    self.cx(),
+                    vec![p],
+                    self.session.config().cond_cap,
+                    self.session.config().path_sensitive,
+                );
+                self.sources_with_engine(&mut fresh, p, loc, budget)
+            }
+        };
+        result
+    }
+
+    /// The Algorithm 3 climb with an explicit engine — used both by
+    /// [`Analyzer::sources`] (partition engine) and by
+    /// [`Analyzer::process_cluster`] (the cluster's own engine, so the
+    /// measured cost is the cluster's).
+    fn sources_with_engine(
+        &self,
+        engine: &mut ClusterEngine,
+        p: VarId,
+        loc: Loc,
+        budget: &mut AnalysisBudget,
+    ) -> Outcome<Vec<(Source, Cond)>> {
+        let mut results: Vec<(Source, Cond)> = Vec::new();
+        let mut queue: Vec<(FuncId, VarId)> = Vec::new();
+        let mut seen: HashSet<(FuncId, VarId)> = HashSet::new();
+        let entry_func = self.session.program().entry().map(|f| f.id());
+
+        let local = match engine.local_sources(self.cx(), p, loc, self, budget) {
+            Outcome::Done(v) => v,
+            Outcome::TimedOut => return Outcome::TimedOut,
+        };
+        absorb(local, loc.func, &mut results, &mut queue, &mut seen);
+
+        // Algorithm 3: propagate entry frontiers up through all callers.
+        while let Some((f, q)) = queue.pop() {
+            let callers = self.session.callers_of(f);
+            if Some(f) == entry_func || callers.is_empty() {
+                results.push((Source::EntryVar(q), Cond::top()));
+            }
+            for &cs in callers {
+                let vals = match engine.local_sources(self.cx(), q, cs, self, budget) {
+                    Outcome::Done(v) => v,
+                    Outcome::TimedOut => return Outcome::TimedOut,
+                };
+                absorb(vals, cs.func, &mut results, &mut queue, &mut seen);
+            }
+        }
+        results.sort();
+        results.dedup();
+        Outcome::Done(results)
+    }
+
+    /// Analyzes one cluster end to end — Algorithm 1's slice, all function
+    /// summaries, and the interprocedural sources of every member at the
+    /// entry function's exit. This is the per-cluster work unit whose cost
+    /// the Table 1 harness measures.
+    pub fn process_cluster(
+        &self,
+        cluster: &Cluster,
+        mut budget: AnalysisBudget,
+    ) -> ClusterReport {
+        let t0 = std::time::Instant::now();
+        let cx = self.cx();
+        let mut engine = ClusterEngine::with_options(
+            cx,
+            cluster.members.clone(),
+            self.session.config().cond_cap,
+            self.session.config().path_sensitive,
+        );
+        let mut timed_out = matches!(
+            engine.compute_all_summaries(cx, self, &mut budget),
+            Outcome::TimedOut
+        );
+        if !timed_out {
+            if let Some(entry) = self.session.program().entry() {
+                let exit = entry.exit();
+                for &m in &cluster.members {
+                    match self.sources_with_engine(&mut engine, m, exit, &mut budget) {
+                        Outcome::Done(_) => {}
+                        Outcome::TimedOut => {
+                            timed_out = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        ClusterReport {
+            cluster_id: cluster.id,
+            size: cluster.members.len(),
+            relevant_stmts: engine.relevant().stmt_count(),
+            summary_entries: engine.summaries().entry_count(),
+            summary_tuples: engine.summaries().tuple_count(),
+            duration: t0.elapsed(),
+            timed_out,
+        }
+    }
+
+    /// Like [`Analyzer::sources`], but restricted to one calling context
+    /// (§3 "Computing Flow and Context-Sensitive Aliases"). `context` lists
+    /// the call sites from the outermost frame to the one that invokes
+    /// `loc`'s function; an empty context means `loc` is in the entry
+    /// function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidContext`] if the call sites do not form
+    /// a chain ending at `loc.func`.
+    pub fn sources_in_context(
+        &self,
+        p: VarId,
+        loc: Loc,
+        context: &[Loc],
+        budget: &mut AnalysisBudget,
+    ) -> Result<Outcome<Vec<(Source, Cond)>>, QueryError> {
+        self.validate_context(loc, context)?;
+        let class = self.session.steens().partition_key(p);
+        let engine = self.partition_engine(class);
+        let mut results: Vec<(Source, Cond)> = Vec::new();
+
+        // Frontier of variables tracked at the entry of the current frame.
+        let mut frontier: HashSet<VarId> = HashSet::new();
+        let local = {
+            let mut e = match engine.try_borrow_mut() {
+                Ok(e) => e,
+                Err(_) => {
+                    return Ok(Outcome::TimedOut);
+                }
+            };
+            match e.local_sources(self.cx(), p, loc, self, budget) {
+                Outcome::Done(v) => v,
+                Outcome::TimedOut => return Ok(Outcome::TimedOut),
+            }
+        };
+        for (val, cond) in local {
+            match val {
+                Value::Addr(o) => results.push((Source::Addr(o), cond)),
+                Value::Null => results.push((Source::Null, cond)),
+                Value::Ptr(q) => {
+                    frontier.insert(q);
+                }
+            }
+        }
+        // Climb the context from the innermost call site outwards.
+        for &cs in context.iter().rev() {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut next: HashSet<VarId> = HashSet::new();
+            for q in frontier {
+                let vals = {
+                    let mut e = match engine.try_borrow_mut() {
+                        Ok(e) => e,
+                        Err(_) => return Ok(Outcome::TimedOut),
+                    };
+                    match e.local_sources(self.cx(), q, cs, self, budget) {
+                        Outcome::Done(v) => v,
+                        Outcome::TimedOut => return Ok(Outcome::TimedOut),
+                    }
+                };
+                for (val, cond) in vals {
+                    match val {
+                        Value::Addr(o) => results.push((Source::Addr(o), cond)),
+                        Value::Null => results.push((Source::Null, cond)),
+                        Value::Ptr(w) => {
+                            next.insert(w);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for q in frontier {
+            results.push((Source::EntryVar(q), Cond::top()));
+        }
+        results.sort();
+        results.dedup();
+        Ok(Outcome::Done(results))
+    }
+
+    fn validate_context(&self, loc: Loc, context: &[Loc]) -> Result<(), QueryError> {
+        let program = self.session.program();
+        let mut expected_callee = loc.func;
+        for &cs in context.iter().rev() {
+            match program.stmt_at(cs) {
+                Stmt::Call(c) => match c.target {
+                    bootstrap_ir::CallTarget::Direct(g) if g == expected_callee => {
+                        expected_callee = cs.func;
+                    }
+                    _ => {
+                        return Err(QueryError::InvalidContext(format!(
+                            "call at {cs} does not invoke {}",
+                            program.func(expected_callee).name()
+                        )))
+                    }
+                },
+                _ => {
+                    return Err(QueryError::InvalidContext(format!(
+                        "{cs} is not a call site"
+                    )))
+                }
+            }
+        }
+        if let Some(entry) = program.entry() {
+            if expected_callee != entry.id() {
+                return Err(QueryError::InvalidContext(format!(
+                    "context does not start at the entry function (starts at {})",
+                    program.func(expected_callee).name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Filters sources whose constraints are refutable against the FSCI
+    /// points-to cache.
+    fn satisfiable_sources(
+        &self,
+        sources: Vec<(Source, Cond)>,
+    ) -> Vec<(Source, Cond)> {
+        sources
+            .into_iter()
+            .filter(|(_, cond)| {
+                cond.satisfiable(|v, l| self.fsci_pts(v, l))
+            })
+            .collect()
+    }
+
+    /// May `p` and `q` alias just before `loc`, in some context
+    /// (flow-sensitive, context-insensitive at the query level)?
+    pub fn may_alias(&self, p: VarId, q: VarId, loc: Loc) -> Outcome<bool> {
+        let mut budget = self.session.config().query_budget();
+        if p == q {
+            return Outcome::Done(true);
+        }
+        let sp = match self.sources(p, loc, &mut budget) {
+            Outcome::Done(v) => self.satisfiable_sources(v),
+            Outcome::TimedOut => return Outcome::TimedOut,
+        };
+        let sq = match self.sources(q, loc, &mut budget) {
+            Outcome::Done(v) => self.satisfiable_sources(v),
+            Outcome::TimedOut => return Outcome::TimedOut,
+        };
+        Outcome::Done(self.sources_alias(&sp, &sq))
+    }
+
+    /// May `p` and `q` alias just before `loc` in the given context?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidContext`] for malformed contexts.
+    pub fn may_alias_in_context(
+        &self,
+        p: VarId,
+        q: VarId,
+        loc: Loc,
+        context: &[Loc],
+    ) -> Result<Outcome<bool>, QueryError> {
+        let mut budget = self.session.config().query_budget();
+        if p == q {
+            return Ok(Outcome::Done(true));
+        }
+        let sp = match self.sources_in_context(p, loc, context, &mut budget)? {
+            Outcome::Done(v) => self.satisfiable_sources(v),
+            Outcome::TimedOut => return Ok(Outcome::TimedOut),
+        };
+        let sq = match self.sources_in_context(q, loc, context, &mut budget)? {
+            Outcome::Done(v) => self.satisfiable_sources(v),
+            Outcome::TimedOut => return Ok(Outcome::TimedOut),
+        };
+        Ok(Outcome::Done(self.sources_alias(&sp, &sq)))
+    }
+
+    fn sources_alias(&self, sp: &[(Source, Cond)], sq: &[(Source, Cond)]) -> bool {
+        let config = self.session.config();
+        for (s1, c1) in sp {
+            for (s2, c2) in sq {
+                if !s1.same_value(*s2) {
+                    continue;
+                }
+                // A concrete execution reaching the query point follows a
+                // single path; the two sources must be jointly feasible on
+                // it (syntactic check; path literals make this the paper's
+                // infeasible-path weeding).
+                if c1.and_cond(c2, config.cond_cap).is_none() {
+                    continue;
+                }
+                match s1 {
+                    Source::Addr(_) => return true,
+                    Source::EntryVar(_) if config.alias_on_entry_garbage => return true,
+                    Source::Null if config.alias_on_null => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+
+    /// Must `p` and `q` alias just before `loc`? A conservative
+    /// under-approximation: both pointers have exactly one unconditional
+    /// source and it is the same object address — the form of must-alias
+    /// the lockset application needs.
+    pub fn must_alias(&self, p: VarId, q: VarId, loc: Loc) -> Outcome<bool> {
+        let mut budget = self.session.config().query_budget();
+        if p == q {
+            return Outcome::Done(true);
+        }
+        let sp = match self.sources(p, loc, &mut budget) {
+            Outcome::Done(v) => v,
+            Outcome::TimedOut => return Outcome::TimedOut,
+        };
+        let sq = match self.sources(q, loc, &mut budget) {
+            Outcome::Done(v) => v,
+            Outcome::TimedOut => return Outcome::TimedOut,
+        };
+        let single = |s: &[(Source, Cond)]| match s {
+            [(Source::Addr(o), cond)] if cond.is_top() && !cond.is_widened() => Some(*o),
+            _ => None,
+        };
+        if matches!((single(&sp), single(&sq)), (Some(a), Some(b)) if a == b) {
+            return Outcome::Done(true);
+        }
+        // Path-sensitive upgrade: even with several sources per pointer,
+        // the pointers must alias if on *every* path their values coincide.
+        // BDDs answer the tautology question the syntactic conjunctions
+        // cannot (the paper's suggested use of BDDs, §3).
+        if self.session.config().path_sensitive {
+            return Outcome::Done(self.must_by_path_coverage(&sp, &sq));
+        }
+        Outcome::Done(false)
+    }
+
+    /// Sound must-alias over branch-literal conditions: requires (a) every
+    /// source condition to be a pure, unwidened conjunction of branch
+    /// literals, (b) each pointer's differing-value sources to be mutually
+    /// exclusive (so each path determines one value), and (c) the
+    /// disjunction of matching-value pair conditions to be a tautology
+    /// (every path has a matching pair).
+    fn must_by_path_coverage(&self, sp: &[(Source, Cond)], sq: &[(Source, Cond)]) -> bool {
+        use crate::bdd::Manager;
+        use crate::constraint::Atom;
+        if sp.is_empty() || sq.is_empty() {
+            return false;
+        }
+        let config = self.session.config();
+        let value_ok = |s: &Source| match s {
+            Source::Addr(_) => true,
+            Source::EntryVar(_) => config.alias_on_entry_garbage,
+            Source::Null => config.alias_on_null,
+        };
+        let mut mgr = Manager::new();
+        let cond_bdd = |mgr: &mut Manager, cond: &Cond| -> Option<crate::bdd::Ref> {
+            if cond.is_widened() {
+                return None;
+            }
+            let mut acc = mgr.tru();
+            for &atom in cond.atoms() {
+                let lit = match atom {
+                    Atom::BranchTrue { var } => mgr.var(var.index() as u32),
+                    Atom::BranchFalse { var } => mgr.nvar(var.index() as u32),
+                    _ => return None,
+                };
+                acc = mgr.and(acc, lit);
+            }
+            Some(acc)
+        };
+        let to_bdds = |mgr: &mut Manager, s: &[(Source, Cond)]| {
+            s.iter()
+                .map(|(src, cond)| {
+                    if !value_ok(src) {
+                        return None;
+                    }
+                    cond_bdd(mgr, cond).map(|b| (*src, b))
+                })
+                .collect::<Option<Vec<_>>>()
+        };
+        let (Some(bp), Some(bq)) = (to_bdds(&mut mgr, sp), to_bdds(&mut mgr, sq)) else {
+            return false;
+        };
+        // (b) value determinism per pointer.
+        for set in [&bp, &bq] {
+            for (i, (v1, c1)) in set.iter().enumerate() {
+                for (v2, c2) in &set[i + 1..] {
+                    if v1 != v2 {
+                        let joint = mgr.and(*c1, *c2);
+                        if !mgr.is_false(joint) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        // (c) matching-pair coverage.
+        let mut coverage = mgr.fls();
+        for (v1, c1) in &bp {
+            for (v2, c2) in &bq {
+                if v1.same_value(*v2) {
+                    let pair = mgr.and(*c1, *c2);
+                    coverage = mgr.or(coverage, pair);
+                }
+            }
+        }
+        mgr.is_true(coverage)
+    }
+
+    /// All pointers that may alias `p` just before `loc`, drawn from the
+    /// clusters of the session's cover containing `p` (Theorems 6/7: the
+    /// union over those clusters is complete).
+    pub fn alias_set(&self, p: VarId, loc: Loc) -> Outcome<Vec<VarId>> {
+        let mut budget = self.session.config().query_budget();
+        let sp = match self.sources(p, loc, &mut budget) {
+            Outcome::Done(v) => self.satisfiable_sources(v),
+            Outcome::TimedOut => return Outcome::TimedOut,
+        };
+        let mut candidates: Vec<VarId> = Vec::new();
+        for cluster in self.session.cover().clusters_containing(p) {
+            candidates.extend(cluster.members.iter().copied());
+        }
+        candidates.sort();
+        candidates.dedup();
+        let mut out = Vec::new();
+        for q in candidates {
+            if q == p {
+                continue;
+            }
+            let sq = match self.sources(q, loc, &mut budget) {
+                Outcome::Done(v) => self.satisfiable_sources(v),
+                Outcome::TimedOut => return Outcome::TimedOut,
+            };
+            if self.sources_alias(&sp, &sq) {
+                out.push(q);
+            }
+        }
+        Outcome::Done(out)
+    }
+
+    /// The FSCI may-points-to set of `v` just before `loc` (dovetailing
+    /// oracle). Returns `None` when the computation would recurse into a
+    /// partition currently being analyzed (the cyclic case) or exceeds the
+    /// oracle budget — callers fall back to Steensgaard candidates.
+    pub fn fsci_pts(&self, v: VarId, loc: Loc) -> Option<Vec<VarId>> {
+        if let Some(cached) = self.fsci_cache.borrow().get(&(v, loc)) {
+            return cached.as_ref().map(|r| r.as_ref().clone());
+        }
+        if self.fsci_stack.borrow().contains(&(v, loc)) {
+            // Cyclic (same-depth) dependency: report unknown, do not cache.
+            return None;
+        }
+        // Results computed while an outer FSCI computation is on the stack
+        // may have been degraded by a cycle cut (sound, but
+        // over-approximate relative to a clean run). Caching them would
+        // make query answers depend on query *order*; only top-level
+        // computations are memoized.
+        let clean = self.fsci_stack.borrow().is_empty();
+        self.fsci_stack.borrow_mut().insert((v, loc));
+        let mut budget = AnalysisBudget::steps(self.session.config().oracle_step_budget);
+        let result = match self.sources(v, loc, &mut budget) {
+            Outcome::Done(srcs) => {
+                let mut pts: Vec<VarId> = srcs
+                    .into_iter()
+                    .filter_map(|(s, _)| match s {
+                        Source::Addr(o) => Some(o),
+                        Source::Null | Source::EntryVar(_) => None,
+                    })
+                    .collect();
+                pts.sort();
+                pts.dedup();
+                Some(Rc::new(pts))
+            }
+            Outcome::TimedOut => None,
+        };
+        self.fsci_stack.borrow_mut().remove(&(v, loc));
+        if clean {
+            self.fsci_cache
+                .borrow_mut()
+                .insert((v, loc), result.clone());
+        }
+        result.map(|r| r.as_ref().clone())
+    }
+
+    /// Direct access to the per-partition engine for inspection (summary
+    /// counts, relevant-set sizes). Creates the engine if needed.
+    pub fn engine_for(&self, class: ClassId) -> Rc<RefCell<ClusterEngine>> {
+        self.partition_engine(class)
+    }
+}
+
+impl PtsOracle for Analyzer<'_> {
+    fn fsci_pts(&self, v: VarId, loc: Loc) -> Option<Vec<VarId>> {
+        Analyzer::fsci_pts(self, v, loc)
+    }
+}
+
+fn absorb(
+    vals: Vec<(Value, Cond)>,
+    func: FuncId,
+    results: &mut Vec<(Source, Cond)>,
+    queue: &mut Vec<(FuncId, VarId)>,
+    seen: &mut HashSet<(FuncId, VarId)>,
+) {
+    for (val, cond) in vals {
+        match val {
+            Value::Addr(o) => results.push((Source::Addr(o), cond)),
+            Value::Null => results.push((Source::Null, cond)),
+            Value::Ptr(q) => {
+                if seen.insert((func, q)) {
+                    queue.push((func, q));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Config;
+    use bootstrap_ir::{parse_program, Program};
+
+    fn session(src: &str) -> (Program, Config) {
+        (parse_program(src).unwrap(), Config::default())
+    }
+
+    fn v(p: &Program, n: &str) -> VarId {
+        p.var_named(n).unwrap()
+    }
+
+    fn main_exit(p: &Program) -> Loc {
+        p.entry().unwrap().exit()
+    }
+
+    #[test]
+    fn may_alias_after_copy() {
+        let (p, c) = session("int a; int *x; int *y; void main() { x = &a; y = x; }");
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        assert!(az.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
+    }
+
+    #[test]
+    fn flow_sensitivity_kills_stale_alias() {
+        let (p, c) = session(
+            "int a; int b; int *x; int *y;
+             void main() { x = &a; y = &a; x = &b; }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        // At exit, x = &b while y = &a: no alias (a flow-insensitive
+        // analysis would report one).
+        assert!(!az.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
+        let an = bootstrap_analyses::andersen::analyze(&p);
+        assert!(an.may_alias(v(&p, "x"), v(&p, "y")), "Andersen is coarser");
+    }
+
+    #[test]
+    fn call_site_precision_beats_andersen() {
+        // The classic id() polyvariance test: splicing summaries through
+        // each call site keeps x and y apart.
+        let (p, c) = session(
+            "int a; int b; int *x; int *y;
+             int *id(int *q) { return q; }
+             void main() { x = id(&a); y = id(&b); }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        assert!(!az.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
+        let an = bootstrap_analyses::andersen::analyze(&p);
+        assert!(an.may_alias(v(&p, "x"), v(&p, "y")), "Andersen conflates the call sites");
+        // Sanity: x still aliases a fresh pointer to a.
+        assert!(az.must_alias(v(&p, "x"), v(&p, "x"), main_exit(&p)).unwrap());
+    }
+
+    #[test]
+    fn context_sensitive_global_query() {
+        let (p, c) = session(
+            "int a; int b; int *g;
+             void setter(int *vv) { g = vv; }
+             void main() { setter(&a); setter(&b); }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        let setter = p.func_named("setter").unwrap();
+        let setter_exit = p.func(setter).exit();
+        let call_sites: Vec<Loc> = s.callers_of(setter).to_vec();
+        assert_eq!(call_sites.len(), 2);
+        let (cs1, cs2) = (call_sites[0].min(call_sites[1]), call_sites[0].max(call_sites[1]));
+        let mut b1 = AnalysisBudget::unlimited();
+        let srcs1 = az
+            .sources_in_context(v(&p, "g"), setter_exit, &[cs1], &mut b1)
+            .unwrap()
+            .unwrap();
+        let srcs2 = az
+            .sources_in_context(v(&p, "g"), setter_exit, &[cs2], &mut b1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(srcs1, vec![(Source::Addr(v(&p, "a")), Cond::top())]);
+        assert_eq!(srcs2, vec![(Source::Addr(v(&p, "b")), Cond::top())]);
+        // Context-insensitive union sees both.
+        let all = az.sources(v(&p, "g"), setter_exit, &mut b1).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn may_alias_in_context_distinguishes() {
+        let (p, c) = session(
+            "int a; int *g; int *h;
+             void set(int *vv) { g = vv; }
+             void main() { h = &a; set(&a); set(g); set(h); }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        let set = p.func_named("set").unwrap();
+        let set_exit = p.func(set).exit();
+        let mut sites = s.callers_of(set).to_vec();
+        sites.sort();
+        // In every context here g ends up as &a eventually; check the
+        // first one precisely.
+        let r = az
+            .may_alias_in_context(v(&p, "g"), v(&p, "h"), set_exit, &[sites[0]])
+            .unwrap()
+            .unwrap();
+        assert!(r);
+    }
+
+    #[test]
+    fn invalid_context_is_rejected() {
+        let (p, c) = session(
+            "int *gv; void g() { } void main() { g(); }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        let g = p.func_named("g").unwrap();
+        let g_exit = p.func(g).exit();
+        let not_a_call = Loc::new(p.func_named("main").unwrap(), 0);
+        let x = p.var_named("gv").unwrap();
+        let err = az
+            .sources_in_context(x, g_exit, &[not_a_call], &mut AnalysisBudget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidContext(_)));
+        assert!(err.to_string().contains("not a call site"));
+    }
+
+    #[test]
+    fn empty_context_requires_entry_function() {
+        let (p, c) = session("int *gv; void g() { } void main() { g(); }");
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        let g = p.func_named("g").unwrap();
+        let g_exit = p.func(g).exit();
+        let x = p.var_named("gv").unwrap();
+        assert!(az
+            .sources_in_context(x, g_exit, &[], &mut AnalysisBudget::unlimited())
+            .is_err());
+        // But main's own locations accept the empty context.
+        assert!(az
+            .sources_in_context(x, main_exit(&p), &[], &mut AnalysisBudget::unlimited())
+            .is_ok());
+    }
+
+    #[test]
+    fn must_alias_positive_and_negative() {
+        let (p, c) = session(
+            "int a; int b; int cnd; int *x; int *y; int *z;
+             void main() { x = &a; y = &a; if (cnd) { z = &a; } else { z = &b; } }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        assert!(az.must_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
+        assert!(!az.must_alias(v(&p, "x"), v(&p, "z"), main_exit(&p)).unwrap());
+        assert!(az.may_alias(v(&p, "x"), v(&p, "z"), main_exit(&p)).unwrap());
+    }
+
+    #[test]
+    fn fsci_pts_resolves_higher_pointer() {
+        let (p, c) = session(
+            "int a; int *x; int **z;
+             void main() { x = &a; z = &x; *z = &a; }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        // At the store, z points exactly to {x}.
+        let main = p.func(p.func_named("main").unwrap());
+        let store_loc = main
+            .locs()
+            .find(|(_, st)| matches!(st, Stmt::Store { .. }))
+            .unwrap()
+            .0;
+        let pts = az.fsci_pts(v(&p, "z"), store_loc).unwrap();
+        assert_eq!(pts, vec![v(&p, "x")]);
+    }
+
+    #[test]
+    fn alias_set_collects_cluster_aliases() {
+        let (p, c) = session(
+            "int a; int b; int *x; int *y; int *w;
+             void main() { x = &a; y = x; w = &b; }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        let aliases = az.alias_set(v(&p, "x"), main_exit(&p)).unwrap();
+        assert!(aliases.contains(&v(&p, "y")));
+        assert!(!aliases.contains(&v(&p, "w")));
+    }
+
+    #[test]
+    fn process_cluster_reports_work() {
+        let (p, c) = session(
+            "int a; int *x; int *y;
+             void set() { y = x; }
+             void main() { x = &a; set(); }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        let cluster = s.cover().clusters_containing(v(&p, "x")).next().unwrap();
+        let report = az.process_cluster(cluster, AnalysisBudget::unlimited());
+        assert!(!report.timed_out);
+        assert!(report.relevant_stmts > 0);
+        assert!(report.summary_tuples > 0);
+        assert_eq!(report.size, cluster.members.len());
+    }
+
+    #[test]
+    fn null_does_not_alias_by_default() {
+        let (p, c) = session(
+            "int *x; int *y; void main() { x = NULL; y = NULL; }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        assert!(!az.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
+        // With the flag on, NULL values compare equal.
+        let c2 = Config {
+            alias_on_null: true,
+            ..Config::default()
+        };
+        let s2 = Session::new(&p, c2);
+        let az2 = s2.analyzer();
+        assert!(az2.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
+    }
+
+    #[test]
+    fn free_kills_alias() {
+        let (p, c) = session(
+            "int a; int *x; int *y;
+             void main() { x = &a; y = x; free(x); }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        assert!(!az.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
+    }
+
+    #[test]
+    fn heap_sites_alias_iff_same_site() {
+        let (p, c) = session(
+            "int *x; int *y; int *z; int cnd;
+             void main() { x = malloc(4); if (cnd) { y = x; } else { y = malloc(4); } z = malloc(8); }",
+        );
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        assert!(az.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
+        assert!(!az.may_alias(v(&p, "x"), v(&p, "z"), main_exit(&p)).unwrap());
+    }
+}

@@ -1,0 +1,380 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! The paper suggests BDDs for the path-sensitivity extension:
+//! "BDDs can be used to represent the boolean expression `conb` in a
+//! canonical fashion so as to weed out infeasible paths and hence bogus
+//! summary tuples" (§3). This module provides the substrate; the analyzer
+//! uses it for the one question plain conjunctions cannot answer —
+//! *tautology* of a disjunction of path conditions, which powers the
+//! path-sensitive `must_alias` (do matching sources cover **every** path?).
+//!
+//! Classic implementation: hash-consed nodes `(var, lo, hi)` with
+//! complement-free semantics, an ITE-based apply with memoization, and
+//! variable order = variable index.
+
+use std::collections::HashMap;
+
+/// A reference to a BDD node (index into the manager's node table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+const FALSE: Ref = Ref(0);
+const TRUE: Ref = Ref(1);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// A BDD manager: owns the node table and operation caches.
+///
+/// # Examples
+///
+/// ```
+/// use bootstrap_core::bdd::Manager;
+///
+/// let mut m = Manager::new();
+/// let a = m.var(0);
+/// let b = m.var(1);
+/// let f = m.or(a, b);
+/// let g = m.not(f);
+/// // De Morgan: !(a | b) == !a & !b — canonical, so pointer-equal.
+/// let na = m.not(a);
+/// let nb = m.not(b);
+/// let h = m.and(na, nb);
+/// assert_eq!(g, h);
+/// // a | !a is a tautology.
+/// let taut = m.or(a, na);
+/// assert!(m.is_true(taut));
+/// ```
+#[derive(Debug, Default)]
+pub struct Manager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+}
+
+impl Manager {
+    /// Creates a manager with the two terminal nodes.
+    pub fn new() -> Self {
+        let mut m = Manager {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        };
+        // Terminals occupy slots 0 (false) and 1 (true); their fields are
+        // never inspected.
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: FALSE,
+            hi: FALSE,
+        });
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: TRUE,
+            hi: TRUE,
+        });
+        m
+    }
+
+    /// The constant false.
+    pub fn fls(&self) -> Ref {
+        FALSE
+    }
+
+    /// The constant true.
+    pub fn tru(&self) -> Ref {
+        TRUE
+    }
+
+    /// Returns `true` if `f` is the constant true.
+    pub fn is_true(&self, f: Ref) -> bool {
+        f == TRUE
+    }
+
+    /// Returns `true` if `f` is the constant false.
+    pub fn is_false(&self, f: Ref) -> bool {
+        f == FALSE
+    }
+
+    /// Number of nodes allocated (including terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// The variable `v` as a BDD.
+    pub fn var(&mut self, v: u32) -> Ref {
+        self.mk(v, FALSE, TRUE)
+    }
+
+    /// The negation of variable `v`.
+    pub fn nvar(&mut self, v: u32) -> Ref {
+        self.mk(v, TRUE, FALSE)
+    }
+
+    fn top_var(&self, f: Ref) -> u32 {
+        if f == TRUE || f == FALSE {
+            u32::MAX
+        } else {
+            self.nodes[f.0 as usize].var
+        }
+    }
+
+    fn cofactors(&self, f: Ref, var: u32) -> (Ref, Ref) {
+        if f == TRUE || f == FALSE {
+            return (f, f);
+        }
+        let n = self.nodes[f.0 as usize];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f & g) | (!f & h)` — the universal
+    /// connective all others are built from.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal cases.
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let v = self
+            .top_var(f)
+            .min(self.top_var(g))
+            .min(self.top_var(h));
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, TRUE, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.ite(f, FALSE, TRUE)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Existential quantification of variable `v`.
+    pub fn exists(&mut self, f: Ref, v: u32) -> Ref {
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        self.or(f0, f1)
+    }
+
+    /// Restricts variable `v` to `value` in `f`.
+    pub fn restrict(&mut self, f: Ref, v: u32, value: bool) -> Ref {
+        if f == TRUE || f == FALSE {
+            return f;
+        }
+        let n = self.nodes[f.0 as usize];
+        if n.var > v {
+            return f;
+        }
+        if n.var == v {
+            return if value { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(n.lo, v, value);
+        let hi = self.restrict(n.hi, v, value);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Evaluates `f` under the assignment `true_vars` (everything else
+    /// false).
+    pub fn eval(&self, f: Ref, true_vars: &[u32]) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == TRUE {
+                return true;
+            }
+            if cur == FALSE {
+                return false;
+            }
+            let n = self.nodes[cur.0 as usize];
+            cur = if true_vars.contains(&n.var) {
+                n.hi
+            } else {
+                n.lo
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        let m = Manager::new();
+        assert!(m.is_true(m.tru()));
+        assert!(m.is_false(m.fls()));
+        assert_ne!(m.tru(), m.fls());
+    }
+
+    #[test]
+    fn var_and_negation() {
+        let mut m = Manager::new();
+        let a = m.var(3);
+        let na = m.not(a);
+        assert_eq!(m.nvar(3), na);
+        let aa = m.not(na);
+        assert_eq!(aa, a, "double negation is identity (canonicity)");
+    }
+
+    #[test]
+    fn tautology_and_contradiction() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let na = m.not(a);
+        let t = m.or(a, na);
+        assert!(m.is_true(t));
+        let f = m.and(a, na);
+        assert!(m.is_false(f));
+    }
+
+    #[test]
+    fn de_morgan_canonical() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let lhs = m.not(ab);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let rhs = m.or(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn distributivity() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let bc = m.or(b, c);
+        let lhs = m.and(a, bc);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let rhs = m.or(ab, ac);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let x = m.xor(a, b);
+        assert!(!m.eval(x, &[]));
+        assert!(m.eval(x, &[0]));
+        assert!(m.eval(x, &[1]));
+        assert!(!m.eval(x, &[0, 1]));
+    }
+
+    #[test]
+    fn restrict_and_exists() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.restrict(f, 0, true), b);
+        let r = m.restrict(f, 0, false);
+        assert!(m.is_false(r));
+        let e = m.exists(f, 0);
+        assert_eq!(e, b, "exists a. (a & b) == b");
+    }
+
+    #[test]
+    fn ordering_is_respected() {
+        // Build (b & a) and (a & b): identical canonical nodes.
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba);
+        // Root must test the smaller variable.
+        assert_eq!(m.top_var(ab), 0);
+    }
+
+    #[test]
+    fn ite_cache_and_sharing_bound_node_growth() {
+        let mut m = Manager::new();
+        // Chain of xors: without sharing this would explode.
+        let mut f = m.var(0);
+        for v in 1..16 {
+            let x = m.var(v);
+            f = m.xor(f, x);
+        }
+        // Parity over n vars needs ~2n reachable nodes; the table also
+        // retains intermediate results (no GC), hence the loose bound.
+        assert!(m.node_count() < 1000, "nodes: {}", m.node_count());
+        // Parity function: evaluates true iff an odd number of vars set.
+        assert!(m.eval(f, &[0]));
+        assert!(!m.eval(f, &[0, 1]));
+        assert!(m.eval(f, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn diamond_coverage_is_tautology() {
+        // The analyzer's must-alias use case: (c) | (!c) covers all paths.
+        let mut m = Manager::new();
+        let c = m.var(0);
+        let then_pair = c;
+        let else_pair = m.not(c);
+        let coverage = m.or(then_pair, else_pair);
+        assert!(m.is_true(coverage));
+        // Partial coverage is not a tautology.
+        let partial = m.or(then_pair, FALSE);
+        assert!(!m.is_true(partial));
+    }
+}

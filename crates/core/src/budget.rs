@@ -1,0 +1,208 @@
+//! Analysis budgets.
+//!
+//! The paper's Table 1 caps the unclustered flow- and context-sensitive
+//! baseline at 15 minutes (several rows report "> 15min"). Every engine
+//! entry point in this crate takes an [`AnalysisBudget`] so harnesses can
+//! reproduce those capped rows without hanging.
+
+use std::time::{Duration, Instant};
+
+/// A step- and wall-clock budget for one analysis run.
+///
+/// # Examples
+///
+/// ```
+/// use bootstrap_core::budget::AnalysisBudget;
+///
+/// let mut b = AnalysisBudget::steps(100);
+/// for _ in 0..100 {
+///     assert!(b.tick());
+/// }
+/// assert!(!b.tick(), "101st step exceeds the budget");
+/// assert!(b.exhausted());
+/// ```
+#[derive(Clone, Debug)]
+pub struct AnalysisBudget {
+    max_steps: u64,
+    steps: u64,
+    deadline: Option<Instant>,
+    exhausted: bool,
+}
+
+impl AnalysisBudget {
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Self {
+            max_steps: u64::MAX,
+            steps: 0,
+            deadline: None,
+            exhausted: false,
+        }
+    }
+
+    /// A budget of `max_steps` engine steps.
+    pub fn steps(max_steps: u64) -> Self {
+        Self {
+            max_steps,
+            steps: 0,
+            deadline: None,
+            exhausted: false,
+        }
+    }
+
+    /// A wall-clock budget starting now.
+    pub fn wall(limit: Duration) -> Self {
+        Self {
+            max_steps: u64::MAX,
+            steps: 0,
+            deadline: Some(Instant::now() + limit),
+            exhausted: false,
+        }
+    }
+
+    /// A combined step and wall-clock budget.
+    pub fn steps_and_wall(max_steps: u64, limit: Duration) -> Self {
+        Self {
+            max_steps,
+            steps: 0,
+            deadline: Some(Instant::now() + limit),
+            exhausted: false,
+        }
+    }
+
+    /// Records one engine step. Returns `false` once the budget is
+    /// exhausted (and from then on).
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            self.exhausted = true;
+            return false;
+        }
+        // Check the clock only occasionally; Instant::now is not free.
+        if self.steps % 1024 == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    self.exhausted = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Steps consumed so far.
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Returns `true` once the budget has been exceeded.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl Default for AnalysisBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// The outcome of a budgeted computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// The computation finished within budget.
+    Done(T),
+    /// The budget ran out; any partial result is discarded because a
+    /// truncated may-analysis would be unsound.
+    TimedOut,
+}
+
+impl<T> Outcome<T> {
+    /// Returns the value, panicking on [`Outcome::TimedOut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the computation timed out.
+    pub fn unwrap(self) -> T {
+        match self {
+            Outcome::Done(v) => v,
+            Outcome::TimedOut => panic!("analysis exceeded its budget"),
+        }
+    }
+
+    /// Returns `true` if the computation finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self, Outcome::Done(_))
+    }
+
+    /// Converts to an [`Option`].
+    pub fn ok(self) -> Option<T> {
+        match self {
+            Outcome::Done(v) => Some(v),
+            Outcome::TimedOut => None,
+        }
+    }
+
+    /// Maps the inner value.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        match self {
+            Outcome::Done(v) => Outcome::Done(f(v)),
+            Outcome::TimedOut => Outcome::TimedOut,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts_quickly() {
+        let mut b = AnalysisBudget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.tick());
+        }
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn step_budget_exhausts() {
+        let mut b = AnalysisBudget::steps(5);
+        assert_eq!((0..10).filter(|_| b.tick()).count(), 5);
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn wall_budget_expires() {
+        let mut b = AnalysisBudget::wall(Duration::from_millis(0));
+        // The clock is checked every 1024 ticks.
+        let mut ok = true;
+        for _ in 0..4096 {
+            ok = b.tick();
+            if !ok {
+                break;
+            }
+        }
+        assert!(!ok);
+    }
+
+    #[test]
+    fn outcome_api() {
+        let d: Outcome<i32> = Outcome::Done(3);
+        assert!(d.is_done());
+        assert_eq!(d.clone().ok(), Some(3));
+        assert_eq!(d.map(|x| x + 1).unwrap(), 4);
+        let t: Outcome<i32> = Outcome::TimedOut;
+        assert_eq!(t.ok(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded its budget")]
+    fn outcome_unwrap_panics_on_timeout() {
+        Outcome::<()>::TimedOut.unwrap();
+    }
+}

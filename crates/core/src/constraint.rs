@@ -1,0 +1,458 @@
+//! Points-to constraints attached to summary tuples (Definition 8).
+//!
+//! While building a maximally complete update sequence backwards, a store
+//! `*u = w` whose target cannot be resolved yet (the cyclic /
+//! same-Steensgaard-depth case) forks the sequence under a constraint:
+//! either `u` points to the tracked pointer at that location or it does
+//! not. Constraints are conjunctions of four atom forms:
+//!
+//! * `l: r → s` — `r` points to `s` at `l`;
+//! * `l: r ↛ s` — `r` does not point to `s` at `l`;
+//! * `l: r ≐ s` — `r` and `s` point to the same object at `l`;
+//! * `l: r ≠ s` — `r` and `s` point to different objects at `l`.
+//!
+//! Conjunctions are kept in a sorted, deduplicated normal form with
+//! syntactic contradiction detection. Conjunctions longer than a cap are
+//! *widened* by dropping atoms — sound for a may-analysis (it only admits
+//! more aliases), and the knob the paper would have turned with BDDs.
+
+use std::fmt;
+
+use bootstrap_ir::{Loc, VarId};
+
+/// One points-to constraint atom (Definition 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// `loc: ptr → obj`
+    PointsTo {
+        /// The program point the constraint refers to.
+        loc: Loc,
+        /// The constrained pointer.
+        ptr: VarId,
+        /// The pointed-to object.
+        obj: VarId,
+    },
+    /// `loc: ptr ↛ obj`
+    NotPointsTo {
+        /// The program point the constraint refers to.
+        loc: Loc,
+        /// The constrained pointer.
+        ptr: VarId,
+        /// The object `ptr` must not point to.
+        obj: VarId,
+    },
+    /// `loc: a ≐ b` (point to the same object)
+    Eq {
+        /// The program point the constraint refers to.
+        loc: Loc,
+        /// First pointer.
+        a: VarId,
+        /// Second pointer.
+        b: VarId,
+    },
+    /// `loc: a ≠ b` (point to different objects)
+    NotEq {
+        /// The program point the constraint refers to.
+        loc: Loc,
+        /// First pointer.
+        a: VarId,
+        /// Second pointer.
+        b: VarId,
+    },
+    /// The branch variable `var` tested true along the path (the paper's
+    /// path-sensitivity extension, §3). Tracked only for function-local,
+    /// address-not-taken variables, so the literal is stable between its
+    /// definitions.
+    BranchTrue {
+        /// The tested variable.
+        var: VarId,
+    },
+    /// The branch variable `var` tested false along the path.
+    BranchFalse {
+        /// The tested variable.
+        var: VarId,
+    },
+}
+
+impl Atom {
+    /// The syntactic negation of this atom.
+    pub fn negated(self) -> Atom {
+        match self {
+            Atom::PointsTo { loc, ptr, obj } => Atom::NotPointsTo { loc, ptr, obj },
+            Atom::NotPointsTo { loc, ptr, obj } => Atom::PointsTo { loc, ptr, obj },
+            Atom::Eq { loc, a, b } => Atom::NotEq { loc, a, b },
+            Atom::NotEq { loc, a, b } => Atom::Eq { loc, a, b },
+            Atom::BranchTrue { var } => Atom::BranchFalse { var },
+            Atom::BranchFalse { var } => Atom::BranchTrue { var },
+        }
+    }
+
+    /// Returns `true` for path literals ([`Atom::BranchTrue`] /
+    /// [`Atom::BranchFalse`]).
+    pub fn is_branch(self) -> bool {
+        matches!(self, Atom::BranchTrue { .. } | Atom::BranchFalse { .. })
+    }
+
+    /// The branch variable of a path literal.
+    pub fn branch_var(self) -> Option<VarId> {
+        match self {
+            Atom::BranchTrue { var } | Atom::BranchFalse { var } => Some(var),
+            _ => None,
+        }
+    }
+
+    fn normalized(self) -> Atom {
+        // Eq/NotEq are symmetric: order operands canonically.
+        match self {
+            Atom::Eq { loc, a, b } if b < a => Atom::Eq { loc, a: b, b: a },
+            Atom::NotEq { loc, a, b } if b < a => Atom::NotEq { loc, a: b, b: a },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::PointsTo { loc, ptr, obj } => write!(f, "{loc}: {ptr} -> {obj}"),
+            Atom::NotPointsTo { loc, ptr, obj } => write!(f, "{loc}: {ptr} -/> {obj}"),
+            Atom::Eq { loc, a, b } => write!(f, "{loc}: {a} == {b}"),
+            Atom::NotEq { loc, a, b } => write!(f, "{loc}: {a} != {b}"),
+            Atom::BranchTrue { var } => write!(f, "{var}"),
+            Atom::BranchFalse { var } => write!(f, "!{var}"),
+        }
+    }
+}
+
+/// A conjunction of [`Atom`]s in normal form.
+///
+/// # Examples
+///
+/// ```
+/// use bootstrap_core::constraint::{Atom, Cond};
+/// use bootstrap_ir::{FuncId, Loc, VarId};
+///
+/// let loc = Loc::new(FuncId::new(0), 1);
+/// let a = Atom::PointsTo { loc, ptr: VarId::new(0), obj: VarId::new(1) };
+/// let c = Cond::top().and(a, 8).unwrap();
+/// assert!(!c.is_top());
+/// // Conjoining the negation is a contradiction.
+/// assert!(c.and(a.negated(), 8).is_none());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cond {
+    atoms: Vec<Atom>,
+    widened: bool,
+}
+
+impl Cond {
+    /// The trivially true condition.
+    pub fn top() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if this is the unconstrained condition.
+    pub fn is_top(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Returns `true` if atoms were dropped to stay under the cap.
+    pub fn is_widened(&self) -> bool {
+        self.widened
+    }
+
+    /// The atoms of the conjunction, sorted.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Conjoins `atom`, returning `None` on syntactic contradiction. If the
+    /// conjunction would exceed `cap` atoms it is widened instead (the new
+    /// atom is dropped and the condition marked widened).
+    #[must_use]
+    pub fn and(&self, atom: Atom, cap: usize) -> Option<Cond> {
+        let atom = atom.normalized();
+        if self.atoms.binary_search(&atom.negated().normalized()).is_ok() {
+            return None;
+        }
+        match self.atoms.binary_search(&atom) {
+            Ok(_) => Some(self.clone()),
+            Err(pos) => {
+                if self.atoms.len() >= cap {
+                    // Widen: drop the new atom. Sound for may-analyses.
+                    let mut c = self.clone();
+                    c.widened = true;
+                    return Some(c);
+                }
+                let mut atoms = self.atoms.clone();
+                atoms.insert(pos, atom);
+                Some(Cond {
+                    atoms,
+                    widened: self.widened,
+                })
+            }
+        }
+    }
+
+    /// Conjoins two conditions, returning `None` on contradiction.
+    #[must_use]
+    pub fn and_cond(&self, other: &Cond, cap: usize) -> Option<Cond> {
+        let mut out = self.clone();
+        for &a in &other.atoms {
+            out = out.and(a, cap)?;
+        }
+        if other.widened {
+            out.widened = true;
+        }
+        Some(out)
+    }
+
+    /// Checks satisfiability against an oracle for points-to facts.
+    ///
+    /// `pts` answers "may `ptr` point to `obj` at `loc`?" with
+    /// `Some(set)` when the flow-sensitive points-to set is known, `None`
+    /// when it is not (unknown atoms are treated as satisfiable — the
+    /// sound direction for a may-analysis).
+    pub fn satisfiable<F>(&self, mut pts: F) -> bool
+    where
+        F: FnMut(VarId, Loc) -> Option<Vec<VarId>>,
+    {
+        for atom in &self.atoms {
+            match *atom {
+                Atom::PointsTo { loc, ptr, obj } => {
+                    if let Some(set) = pts(ptr, loc) {
+                        if !set.contains(&obj) {
+                            return false;
+                        }
+                    }
+                }
+                Atom::NotPointsTo { loc, ptr, obj } => {
+                    if let Some(set) = pts(ptr, loc) {
+                        // Unsatisfiable only if ptr *must* point to obj; a
+                        // may-set proves must only when it is exactly {obj}
+                        // and the pointer is known to be initialized, which
+                        // we cannot establish here — so only the empty-set
+                        // and singleton cases refute.
+                        if set.len() == 1 && set[0] == obj {
+                            // May still be satisfiable if ptr can be
+                            // uninitialized/NULL; stay conservative.
+                            continue;
+                        }
+                    }
+                }
+                Atom::Eq { loc, a, b } => {
+                    if let (Some(sa), Some(sb)) = (pts(a, loc), pts(b, loc)) {
+                        if !sa.iter().any(|x| sb.contains(x)) {
+                            return false;
+                        }
+                    }
+                }
+                Atom::NotEq { .. } => {
+                    // Refuting requires must-alias information; conservative.
+                }
+                // Path literals are only refutable syntactically (a
+                // contradictory pair is rejected at conjunction time).
+                Atom::BranchTrue { .. } | Atom::BranchFalse { .. } => {}
+            }
+        }
+        true
+    }
+
+    /// Removes all path literals — applied when tuples are stored as
+    /// function summaries, because summaries are reused across call sites
+    /// and frames where the callee's local path literals are meaningless
+    /// (and correlating them across frames would be unsound).
+    #[must_use]
+    pub fn drop_branch_atoms(&self) -> Cond {
+        if !self.atoms.iter().any(|a| a.is_branch()) {
+            return self.clone();
+        }
+        let mut c = self.clone();
+        c.atoms.retain(|a| !a.is_branch());
+        c
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " /\\ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        if self.widened {
+            write!(f, " (widened)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootstrap_ir::FuncId;
+
+    fn loc(i: u32) -> Loc {
+        Loc::new(FuncId::new(0), i)
+    }
+
+    fn pt(l: u32, p: usize, o: usize) -> Atom {
+        Atom::PointsTo {
+            loc: loc(l),
+            ptr: VarId::new(p),
+            obj: VarId::new(o),
+        }
+    }
+
+    #[test]
+    fn top_is_satisfiable_and_displays() {
+        let c = Cond::top();
+        assert!(c.is_top());
+        assert!(c.satisfiable(|_, _| None));
+        assert_eq!(c.to_string(), "true");
+    }
+
+    #[test]
+    fn and_dedups_and_sorts() {
+        let c = Cond::top()
+            .and(pt(2, 0, 1), 8)
+            .unwrap()
+            .and(pt(1, 0, 1), 8)
+            .unwrap()
+            .and(pt(2, 0, 1), 8)
+            .unwrap();
+        assert_eq!(c.atoms().len(), 2);
+        assert!(c.atoms().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let c = Cond::top().and(pt(1, 0, 1), 8).unwrap();
+        assert!(c.and(pt(1, 0, 1).negated(), 8).is_none());
+        // Eq/NotEq are symmetric.
+        let e = Atom::Eq {
+            loc: loc(1),
+            a: VarId::new(2),
+            b: VarId::new(1),
+        };
+        let ne = Atom::NotEq {
+            loc: loc(1),
+            a: VarId::new(1),
+            b: VarId::new(2),
+        };
+        let c = Cond::top().and(e, 8).unwrap();
+        assert!(c.and(ne, 8).is_none());
+    }
+
+    #[test]
+    fn widening_drops_atoms_but_stays_satisfiable() {
+        let mut c = Cond::top();
+        for i in 0..10 {
+            c = c.and(pt(i, i as usize, i as usize + 1), 4).unwrap();
+        }
+        assert_eq!(c.atoms().len(), 4);
+        assert!(c.is_widened());
+        assert!(c.to_string().contains("widened"));
+    }
+
+    #[test]
+    fn satisfiable_with_oracle() {
+        let c = Cond::top().and(pt(1, 0, 1), 8).unwrap();
+        // Oracle: v0 points to {v1} at every loc.
+        assert!(c.satisfiable(|p, _| (p == VarId::new(0)).then(|| vec![VarId::new(1)])));
+        // Oracle: v0 points to {v2} only.
+        assert!(!c.satisfiable(|p, _| (p == VarId::new(0)).then(|| vec![VarId::new(2)])));
+        // Unknown oracle: satisfiable.
+        assert!(c.satisfiable(|_, _| None));
+    }
+
+    #[test]
+    fn eq_refuted_by_disjoint_sets() {
+        let e = Atom::Eq {
+            loc: loc(0),
+            a: VarId::new(0),
+            b: VarId::new(1),
+        };
+        let c = Cond::top().and(e, 8).unwrap();
+        let oracle = |p: VarId, _| {
+            Some(if p == VarId::new(0) {
+                vec![VarId::new(5)]
+            } else {
+                vec![VarId::new(6)]
+            })
+        };
+        assert!(!c.satisfiable(oracle));
+    }
+
+    #[test]
+    fn and_cond_merges() {
+        let a = Cond::top().and(pt(1, 0, 1), 8).unwrap();
+        let b = Cond::top().and(pt(2, 0, 1), 8).unwrap();
+        let c = a.and_cond(&b, 8).unwrap();
+        assert_eq!(c.atoms().len(), 2);
+        assert!(a.and_cond(&Cond::top().and(pt(1, 0, 1).negated(), 8).unwrap(), 8).is_none());
+    }
+}
+
+#[cfg(test)]
+mod branch_atom_tests {
+    use super::*;
+
+    fn bt(i: usize) -> Atom {
+        Atom::BranchTrue { var: VarId::new(i) }
+    }
+
+    #[test]
+    fn branch_negation_and_contradiction() {
+        let a = bt(1);
+        assert_eq!(a.negated(), Atom::BranchFalse { var: VarId::new(1) });
+        assert_eq!(a.negated().negated(), a);
+        assert!(a.is_branch());
+        assert_eq!(a.branch_var(), Some(VarId::new(1)));
+        let c = Cond::top().and(a, 8).unwrap();
+        assert!(c.and(a.negated(), 8).is_none());
+    }
+
+    #[test]
+    fn drop_branch_atoms_keeps_points_to_facts() {
+        let loc = Loc::new(bootstrap_ir::FuncId::new(0), 1);
+        let pts = Atom::PointsTo {
+            loc,
+            ptr: VarId::new(0),
+            obj: VarId::new(1),
+        };
+        let c = Cond::top()
+            .and(bt(1), 8)
+            .unwrap()
+            .and(pts, 8)
+            .unwrap();
+        let d = c.drop_branch_atoms();
+        assert_eq!(d.atoms(), &[pts]);
+        // No-op (and no reallocation semantics change) without literals.
+        let plain = Cond::top().and(pts, 8).unwrap();
+        assert_eq!(plain.drop_branch_atoms(), plain);
+    }
+
+    #[test]
+    fn branch_atoms_display() {
+        let c = Cond::top()
+            .and(bt(3), 8)
+            .unwrap()
+            .and(bt(4).negated(), 8)
+            .unwrap();
+        let s = c.to_string();
+        assert!(s.contains("v3"));
+        assert!(s.contains("!v4"));
+    }
+
+    #[test]
+    fn branch_atoms_are_satisfiable_under_any_oracle() {
+        let c = Cond::top().and(bt(1), 8).unwrap();
+        assert!(c.satisfiable(|_, _| None));
+        assert!(c.satisfiable(|_, _| Some(vec![])));
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-cluster drivers: serial, threaded, and the paper's 5-machine
+//! simulation.
+//!
+//! Clusters can be analyzed independently of each other (§1: "the analysis
+//! for each of the subsets can be carried out independently of others
+//! thereby allowing us to leverage parallelization"). The threaded driver
+//! shards clusters over OS threads with a work-stealing queue; the
+//! [`greedy_bins`] helper reproduces the paper's simulated 5-machine
+//! distribution (greedy binning by cumulative pointer count, reporting the
+//! maximum per-part time).
+
+use std::time::{Duration, Instant};
+
+use crate::budget::AnalysisBudget;
+use crate::cover::Cluster;
+use crate::session::Session;
+
+/// The result of analyzing one cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// The cluster's id within its cover.
+    pub cluster_id: usize,
+    /// Number of member pointers.
+    pub size: usize,
+    /// Size of the relevant-statement slice `St_P`.
+    pub relevant_stmts: usize,
+    /// Number of `(function, target)` summary entries computed.
+    pub summary_entries: usize,
+    /// Total summary tuples.
+    pub summary_tuples: usize,
+    /// Wall-clock time for the cluster.
+    pub duration: Duration,
+    /// Whether the budget ran out before completion.
+    pub timed_out: bool,
+}
+
+/// Analyzes every cluster serially with one shared analyzer (and therefore
+/// a shared FSCI cache).
+pub fn process_clusters(
+    session: &Session<'_>,
+    clusters: &[Cluster],
+    steps_per_cluster: u64,
+) -> Vec<ClusterReport> {
+    let analyzer = session.analyzer();
+    clusters
+        .iter()
+        .map(|c| analyzer.process_cluster(c, AnalysisBudget::steps(steps_per_cluster)))
+        .collect()
+}
+
+/// Analyzes clusters on `threads` OS threads. Each worker owns a private
+/// analyzer (FSCI work may be duplicated across workers; results are
+/// unaffected). Reports come back in cluster order.
+pub fn process_clusters_parallel(
+    session: &Session<'_>,
+    clusters: &[Cluster],
+    threads: usize,
+    steps_per_cluster: u64,
+) -> Vec<ClusterReport> {
+    let threads = threads.max(1);
+    if threads == 1 || clusters.len() <= 1 {
+        return process_clusters(session, clusters, steps_per_cluster);
+    }
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, ClusterReport)>();
+    for i in 0..clusters.len() {
+        task_tx.send(i).expect("queue open");
+    }
+    drop(task_tx);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                let analyzer = session.analyzer();
+                while let Ok(i) = task_rx.recv() {
+                    let report = analyzer
+                        .process_cluster(&clusters[i], AnalysisBudget::steps(steps_per_cluster));
+                    if res_tx.send((i, report)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<ClusterReport>> = vec![None; clusters.len()];
+        while let Ok((i, r)) = res_rx.recv() {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every cluster processed"))
+            .collect()
+    })
+}
+
+/// The paper's machine-distribution heuristic: clusters are processed
+/// one-by-one, accumulating pointer counts; once a part's cumulative size
+/// exceeds `total/parts`, the part is closed. Returns the summed duration
+/// of each part (the paper reports the maximum).
+pub fn greedy_bins(reports: &[ClusterReport], parts: usize) -> Vec<Duration> {
+    let parts = parts.max(1);
+    let total: usize = reports.iter().map(|r| r.size).sum();
+    let target = total.div_ceil(parts).max(1);
+    let mut bins = Vec::new();
+    let mut acc_size = 0usize;
+    let mut acc_time = Duration::ZERO;
+    for r in reports {
+        acc_size += r.size;
+        acc_time += r.duration;
+        if acc_size >= target {
+            bins.push(acc_time);
+            acc_size = 0;
+            acc_time = Duration::ZERO;
+        }
+    }
+    if acc_time > Duration::ZERO || bins.is_empty() {
+        bins.push(acc_time);
+    }
+    bins
+}
+
+/// Convenience: the simulated parallel time over `parts` machines — the
+/// maximum bin time (what Table 1 reports).
+pub fn simulated_parallel_time(reports: &[ClusterReport], parts: usize) -> Duration {
+    greedy_bins(reports, parts)
+        .into_iter()
+        .max()
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Measures the wall-clock of running `f` (bench helper).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Config;
+    use bootstrap_ir::parse_program;
+
+    fn demo_program() -> bootstrap_ir::Program {
+        let mut src = String::new();
+        for i in 0..6 {
+            src.push_str(&format!("int o{i}; int *p{i};\n"));
+        }
+        src.push_str("void main() {\n");
+        for i in 0..6 {
+            src.push_str(&format!("p{i} = &o{i};\n"));
+        }
+        src.push_str("}\n");
+        parse_program(&src).unwrap()
+    }
+
+    #[test]
+    fn serial_processes_every_cluster() {
+        let p = demo_program();
+        let s = Session::new(&p, Config::default());
+        let clusters = s.cover().clusters().to_vec();
+        let reports = process_clusters(&s, &clusters, 1_000_000);
+        assert_eq!(reports.len(), clusters.len());
+        assert!(reports.iter().all(|r| !r.timed_out));
+        assert!(reports.iter().all(|r| r.size >= 1));
+    }
+
+    #[test]
+    fn parallel_matches_serial_reports() {
+        let p = demo_program();
+        let s = Session::new(&p, Config::default());
+        let clusters = s.cover().clusters().to_vec();
+        let serial = process_clusters(&s, &clusters, 1_000_000);
+        let parallel = process_clusters_parallel(&s, &clusters, 4, 1_000_000);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.cluster_id, b.cluster_id);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.summary_tuples, b.summary_tuples);
+            assert_eq!(a.timed_out, b.timed_out);
+        }
+    }
+
+    #[test]
+    fn greedy_bins_cover_all_clusters() {
+        let mk = |size, ms| ClusterReport {
+            cluster_id: 0,
+            size,
+            relevant_stmts: 0,
+            summary_entries: 0,
+            summary_tuples: 0,
+            duration: Duration::from_millis(ms),
+            timed_out: false,
+        };
+        let reports = vec![mk(10, 5), mk(10, 5), mk(10, 5), mk(10, 5), mk(10, 5)];
+        let bins = greedy_bins(&reports, 5);
+        assert_eq!(bins.len(), 5);
+        let total: Duration = bins.iter().sum();
+        assert_eq!(total, Duration::from_millis(25));
+        assert_eq!(
+            simulated_parallel_time(&reports, 5),
+            Duration::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn greedy_bins_handles_empty_and_single() {
+        assert_eq!(greedy_bins(&[], 5).len(), 1);
+        let r = vec![ClusterReport {
+            cluster_id: 0,
+            size: 3,
+            relevant_stmts: 0,
+            summary_entries: 0,
+            summary_tuples: 0,
+            duration: Duration::from_millis(7),
+            timed_out: false,
+        }];
+        assert_eq!(simulated_parallel_time(&r, 5), Duration::from_millis(7));
+    }
+}

@@ -1,0 +1,432 @@
+//! The bootstrapping session: cascade configuration and setup (§2).
+//!
+//! A [`Session`] runs the cascaded clustering over a program:
+//!
+//! 1. Steensgaard's analysis partitions the pointers (disjoint cover);
+//! 2. partitions larger than the *Andersen threshold* (the paper found 60
+//!    empirically) are re-analyzed — restricted to their relevant
+//!    statements — with Andersen's analysis (optionally with a One-Flow
+//!    stage in between), breaking them into smaller clusters;
+//! 3. queries and benchmarks then run per cluster through an
+//!    [`crate::analyzer::Analyzer`].
+//!
+//! The session itself is immutable and `Sync`; per-thread analyzers carry
+//! the caches.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use bootstrap_analyses::{andersen, oneflow, steensgaard, SteensgaardResult};
+use bootstrap_ir::{CallGraph, FuncId, Loc, Program, Stmt, VarId};
+
+use crate::analyzer::Analyzer;
+use crate::budget::AnalysisBudget;
+use crate::cover::{AliasCover, Cluster, ClusterOrigin};
+use crate::engine::EngineCx;
+use crate::relevant::{relevant_statements_indexed, RelevantIndex};
+
+/// Which analyses the cascade runs on oversized partitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MiddleStage {
+    /// Steensgaard → Andersen (the paper's default cascade).
+    #[default]
+    None,
+    /// Steensgaard → One-Flow → Andersen (the paper's suggested extension).
+    OneFlow,
+}
+
+/// Session configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Partitions larger than this are refined by the next cascade stage
+    /// (the paper's empirical value: 60).
+    pub andersen_threshold: usize,
+    /// Maximum number of atoms per constraint conjunction before widening.
+    pub cond_cap: usize,
+    /// Treat two pointers both holding the entry value of the same
+    /// variable as aliased. On by default: this is Theorem 5's notion of a
+    /// common update-sequence origin, and it is what open programs
+    /// (library entry points, uninitialized globals set elsewhere) need.
+    pub alias_on_entry_garbage: bool,
+    /// Treat two NULL pointers as aliased (off by default: NULL points to
+    /// no object).
+    pub alias_on_null: bool,
+    /// Step budget for each oracle-initiated FSCI computation; exceeding
+    /// it degrades to the Steensgaard fallback instead of failing.
+    pub oracle_step_budget: u64,
+    /// Step budget for each user query.
+    pub query_step_budget: u64,
+    /// Optional extra cascade stage.
+    pub middle_stage: MiddleStage,
+    /// Track branch literals along walks and weed out syntactically
+    /// infeasible paths (the paper's path-sensitivity extension, §3).
+    /// Off by default, matching the paper's path-insensitive core.
+    pub path_sensitive: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            andersen_threshold: 60,
+            cond_cap: 8,
+            alias_on_entry_garbage: true,
+            alias_on_null: false,
+            oracle_step_budget: 200_000,
+            query_step_budget: 5_000_000,
+            middle_stage: MiddleStage::None,
+            path_sensitive: false,
+        }
+    }
+}
+
+impl Config {
+    /// A fresh budget for one user query.
+    pub fn query_budget(&self) -> AnalysisBudget {
+        AnalysisBudget::steps(self.query_step_budget)
+    }
+}
+
+/// Wall-clock cost of the cascade stages (Table 1 columns 4–5).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CascadeTimings {
+    /// Time for Steensgaard's analysis + partitioning.
+    pub steensgaard: Duration,
+    /// Time for the bootstrapped refinement (Andersen / One-Flow) of
+    /// oversized partitions.
+    pub clustering: Duration,
+}
+
+/// An immutable analysis session over one program.
+pub struct Session<'p> {
+    program: &'p Program,
+    config: Config,
+    steens: SteensgaardResult,
+    cg: CallGraph,
+    index: RelevantIndex,
+    cover: AliasCover,
+    pointers: Vec<VarId>,
+    callers_of: HashMap<FuncId, Vec<Loc>>,
+    alias_partitions: HashMap<bootstrap_analyses::ClassId, Vec<VarId>>,
+    timings: CascadeTimings,
+}
+
+impl<'p> Session<'p> {
+    /// Runs the cascade over `program`.
+    ///
+    /// Programs with indirect calls should be devirtualized first
+    /// ([`bootstrap_analyses::steensgaard::resolve_and_devirtualize`]);
+    /// remaining indirect calls are treated as no-ops by the engine.
+    pub fn new(program: &'p Program, config: Config) -> Self {
+        let t0 = Instant::now();
+        let steens = steensgaard::analyze(program);
+        let steensgaard_time = t0.elapsed();
+
+        let cg = CallGraph::build(program);
+        let index = RelevantIndex::build(program, &steens);
+        let pointers: Vec<VarId> = program
+            .var_ids()
+            .filter(|v| program.var(*v).is_pointer())
+            .collect();
+        let mut callers_of: HashMap<FuncId, Vec<Loc>> = HashMap::new();
+        for func in program.functions() {
+            for (loc, target) in cg.call_sites_in(func.id()) {
+                callers_of.entry(*target).or_default().push(*loc);
+            }
+        }
+
+        let t1 = Instant::now();
+        let alias_partitions: HashMap<bootstrap_analyses::ClassId, Vec<VarId>> =
+            steens.alias_partitions(program).into_iter().collect();
+        let cover = build_cover(program, &steens, &index, &config, &alias_partitions);
+        let clustering_time = t1.elapsed();
+
+        Self {
+            program,
+            config,
+            steens,
+            cg,
+            index,
+            cover,
+            pointers,
+            callers_of,
+            alias_partitions,
+            timings: CascadeTimings {
+                steensgaard: steensgaard_time,
+                clustering: clustering_time,
+            },
+        }
+    }
+
+    /// The program under analysis.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The Steensgaard result (partitions + hierarchy).
+    pub fn steens(&self) -> &SteensgaardResult {
+        &self.steens
+    }
+
+    /// The call graph.
+    pub fn callgraph(&self) -> &CallGraph {
+        &self.cg
+    }
+
+    /// The bootstrapped cover the session was configured to build.
+    pub fn cover(&self) -> &AliasCover {
+        &self.cover
+    }
+
+    /// All pointer-typed variables (the paper's "# pointers").
+    pub fn pointers(&self) -> &[VarId] {
+        &self.pointers
+    }
+
+    /// Wall-clock cost of the cascade stages.
+    pub fn timings(&self) -> CascadeTimings {
+        self.timings
+    }
+
+    /// Call sites that invoke `f`.
+    pub fn callers_of(&self, f: FuncId) -> &[Loc] {
+        self.callers_of.get(&f).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// A fresh caching query context (one per thread).
+    pub fn analyzer(&self) -> Analyzer<'_> {
+        Analyzer::new(self)
+    }
+
+    pub(crate) fn engine_cx(&self) -> EngineCx<'_> {
+        EngineCx {
+            program: self.program,
+            steens: &self.steens,
+            cg: &self.cg,
+            index: &self.index,
+        }
+    }
+
+    /// The prebuilt Algorithm 1 index.
+    pub fn relevant_index(&self) -> &RelevantIndex {
+        &self.index
+    }
+
+    /// The members of the Steensgaard alias partition with the given key
+    /// (see [`SteensgaardResult::partition_key`]).
+    pub fn partition_members(&self, key: bootstrap_analyses::ClassId) -> &[VarId] {
+        self.alias_partitions
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The pure Steensgaard cover: one cluster per alias partition
+    /// (Table 1 columns 7–9 run FSCS on this cover).
+    pub fn steensgaard_cover(&self) -> AliasCover {
+        let mut keys: Vec<_> = self.alias_partitions.keys().copied().collect();
+        keys.sort();
+        let clusters = keys
+            .into_iter()
+            .map(|key| {
+                Cluster::new(
+                    0,
+                    ClusterOrigin::Steensgaard(key),
+                    self.alias_partitions[&key].clone(),
+                )
+            })
+            .collect();
+        AliasCover::new(clusters)
+    }
+
+    /// The degenerate whole-program cover (Table 1 column 6's baseline).
+    pub fn whole_cover(&self) -> AliasCover {
+        AliasCover::new(vec![Cluster::new(
+            0,
+            ClusterOrigin::WholeProgram,
+            self.pointers.clone(),
+        )])
+    }
+}
+
+/// Builds the configured bootstrapped cover.
+fn build_cover(
+    program: &Program,
+    steens: &SteensgaardResult,
+    index: &RelevantIndex,
+    config: &Config,
+    alias_partitions: &HashMap<bootstrap_analyses::ClassId, Vec<VarId>>,
+) -> AliasCover {
+    let oneflow_result = match config.middle_stage {
+        MiddleStage::OneFlow => Some(oneflow::analyze(program)),
+        MiddleStage::None => None,
+    };
+    let mut keys: Vec<_> = alias_partitions.keys().copied().collect();
+    keys.sort();
+    let mut clusters = Vec::new();
+    for class in keys {
+        let pointer_members: Vec<VarId> = alias_partitions[&class].clone();
+        if pointer_members.len() <= config.andersen_threshold {
+            clusters.push(Cluster::new(
+                0,
+                ClusterOrigin::Steensgaard(class),
+                pointer_members,
+            ));
+            continue;
+        }
+        // Oversized: cascade. Optionally One-Flow first.
+        let groups: Vec<(ClusterOrigin, Vec<VarId>)> = match &oneflow_result {
+            Some(ofr) => ofr
+                .clusters(&pointer_members)
+                .into_iter()
+                .map(|ms| {
+                    (
+                        ClusterOrigin::OneFlow {
+                            partition: class,
+                            object: None,
+                        },
+                        ms,
+                    )
+                })
+                .collect(),
+            None => vec![(ClusterOrigin::Steensgaard(class), pointer_members)],
+        };
+        for (origin, group) in groups {
+            if group.len() <= config.andersen_threshold {
+                clusters.push(Cluster::new(0, origin, group));
+                continue;
+            }
+            // Andersen, bootstrapped: restricted to the group's relevant
+            // statements.
+            let rel = relevant_statements_indexed(program, steens, index, &group);
+            let stmts: Vec<&Stmt> = rel.stmts().map(|loc| program.stmt_at(loc)).collect();
+            let an = andersen::analyze_stmts(program.var_count(), stmts);
+            for ac in an.clusters(&group) {
+                clusters.push(Cluster::new(
+                    0,
+                    ClusterOrigin::Andersen {
+                        partition: class,
+                        object: ac.object,
+                    },
+                    ac.members,
+                ));
+            }
+        }
+    }
+    AliasCover::new(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootstrap_ir::parse_program;
+
+    #[test]
+    fn small_partitions_stay_steensgaard() {
+        let p = parse_program(
+            "int a; int b; int *x; int *y;
+             void main() { x = &a; y = &b; }",
+        )
+        .unwrap();
+        let s = Session::new(&p, Config::default());
+        assert!(s
+            .cover()
+            .clusters()
+            .iter()
+            .all(|c| matches!(c.origin, ClusterOrigin::Steensgaard(_))));
+        assert!(s.cover().is_disjoint());
+        assert!(s.cover().covers(s.pointers()));
+    }
+
+    #[test]
+    fn oversized_partition_is_refined_by_andersen() {
+        // One big partition: hub absorbs many pointers, each pointing to a
+        // distinct object — Andersen splits them apart.
+        let mut src = String::from("int *hub;\n");
+        for i in 0..12 {
+            src.push_str(&format!("int o{i}; int *p{i};\n"));
+        }
+        src.push_str("void main() {\n");
+        for i in 0..12 {
+            src.push_str(&format!("p{i} = &o{i};\nhub = p{i};\n"));
+        }
+        src.push_str("}\n");
+        let p = parse_program(&src).unwrap();
+        let config = Config {
+            andersen_threshold: 4,
+            ..Config::default()
+        };
+        let s = Session::new(&p, config);
+        let andersen_clusters = s
+            .cover()
+            .clusters()
+            .iter()
+            .filter(|c| matches!(c.origin, ClusterOrigin::Andersen { .. }))
+            .count();
+        assert!(andersen_clusters > 1, "expected Andersen refinement");
+        assert!(s.cover().covers(s.pointers()));
+        // Andersen clusters are smaller than the original partition.
+        assert!(s.cover().max_cluster_size() < s.steensgaard_cover().max_cluster_size());
+    }
+
+    #[test]
+    fn whole_cover_is_single_cluster() {
+        let p = parse_program("int a; int *x; void main() { x = &a; }").unwrap();
+        let s = Session::new(&p, Config::default());
+        let whole = s.whole_cover();
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole.clusters()[0].members.len(), s.pointers().len());
+    }
+
+    #[test]
+    fn oneflow_middle_stage_builds_valid_cover() {
+        let mut src = String::from("int *hub;\n");
+        for i in 0..12 {
+            src.push_str(&format!("int o{i}; int *p{i};\n"));
+        }
+        src.push_str("void main() {\n");
+        for i in 0..12 {
+            src.push_str(&format!("p{i} = &o{i};\nhub = p{i};\n"));
+        }
+        src.push_str("}\n");
+        let p = parse_program(&src).unwrap();
+        let config = Config {
+            andersen_threshold: 4,
+            middle_stage: MiddleStage::OneFlow,
+            ..Config::default()
+        };
+        let s = Session::new(&p, config);
+        assert!(s.cover().covers(s.pointers()));
+        assert!(s
+            .cover()
+            .clusters()
+            .iter()
+            .any(|c| matches!(c.origin, ClusterOrigin::OneFlow { .. })
+                || matches!(c.origin, ClusterOrigin::Andersen { .. })));
+    }
+
+    #[test]
+    fn callers_map_lists_call_sites() {
+        let p = parse_program(
+            "void g() { } void main() { g(); g(); }",
+        )
+        .unwrap();
+        let s = Session::new(&p, Config::default());
+        let g = p.func_named("g").unwrap();
+        assert_eq!(s.callers_of(g).len(), 2);
+        assert!(s.callers_of(p.func_named("main").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let p = parse_program("int a; int *x; void main() { x = &a; }").unwrap();
+        let s = Session::new(&p, Config::default());
+        // Just ensure they are populated (non-panicking access).
+        let _ = s.timings().steensgaard;
+        let _ = s.timings().clustering;
+    }
+}

@@ -1,0 +1,228 @@
+//! Summary tuples for the flow- and context-sensitive analysis (§3).
+//!
+//! The summary of a function `f` is a set of tuples `(p, loc, q, cond)`
+//! recording a *maximally complete update sequence* from `q` to `p` leading
+//! from the entry of `f` to `loc` under points-to constraints `cond`
+//! (Definition 8). This crate stores summaries at function exits; the value
+//! side of a tuple is a [`Value`]:
+//!
+//! * `Ptr(q)` — `p`'s value at `loc` equals `q`'s value at the entry of
+//!   `f` (the splice point for the caller);
+//! * `Addr(o)` — the sequence bottoms out at `p = &o` inside `f`;
+//! * `Null` — the sequence bottoms out at `p = NULL` inside `f`.
+//!
+//! `Ptr(p)` tuples (identity) encode the paper's *Retain* sets: some path
+//! reaches `loc` without updating `p`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bootstrap_ir::{FuncId, Program, VarId};
+
+use crate::constraint::Cond;
+
+/// The value side of a summary tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The value some variable held at the enclosing function's entry.
+    Ptr(VarId),
+    /// The address of an object (`&o`, a heap site, or a function object).
+    Addr(VarId),
+    /// The null value (also models freed pointers).
+    Null,
+}
+
+impl Value {
+    /// Renders the value with source-level names.
+    pub fn display(self, program: &Program) -> String {
+        match self {
+            Value::Ptr(v) => program.var(v).name().to_string(),
+            Value::Addr(o) => format!("&{}", program.var(o).name()),
+            Value::Null => "NULL".to_string(),
+        }
+    }
+}
+
+/// A fully resolved value origin, produced by the interprocedural drivers:
+/// unlike [`Value`], a source never refers to a function-entry state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Source {
+    /// The address of an object.
+    Addr(VarId),
+    /// The null value.
+    Null,
+    /// The (uninitialized) value variable `v` held at *program* entry.
+    EntryVar(VarId),
+}
+
+impl Source {
+    /// Renders the source with source-level names.
+    pub fn display(self, program: &Program) -> String {
+        match self {
+            Source::Addr(o) => format!("&{}", program.var(o).name()),
+            Source::Null => "NULL".to_string(),
+            Source::EntryVar(v) => format!("entry({})", program.var(v).name()),
+        }
+    }
+
+    /// Returns `true` if two sources denote the same pointer value, i.e.
+    /// pointers holding them are aliased (Theorem 5: a common maximally
+    /// complete update-sequence origin).
+    pub fn same_value(self, other: Source) -> bool {
+        self == other
+    }
+}
+
+/// A summary tuple at a function's exit: `(target, value, cond)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummaryTuple {
+    /// The pointer whose value the tuple describes (`p`).
+    pub target: VarId,
+    /// The value `p` may hold at the exit (`q` in the paper).
+    pub value: Value,
+    /// The points-to constraints under which the update sequence is
+    /// feasible (Definition 8).
+    pub cond: Cond,
+}
+
+impl SummaryTuple {
+    /// Renders the tuple in the paper's `(p, loc, q, cond)` shape, with
+    /// `loc` fixed to the function exit.
+    pub fn display(&self, program: &Program, func: FuncId) -> String {
+        format!(
+            "({}, exit({}), {}, {})",
+            program.var(self.target).name(),
+            program.func(func).name(),
+            self.value.display(program),
+            self.cond
+        )
+    }
+}
+
+/// Key for a function-exit summary: which function, which target pointer.
+pub type SummaryKey = (FuncId, VarId);
+
+/// A store of function-exit summaries for one cluster.
+#[derive(Clone, Debug, Default)]
+pub struct SummaryStore {
+    entries: HashMap<SummaryKey, Vec<(Value, Cond)>>,
+}
+
+impl SummaryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tuples for `key`, if computed.
+    pub fn get(&self, key: &SummaryKey) -> Option<&[(Value, Cond)]> {
+        self.entries.get(key).map(Vec::as_slice)
+    }
+
+    /// Returns `true` if `key` has an entry (possibly still empty during a
+    /// fixpoint).
+    pub fn contains(&self, key: &SummaryKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Inserts or replaces the tuples for `key`; returns `true` if the set
+    /// changed.
+    pub fn put(&mut self, key: SummaryKey, mut tuples: Vec<(Value, Cond)>) -> bool {
+        tuples.sort();
+        tuples.dedup();
+        match self.entries.get(&key) {
+            Some(old) if *old == tuples => false,
+            _ => {
+                self.entries.insert(key, tuples);
+                true
+            }
+        }
+    }
+
+    /// Ensures an (empty) entry exists; returns `true` if it was created.
+    pub fn ensure(&mut self, key: SummaryKey) -> bool {
+        if self.entries.contains_key(&key) {
+            false
+        } else {
+            self.entries.insert(key, Vec::new());
+            true
+        }
+    }
+
+    /// Total number of tuples across all entries (the paper's summary-size
+    /// metric).
+    pub fn tuple_count(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Number of `(function, target)` entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&SummaryKey, &Vec<(Value, Cond)>)> {
+        self.entries.iter()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Ptr(v) => write!(f, "{v}"),
+            Value::Addr(o) => write!(f, "&{o}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootstrap_ir::FuncId;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn source_same_value() {
+        assert!(Source::Addr(v(1)).same_value(Source::Addr(v(1))));
+        assert!(!Source::Addr(v(1)).same_value(Source::Addr(v(2))));
+        assert!(!Source::Addr(v(1)).same_value(Source::Null));
+        assert!(Source::EntryVar(v(3)).same_value(Source::EntryVar(v(3))));
+    }
+
+    #[test]
+    fn store_put_detects_change_and_dedups() {
+        let mut s = SummaryStore::new();
+        let key = (FuncId::new(0), v(1));
+        assert!(s.put(key, vec![(Value::Ptr(v(1)), Cond::top()), (Value::Ptr(v(1)), Cond::top())]));
+        assert_eq!(s.get(&key).unwrap().len(), 1, "duplicates removed");
+        assert!(!s.put(key, vec![(Value::Ptr(v(1)), Cond::top())]), "same set");
+        assert!(s.put(key, vec![(Value::Null, Cond::top())]), "changed set");
+        assert_eq!(s.tuple_count(), 1);
+        assert_eq!(s.entry_count(), 1);
+    }
+
+    #[test]
+    fn ensure_creates_empty_entry_once() {
+        let mut s = SummaryStore::new();
+        let key = (FuncId::new(1), v(2));
+        assert!(!s.contains(&key));
+        assert!(s.ensure(key));
+        assert!(!s.ensure(key));
+        assert_eq!(s.get(&key).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn value_display_uses_names() {
+        let p = bootstrap_ir::parse_program("int a; int *x; void main() { x = &a; }").unwrap();
+        let a = p.var_named("a").unwrap();
+        let x = p.var_named("x").unwrap();
+        assert_eq!(Value::Addr(a).display(&p), "&a");
+        assert_eq!(Value::Ptr(x).display(&p), "x");
+        assert_eq!(Value::Null.display(&p), "NULL");
+        assert_eq!(Source::EntryVar(x).display(&p), "entry(x)");
+    }
+}

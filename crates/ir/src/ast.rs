@@ -1,0 +1,201 @@
+//! Abstract syntax tree for *mini-C*.
+//!
+//! Mini-C is the C subset accepted by [`crate::parse`]: scalar and pointer
+//! declarations, structs (by value and through pointers), functions with
+//! parameters and return values, `if`/`while` control flow, `malloc`/`free`,
+//! `NULL`, address-of/dereference expressions, function pointers and naive
+//! pointer arithmetic. This is exactly the surface the paper's Remark 1
+//! reduces to the four-form IR.
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Ast {
+    /// Struct definitions, in source order.
+    pub structs: Vec<StructDef>,
+    /// Global variable declarations, in source order.
+    pub globals: Vec<VarDecl>,
+    /// Function definitions, in source order.
+    pub funcs: Vec<FuncDef>,
+    /// Number of lines in the source text (for KLOC reporting).
+    pub source_lines: usize,
+}
+
+/// A `struct` definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// The struct tag.
+    pub name: String,
+    /// Field names and types, in declaration order.
+    pub fields: Vec<(String, Type)>,
+}
+
+/// A mini-C type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// `int` (or any non-pointer scalar).
+    Int,
+    /// `void` (only meaningful as a return type or behind a pointer).
+    Void,
+    /// `struct name` by value.
+    Struct(String),
+    /// A pointer to `T`.
+    Ptr(Box<Type>),
+    /// A function pointer (`ret (*name)(..)`); parameter types are not
+    /// tracked — indirect calls are resolved by points-to analysis.
+    FuncPtr,
+}
+
+impl Type {
+    /// Returns `true` for pointer and function-pointer types.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_) | Type::FuncPtr)
+    }
+
+    /// Wraps the type in `levels` pointer layers.
+    pub fn wrap_ptr(self, levels: usize) -> Type {
+        let mut t = self;
+        for _ in 0..levels {
+            t = Type::Ptr(Box::new(t));
+        }
+        t
+    }
+}
+
+/// A variable declaration (global or local).
+#[derive(Clone, Debug)]
+pub struct VarDecl {
+    /// The declared name.
+    pub name: String,
+    /// The declared type.
+    pub ty: Type,
+    /// Optional initializer expression.
+    pub init: Option<Expr>,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    /// The function name.
+    pub name: String,
+    /// The return type.
+    pub ret: Type,
+    /// Parameter names and types.
+    pub params: Vec<(String, Type)>,
+    /// The function body.
+    pub body: Block,
+}
+
+/// A brace-delimited statement list.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A mini-C statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// A local declaration, possibly initialized.
+    Decl(VarDecl),
+    /// `lhs = rhs;`
+    Assign {
+        /// The assigned lvalue.
+        lhs: Expr,
+        /// The assigned value.
+        rhs: Expr,
+    },
+    /// `if (cond) { .. } else { .. }` — the condition is treated as
+    /// nondeterministic by the analyses but preserved for reporting.
+    If {
+        /// The branch condition.
+        cond: Expr,
+        /// The then-branch.
+        then_blk: Block,
+        /// The optional else-branch.
+        else_blk: Option<Block>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// The loop condition.
+        cond: Expr,
+        /// The loop body.
+        body: Block,
+    },
+    /// `return;` or `return e;`
+    Return(Option<Expr>),
+    /// An expression statement (typically a call).
+    Expr(Expr),
+    /// `free(e);` — lowered to `e = NULL`.
+    Free(Expr),
+    /// A nested block.
+    Block(Block),
+}
+
+/// A mini-C expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A variable reference.
+    Ident(String),
+    /// An integer literal (irrelevant to aliasing).
+    Num(i64),
+    /// The `NULL` constant.
+    Null,
+    /// `*e`
+    Deref(Box<Expr>),
+    /// `&e`
+    AddrOf(Box<Expr>),
+    /// `e.field`
+    Field(Box<Expr>, String),
+    /// `e->field`
+    Arrow(Box<Expr>, String),
+    /// A call; the callee is an identifier (direct) or any pointer-valued
+    /// expression (indirect).
+    Call {
+        /// The callee expression.
+        callee: Box<Expr>,
+        /// The argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `malloc(..)` — the size argument is ignored.
+    Malloc,
+    /// A binary operation. Pointer operands alias into the result
+    /// (the paper's naive pointer-arithmetic rule).
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary arithmetic/logical op (aliasing-transparent).
+    Unary(Box<Expr>),
+}
+
+/// Binary operators (their identity is irrelevant to aliasing; only whether
+/// operands are pointers matters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `==`, `!=`, `<`, `<=`, `>`, `>=`, `&&`, `||`
+    Cmp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_types() {
+        assert!(Type::Ptr(Box::new(Type::Int)).is_pointer());
+        assert!(Type::FuncPtr.is_pointer());
+        assert!(!Type::Int.is_pointer());
+    }
+
+    #[test]
+    fn wrap_ptr_builds_nested_pointers() {
+        let t = Type::Int.wrap_ptr(2);
+        assert_eq!(t, Type::Ptr(Box::new(Type::Ptr(Box::new(Type::Int)))));
+        assert_eq!(Type::Void.wrap_ptr(0), Type::Void);
+    }
+}

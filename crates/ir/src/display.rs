@@ -1,0 +1,108 @@
+//! Human-readable pretty printing of the IR.
+
+use std::fmt;
+
+use crate::ids::FuncId;
+use crate::prog::{CallTarget, Program, Stmt};
+
+/// Renders one statement using source-level variable names.
+///
+/// # Examples
+///
+/// ```
+/// let p = bootstrap_ir::parse_program("int a; int *x; void main() { x = &a; }").unwrap();
+/// let f = p.func(p.func_named("main").unwrap());
+/// let rendered: Vec<String> = f
+///     .body()
+///     .iter()
+///     .map(|s| bootstrap_ir::display::stmt_to_string(&p, s))
+///     .collect();
+/// assert!(rendered.contains(&"x = &a".to_string()));
+/// ```
+pub fn stmt_to_string(program: &Program, stmt: &Stmt) -> String {
+    let name = |v: &crate::ids::VarId| program.var(*v).name().to_string();
+    match stmt {
+        Stmt::Copy { dst, src } => format!("{} = {}", name(dst), name(src)),
+        Stmt::AddrOf { dst, obj } => format!("{} = &{}", name(dst), name(obj)),
+        Stmt::Load { dst, src } => format!("{} = *{}", name(dst), name(src)),
+        Stmt::Store { dst, src } => format!("*{} = {}", name(dst), name(src)),
+        Stmt::Null { dst } => format!("{} = NULL", name(dst)),
+        Stmt::Call(c) => match c.target {
+            CallTarget::Direct(f) => format!("call {}", program.func(f).name()),
+            CallTarget::Indirect(fp) => {
+                let args: Vec<String> = c.args.iter().map(|a| name(a)).collect();
+                format!("call (*{})({})", name(&fp), args.join(", "))
+            }
+        },
+        Stmt::Return => "return".to_string(),
+        Stmt::Skip => "skip".to_string(),
+    }
+}
+
+/// Writes a whole function: statements with indices, plus non-fallthrough
+/// successor edges.
+pub fn write_function(
+    f: &mut fmt::Formatter<'_>,
+    program: &Program,
+    func_id: FuncId,
+) -> fmt::Result {
+    let func = program.func(func_id);
+    let params: Vec<&str> = func
+        .params()
+        .iter()
+        .map(|p| program.var(*p).name())
+        .collect();
+    writeln!(f, "fn {}({}) {{", func.name(), params.join(", "))?;
+    for (loc, stmt) in func.locs() {
+        let succs = func.succs(loc.stmt);
+        let fallthrough = succs.len() == 1 && succs[0] == loc.stmt + 1;
+        if fallthrough {
+            writeln!(f, "  {:>4}: {}", loc.stmt, stmt_to_string(program, stmt))?;
+        } else {
+            let edges: Vec<String> = succs.iter().map(|s| s.to_string()).collect();
+            writeln!(
+                f,
+                "  {:>4}: {:<30} -> [{}]",
+                loc.stmt,
+                stmt_to_string(program, stmt),
+                edges.join(", ")
+            )?;
+        }
+    }
+    writeln!(f, "}}")
+}
+
+/// Writes the whole program (used by `Program`'s `Display` impl).
+pub fn write_program(f: &mut fmt::Formatter<'_>, program: &Program) -> fmt::Result {
+    for func in program.functions() {
+        write_function(f, program, func.id())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_program;
+
+    #[test]
+    fn program_display_includes_functions_and_stmts() {
+        let p = parse_program(
+            "int a; int *x; void helper() { x = &a; } void main() { helper(); }",
+        )
+        .unwrap();
+        let text = p.to_string();
+        assert!(text.contains("fn helper()"));
+        assert!(text.contains("x = &a"));
+        assert!(text.contains("call helper"));
+    }
+
+    #[test]
+    fn branch_edges_are_shown() {
+        let p = parse_program(
+            "void main() { int a; int *x; if (a) { x = &a; } else { x = NULL; } }",
+        )
+        .unwrap();
+        let text = p.to_string();
+        assert!(text.contains("-> ["), "branches must list successors: {text}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Graphviz (DOT) export of CFGs and call graphs.
+
+use std::fmt::Write as _;
+
+use crate::callgraph::CallGraph;
+use crate::display::stmt_to_string;
+use crate::ids::FuncId;
+use crate::prog::Program;
+
+/// Renders the control-flow graph of one function in DOT format.
+///
+/// # Examples
+///
+/// ```
+/// let p = bootstrap_ir::parse_program("void main() { int a; a = 1; }").unwrap();
+/// let dot = bootstrap_ir::dot::cfg_dot(&p, p.func_named("main").unwrap());
+/// assert!(dot.starts_with("digraph"));
+/// ```
+pub fn cfg_dot(program: &Program, func_id: FuncId) -> String {
+    let func = program.func(func_id);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", func.name());
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (loc, stmt) in func.locs() {
+        let label = stmt_to_string(program, stmt).replace('"', "\\\"");
+        let _ = writeln!(out, "  n{} [label=\"{}: {}\"];", loc.stmt, loc.stmt, label);
+    }
+    for (loc, _) in func.locs() {
+        for &s in func.succs(loc.stmt) {
+            let _ = writeln!(out, "  n{} -> n{};", loc.stmt, s);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the call graph in DOT format, one node per function, with SCC
+/// membership shown as clusters for recursive components.
+pub fn callgraph_dot(program: &Program, cg: &CallGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph callgraph {\n  node [shape=ellipse];\n");
+    for (i, scc) in cg.sccs().iter().enumerate() {
+        if scc.len() > 1 {
+            let _ = writeln!(out, "  subgraph cluster_scc{i} {{ label=\"scc {i}\";");
+            for &f in scc {
+                let _ = writeln!(out, "    f{} [label=\"{}\"];", f.index(), program.func(f).name());
+            }
+            out.push_str("  }\n");
+        } else {
+            for &f in scc {
+                let _ = writeln!(out, "  f{} [label=\"{}\"];", f.index(), program.func(f).name());
+            }
+        }
+    }
+    for func in program.functions() {
+        for &callee in cg.callees(func.id()) {
+            let _ = writeln!(out, "  f{} -> f{};", func.id().index(), callee.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn cfg_dot_contains_all_statements() {
+        let p = parse_program("int a; int *x; void main() { x = &a; }").unwrap();
+        let dot = cfg_dot(&p, p.func_named("main").unwrap());
+        assert!(dot.contains("x = &a"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn callgraph_dot_clusters_recursion() {
+        let p = parse_program(
+            "void a() { b(); } void b() { a(); } void main() { a(); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&p);
+        let dot = callgraph_dot(&p, &cg);
+        assert!(dot.contains("cluster_scc"));
+        assert!(dot.contains("\"main\""));
+    }
+}

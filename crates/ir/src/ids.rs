@@ -1,0 +1,150 @@
+//! Strongly-typed identifiers used throughout the IR.
+//!
+//! Every entity in a [`crate::Program`] is referred to by a small integer
+//! newtype: variables ([`VarId`]), functions ([`FuncId`]), statements within
+//! a function ([`StmtIdx`]) and call sites ([`CallSiteId`]). Program points
+//! are pairs of function and statement index ([`Loc`]).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize, "id overflow");
+                Self(index as u32)
+            }
+
+            /// Returns the raw index backing this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a variable (or abstract memory object) in the program's
+    /// global variable table.
+    ///
+    /// Variables include globals, locals, parameters, compiler temporaries,
+    /// per-site heap objects, function objects (for function pointers) and
+    /// the distinguished `NULL` object.
+    VarId,
+    "v"
+);
+
+define_id!(
+    /// Identifier of a function in the program.
+    FuncId,
+    "f"
+);
+
+define_id!(
+    /// Identifier of a call site, unique across the whole program.
+    CallSiteId,
+    "cs"
+);
+
+/// Index of a statement within its enclosing function's body.
+pub type StmtIdx = u32;
+
+/// A program point: a statement position within a specific function.
+///
+/// Locations order statements by their index in the function body, which is
+/// also the order used by the control-flow graph's entry (`stmt == 0`) and
+/// exit (last index) pseudo-statements.
+///
+/// # Examples
+///
+/// ```
+/// use bootstrap_ir::{FuncId, Loc};
+///
+/// let loc = Loc::new(FuncId::new(0), 3);
+/// assert_eq!(loc.stmt, 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    /// The enclosing function.
+    pub func: FuncId,
+    /// The statement index within the function body.
+    pub stmt: StmtIdx,
+}
+
+impl Loc {
+    /// Creates a location from a function and a statement index.
+    #[inline]
+    pub fn new(func: FuncId, stmt: StmtIdx) -> Self {
+        Self { func, stmt }
+    }
+}
+
+impl fmt::Debug for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.func, self.stmt)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.func, self.stmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let v = VarId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(format!("{v}"), "v42");
+        assert_eq!(format!("{v:?}"), "v42");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(VarId::new(1) < VarId::new(2));
+        assert!(FuncId::new(0) < FuncId::new(7));
+    }
+
+    #[test]
+    fn loc_display_includes_function() {
+        let loc = Loc::new(FuncId::new(2), 9);
+        assert_eq!(format!("{loc}"), "f2:9");
+    }
+
+    #[test]
+    fn loc_ordering_is_lexicographic() {
+        let a = Loc::new(FuncId::new(0), 5);
+        let b = Loc::new(FuncId::new(1), 0);
+        assert!(a < b);
+        assert!(Loc::new(FuncId::new(0), 1) < a);
+    }
+}

@@ -1,0 +1,341 @@
+//! Lexer for mini-C.
+
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Num(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `=`
+    Eq,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `!`
+    Bang,
+    /// A comparison/logical operator (`==`, `!=`, `<`, `<=`, `>`, `>=`,
+    /// `&&`, `||`).
+    CmpOp(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Num(n) => write!(f, "number `{n}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::CmpOp(op) => write!(f, "`{op}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// An error produced by the lexer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes mini-C source text.
+///
+/// Line (`//`) and block (`/* */`) comments are skipped. The final token is
+/// always [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated block comments or characters that
+/// are not part of mini-C.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            toks.push(Token {
+                tok: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                col += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let (sl, sc) = (line, col);
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            msg: "unterminated block comment".into(),
+                            line: sl,
+                            col: sc,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => push!(Tok::LParen, 1),
+            b')' => push!(Tok::RParen, 1),
+            b'{' => push!(Tok::LBrace, 1),
+            b'}' => push!(Tok::RBrace, 1),
+            b'[' => push!(Tok::LBracket, 1),
+            b']' => push!(Tok::RBracket, 1),
+            b';' => push!(Tok::Semi, 1),
+            b',' => push!(Tok::Comma, 1),
+            b'*' => push!(Tok::Star, 1),
+            b'.' => push!(Tok::Dot, 1),
+            b'+' => push!(Tok::Plus, 1),
+            b'/' => push!(Tok::Slash, 1),
+            b'&' if i + 1 < bytes.len() && bytes[i + 1] == b'&' => push!(Tok::CmpOp("&&"), 2),
+            b'&' => push!(Tok::Amp, 1),
+            b'|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => push!(Tok::CmpOp("||"), 2),
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => push!(Tok::Arrow, 2),
+            b'-' => push!(Tok::Minus, 1),
+            b'=' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::CmpOp("=="), 2),
+            b'=' => push!(Tok::Eq, 1),
+            b'!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::CmpOp("!="), 2),
+            b'!' => push!(Tok::Bang, 1),
+            b'<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::CmpOp("<="), 2),
+            b'<' => push!(Tok::CmpOp("<"), 1),
+            b'>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::CmpOp(">="), 2),
+            b'>' => push!(Tok::CmpOp(">"), 1),
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: i64 = text.parse().map_err(|_| LexError {
+                    msg: format!("integer literal `{text}` out of range"),
+                    line,
+                    col,
+                })?;
+                toks.push(Token {
+                    tok: Tok::Num(n),
+                    line,
+                    col,
+                });
+                col += (i - start) as u32;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                    col,
+                });
+                col += (i - start) as u32;
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character `{}`", other as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_pointer_assignment() {
+        assert_eq!(
+            kinds("*x = &y;"),
+            vec![
+                Tok::Star,
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Amp,
+                Tok::Ident("y".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_arrow_from_minus() {
+        assert_eq!(
+            kinds("p->f - 1"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::Arrow,
+                Tok::Ident("f".into()),
+                Tok::Minus,
+                Tok::Num(1),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = tokenize("x\n  y").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = tokenize("a # b").unwrap_err();
+        assert!(err.to_string().contains('#'));
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            kinds("a == b != c && d || e <= f"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::CmpOp("=="),
+                Tok::Ident("b".into()),
+                Tok::CmpOp("!="),
+                Tok::Ident("c".into()),
+                Tok::CmpOp("&&"),
+                Tok::Ident("d".into()),
+                Tok::CmpOp("||"),
+                Tok::Ident("e".into()),
+                Tok::CmpOp("<="),
+                Tok::Ident("f".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,1127 @@
+//! Lowering from the mini-C AST to the four-form IR.
+//!
+//! The pass implements Remark 1 of the paper:
+//!
+//! * every pointer assignment is reduced to `x = y`, `x = &y`, `x = *y` or
+//!   `*x = y` by introducing compiler temporaries for nested dereferences;
+//! * heap allocation at a site becomes `p = &heap@site`; `free(p)` becomes
+//!   `p = NULL`;
+//! * structs are flattened into one variable per field (making the analysis
+//!   field-sensitive); struct variables whose address is taken, and
+//!   struct-typed parameters, are collapsed to a single variable instead
+//!   (a sound coarsening);
+//! * pointer arithmetic is handled naively by aliasing the result with each
+//!   pointer operand (lowered as a nondeterministic CFG diamond);
+//! * conditionals contribute only control-flow edges;
+//! * direct-call parameter and return binding becomes explicit `Copy`
+//!   statements in the caller, so interprocedural analysis can splice
+//!   per-function summaries; indirect calls keep their arguments until
+//!   [`crate::Program::devirtualize`] runs.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{self, Ast, BinOp, Block, Expr, FuncDef, Type};
+use crate::ids::{FuncId, Loc, StmtIdx, VarId};
+use crate::prog::{CallStmt, CallTarget, Function, Program, Stmt, VarKind};
+
+/// Lowers a parsed [`Ast`] into a [`Program`].
+///
+/// Lowering cannot fail: semantically dubious constructs degrade to sound
+/// over-approximations (e.g. unknown identifiers become fresh variables,
+/// ill-typed assignments become skips) rather than errors, mirroring how
+/// whole-program C analyses must cope with partial code.
+pub fn lower(ast: &Ast) -> Program {
+    let mut lw = Lowerer::new(ast);
+    lw.run();
+    lw.prog
+}
+
+/// How a struct-typed variable is represented after lowering.
+#[derive(Clone, Debug)]
+enum Entry {
+    /// An ordinary variable (scalars, pointers, collapsed structs).
+    Var(VarId),
+    /// A flattened struct: one entry per field.
+    Struct(HashMap<String, Entry>),
+}
+
+/// An lvalue after normalization: either a variable or a single-level
+/// dereference of a variable.
+#[derive(Clone, Copy, Debug)]
+enum Place {
+    Var(VarId),
+    Deref(VarId),
+}
+
+struct Lowerer<'a> {
+    ast: &'a Ast,
+    prog: Program,
+    structs: HashMap<String, Vec<(String, Type)>>,
+    /// Names that appear under `&` anywhere in the program (conservative,
+    /// name-based): struct variables with these names are collapsed.
+    addr_taken_names: HashSet<String>,
+    globals: HashMap<String, Entry>,
+    func_ids: HashMap<String, FuncId>,
+    func_objs: HashMap<FuncId, VarId>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(ast: &'a Ast) -> Self {
+        Self {
+            ast,
+            prog: Program::new(),
+            structs: HashMap::new(),
+            addr_taken_names: HashSet::new(),
+            globals: HashMap::new(),
+            func_ids: HashMap::new(),
+            func_objs: HashMap::new(),
+        }
+    }
+
+    fn run(&mut self) {
+        for s in &self.ast.structs {
+            self.structs.insert(s.name.clone(), s.fields.clone());
+        }
+        self.collect_addr_taken();
+
+        // Declare function signatures first so call lowering can reference
+        // parameter/return variables of not-yet-lowered callees.
+        let mut sigs = Vec::new();
+        for (i, f) in self.ast.funcs.iter().enumerate() {
+            let fid = FuncId::new(i);
+            self.func_ids.insert(f.name.clone(), fid);
+            sigs.push(fid);
+        }
+        let mut params_of: Vec<Vec<VarId>> = Vec::new();
+        let mut ret_of: Vec<Option<VarId>> = Vec::new();
+        let mut param_entries: Vec<Vec<(String, Entry)>> = Vec::new();
+        for (i, f) in self.ast.funcs.iter().enumerate() {
+            let fid = sigs[i];
+            let mut pvars = Vec::new();
+            let mut pentries = Vec::new();
+            for (pi, (pname, pty)) in f.params.iter().enumerate() {
+                let v = self.prog.add_var(
+                    format!("{}::{}", f.name, pname),
+                    VarKind::Param(fid, pi),
+                    pty.is_pointer(),
+                );
+                pvars.push(v);
+                pentries.push((pname.clone(), Entry::Var(v)));
+            }
+            let ret = if f.ret == Type::Void {
+                None
+            } else {
+                Some(self.prog.add_var(
+                    format!("{}::$ret", f.name),
+                    VarKind::Ret(fid),
+                    f.ret.is_pointer(),
+                ))
+            };
+            params_of.push(pvars);
+            ret_of.push(ret);
+            param_entries.push(pentries);
+        }
+
+        // Globals.
+        let mut global_inits: Vec<(String, Expr)> = Vec::new();
+        for g in &self.ast.globals {
+            let entry = self.declare_var(&g.name, &g.ty, VarKind::Global, None);
+            self.globals.insert(g.name.clone(), entry);
+            if let Some(init) = &g.init {
+                global_inits.push((g.name.clone(), init.clone()));
+            }
+        }
+
+        // Function bodies.
+        for (i, f) in self.ast.funcs.iter().enumerate() {
+            let fid = sigs[i];
+            let inits = if f.name == "main" {
+                global_inits.as_slice()
+            } else {
+                &[]
+            };
+            let func = self.lower_func(
+                fid,
+                f,
+                params_of[i].clone(),
+                ret_of[i],
+                param_entries[i].clone(),
+                inits,
+            );
+            self.prog.add_function(func);
+        }
+        if self.prog.entry().is_none() && self.prog.func_count() > 0 {
+            self.prog.set_entry(FuncId::new(0));
+        }
+        self.prog.set_source_lines(self.ast.source_lines);
+    }
+
+    fn collect_addr_taken(&mut self) {
+        fn walk(e: &Expr, out: &mut HashSet<String>) {
+            match e {
+                Expr::AddrOf(inner) => {
+                    if let Expr::Ident(n) = inner.as_ref() {
+                        out.insert(n.clone());
+                    }
+                    walk(inner, out);
+                }
+                Expr::Deref(i) | Expr::Unary(i) => walk(i, out),
+                Expr::Field(i, _) | Expr::Arrow(i, _) => walk(i, out),
+                Expr::Call { callee, args } => {
+                    walk(callee, out);
+                    for a in args {
+                        walk(a, out);
+                    }
+                }
+                Expr::Binary(_, a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Expr::Ident(_) | Expr::Num(_) | Expr::Null | Expr::Malloc => {}
+            }
+        }
+        fn walk_block(b: &Block, out: &mut HashSet<String>) {
+            for s in &b.stmts {
+                match s {
+                    ast::Stmt::Decl(d) => {
+                        if let Some(i) = &d.init {
+                            walk(i, out);
+                        }
+                    }
+                    ast::Stmt::Assign { lhs, rhs } => {
+                        walk(lhs, out);
+                        walk(rhs, out);
+                    }
+                    ast::Stmt::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    } => {
+                        walk(cond, out);
+                        walk_block(then_blk, out);
+                        if let Some(e) = else_blk {
+                            walk_block(e, out);
+                        }
+                    }
+                    ast::Stmt::While { cond, body } => {
+                        walk(cond, out);
+                        walk_block(body, out);
+                    }
+                    ast::Stmt::Return(Some(e)) | ast::Stmt::Expr(e) | ast::Stmt::Free(e) => {
+                        walk(e, out)
+                    }
+                    ast::Stmt::Return(None) => {}
+                    ast::Stmt::Block(b) => walk_block(b, out),
+                }
+            }
+        }
+        let mut out = HashSet::new();
+        for g in &self.ast.globals {
+            if let Some(i) = &g.init {
+                walk(i, &mut out);
+            }
+        }
+        for f in &self.ast.funcs {
+            walk_block(&f.body, &mut out);
+        }
+        self.addr_taken_names = out;
+    }
+
+    /// Declares a variable of the given type, flattening structs when safe.
+    /// `owner` is `None` for globals.
+    fn declare_var(
+        &mut self,
+        name: &str,
+        ty: &Type,
+        kind: VarKind,
+        owner: Option<&str>,
+    ) -> Entry {
+        let full = match owner {
+            Some(f) => format!("{f}::{name}"),
+            None => name.to_string(),
+        };
+        match ty {
+            Type::Struct(sname)
+                if !self.addr_taken_names.contains(name)
+                    && self.structs.contains_key(sname) =>
+            {
+                let fields = self.structs[sname].clone();
+                let mut map = HashMap::new();
+                for (fname, fty) in fields {
+                    let sub =
+                        self.declare_flat_field(&format!("{full}.{fname}"), &fty, kind.clone());
+                    map.insert(fname, sub);
+                }
+                Entry::Struct(map)
+            }
+            _ => {
+                let unique = self.unique_name(full);
+                Entry::Var(self.prog.add_var(unique, kind, ty.is_pointer()))
+            }
+        }
+    }
+
+    fn declare_flat_field(&mut self, full: &str, ty: &Type, kind: VarKind) -> Entry {
+        match ty {
+            Type::Struct(sname) if self.structs.contains_key(sname) => {
+                let fields = self.structs[sname].clone();
+                let mut map = HashMap::new();
+                for (fname, fty) in fields {
+                    let sub =
+                        self.declare_flat_field(&format!("{full}.{fname}"), &fty, kind.clone());
+                    map.insert(fname, sub);
+                }
+                Entry::Struct(map)
+            }
+            _ => {
+                let unique = self.unique_name(full.to_string());
+                Entry::Var(self.prog.add_var(unique, kind, ty.is_pointer()))
+            }
+        }
+    }
+
+    fn unique_name(&self, base: String) -> String {
+        if self.prog.var_named(&base).is_none() {
+            return base;
+        }
+        let mut k = 1;
+        loop {
+            let cand = format!("{base}#{k}");
+            if self.prog.var_named(&cand).is_none() {
+                return cand;
+            }
+            k += 1;
+        }
+    }
+
+    fn func_obj(&mut self, fid: FuncId) -> VarId {
+        if let Some(v) = self.func_objs.get(&fid) {
+            return *v;
+        }
+        let name = format!("&{}", self.ast.funcs[fid.index()].name);
+        let v = self.prog.add_var(name, VarKind::FuncObj(fid), false);
+        self.func_objs.insert(fid, v);
+        v
+    }
+
+    fn lower_func(
+        &mut self,
+        fid: FuncId,
+        f: &FuncDef,
+        params: Vec<VarId>,
+        ret_var: Option<VarId>,
+        param_entries: Vec<(String, Entry)>,
+        global_inits: &[(String, Expr)],
+    ) -> Function {
+        let mut fx = FnCx {
+            lw: self,
+            fid,
+            fname: f.name.clone(),
+            stmts: vec![Stmt::Skip],
+            succs: vec![Vec::new()],
+            frontier: vec![0],
+            scopes: vec![param_entries.into_iter().collect()],
+            returns: Vec::new(),
+            temp_counter: 0,
+            ret_var,
+            branch_conds: Vec::new(),
+        };
+        for (name, init) in global_inits {
+            let rhs = init.clone();
+            fx.lower_assign(&Expr::Ident(name.clone()), &rhs);
+        }
+        fx.lower_block(&f.body);
+        let exit = fx.finish();
+        let (stmts, succs, branch_conds) = (fx.stmts, fx.succs, fx.branch_conds);
+        let mut func = Function::new(fid, f.name.clone(), params, ret_var, stmts, succs, exit);
+        for (idx, v) in branch_conds {
+            func.set_branch_cond(idx, v);
+        }
+        func
+    }
+}
+
+struct FnCx<'a, 'b> {
+    lw: &'a mut Lowerer<'b>,
+    fid: FuncId,
+    fname: String,
+    stmts: Vec<Stmt>,
+    succs: Vec<Vec<StmtIdx>>,
+    /// Statement indices whose successor lists the next emitted statement
+    /// joins. Empty after a `return` (following code is unreachable).
+    frontier: Vec<StmtIdx>,
+    scopes: Vec<HashMap<String, Entry>>,
+    returns: Vec<StmtIdx>,
+    temp_counter: u32,
+    ret_var: Option<VarId>,
+    /// Two-way branches testing a plain variable (for path sensitivity).
+    branch_conds: Vec<(StmtIdx, VarId)>,
+}
+
+impl FnCx<'_, '_> {
+    fn emit(&mut self, stmt: Stmt) -> StmtIdx {
+        let idx = self.stmts.len() as StmtIdx;
+        self.stmts.push(stmt);
+        self.succs.push(Vec::new());
+        for &p in &self.frontier {
+            self.succs[p as usize].push(idx);
+        }
+        self.frontier = vec![idx];
+        idx
+    }
+
+    fn finish(&mut self) -> StmtIdx {
+        let exit = self.stmts.len() as StmtIdx;
+        self.stmts.push(Stmt::Skip);
+        self.succs.push(Vec::new());
+        for &p in &self.frontier {
+            self.succs[p as usize].push(exit);
+        }
+        for &r in &self.returns {
+            self.succs[r as usize].push(exit);
+        }
+        self.frontier.clear();
+        exit
+    }
+
+    fn fresh_temp(&mut self) -> VarId {
+        self.temp_counter += 1;
+        let name = format!("{}::$t{}", self.fname, self.temp_counter);
+        self.lw
+            .prog
+            .add_var(name, VarKind::Temp(self.fid), true)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Entry> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(e) = scope.get(name) {
+                return Some(e.clone());
+            }
+        }
+        self.lw.globals.get(name).cloned()
+    }
+
+    /// Resolves an identifier, creating a fresh global for unknown names
+    /// (undeclared identifiers in partial code).
+    fn lookup_or_create(&mut self, name: &str) -> Entry {
+        if let Some(e) = self.lookup(name) {
+            return e;
+        }
+        let entry = self
+            .lw
+            .declare_var(name, &Type::Int, VarKind::Global, None);
+        self.lw.globals.insert(name.to_string(), entry.clone());
+        entry
+    }
+
+    fn lower_block(&mut self, b: &Block) {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.lower_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn lower_stmt(&mut self, s: &ast::Stmt) {
+        match s {
+            ast::Stmt::Decl(d) => {
+                let entry =
+                    self.lw
+                        .declare_var(&d.name, &d.ty, VarKind::Local(self.fid), Some(&self.fname));
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack is never empty")
+                    .insert(d.name.clone(), entry);
+                if let Some(init) = &d.init {
+                    self.lower_assign(&Expr::Ident(d.name.clone()), init);
+                }
+            }
+            ast::Stmt::Assign { lhs, rhs } => self.lower_assign(lhs, rhs),
+            ast::Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let branch = self.emit(Stmt::Skip);
+                let before_then = self.stmts.len();
+                self.lower_block(then_blk);
+                // Record the condition variable when the then-arm really is
+                // successor 0 (it emitted at least one statement).
+                if self.stmts.len() > before_then {
+                    if let Some(v) = self.plain_cond_var(cond) {
+                        self.branch_conds.push((branch, v));
+                    }
+                }
+                let then_frontier = std::mem::replace(&mut self.frontier, vec![branch]);
+                if let Some(e) = else_blk {
+                    self.lower_block(e);
+                }
+                self.frontier.extend(then_frontier);
+            }
+            ast::Stmt::While { cond, body } => {
+                let head = self.emit(Stmt::Skip);
+                let before_body = self.stmts.len();
+                self.lower_block(body);
+                if self.stmts.len() > before_body {
+                    if let Some(v) = self.plain_cond_var(cond) {
+                        self.branch_conds.push((head, v));
+                    }
+                }
+                for &p in &self.frontier {
+                    if !self.succs[p as usize].contains(&head) {
+                        self.succs[p as usize].push(head);
+                    }
+                }
+                self.frontier = vec![head];
+            }
+            ast::Stmt::Return(e) => {
+                if let (Some(expr), Some(rv)) = (e, self.ret_var) {
+                    self.lower_into_place(Place::Var(rv), expr);
+                }
+                let r = self.emit(Stmt::Return);
+                self.succs[r as usize].clear();
+                self.returns.push(r);
+                self.frontier.clear();
+            }
+            ast::Stmt::Expr(e) => {
+                if let Expr::Call { callee, args } = e {
+                    self.lower_call(callee, args, None);
+                } else {
+                    // Effect-free expression statement.
+                    self.emit(Stmt::Skip);
+                }
+            }
+            ast::Stmt::Free(e) => {
+                // free(p) becomes p = NULL (Remark 1).
+                match self.lower_place(e) {
+                    Place::Var(v) => {
+                        self.emit(Stmt::Null { dst: v });
+                    }
+                    Place::Deref(p) => {
+                        let t = self.fresh_temp();
+                        self.emit(Stmt::Null { dst: t });
+                        self.emit(Stmt::Store { dst: p, src: t });
+                    }
+                }
+            }
+            ast::Stmt::Block(b) => self.lower_block(b),
+        }
+    }
+
+    /// The variable a branch condition tests, when it is a plain variable
+    /// reference (the only form the path-sensitive mode correlates).
+    fn plain_cond_var(&mut self, cond: &Expr) -> Option<VarId> {
+        match cond {
+            Expr::Ident(name) => match self.lookup(name) {
+                Some(Entry::Var(v)) => Some(v),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Normalizes an lvalue expression to a [`Place`].
+    fn lower_place(&mut self, e: &Expr) -> Place {
+        match e {
+            Expr::Ident(name) => match self.lookup_or_create(name) {
+                Entry::Var(v) => Place::Var(v),
+                Entry::Struct(_) => {
+                    // Whole-struct place; callers that need fieldwise copies
+                    // handle Entry::Struct directly. As a raw place this
+                    // degrades to a fresh temp (no aliasing effect).
+                    Place::Var(self.fresh_temp())
+                }
+            },
+            Expr::Deref(inner) => {
+                let v = self.lower_to_var(inner);
+                Place::Deref(v)
+            }
+            Expr::Field(base, fname) => match self.resolve_field(base, fname) {
+                Some(entry) => match entry {
+                    Entry::Var(v) => Place::Var(v),
+                    Entry::Struct(_) => Place::Var(self.fresh_temp()),
+                },
+                // Field of a collapsed/pointed-to struct: field-insensitive.
+                None => self.lower_place(base),
+            },
+            Expr::Arrow(base, fname) => {
+                // p->f is (*p).f; pointed-to objects are field-insensitive,
+                // so this is a plain dereference of p.
+                let _ = fname;
+                let v = self.lower_to_var(base);
+                Place::Deref(v)
+            }
+            // Writes through arithmetic (`*(p+i) = ..` arrives as
+            // Deref(Binary)) are handled by the Deref arm; anything else is
+            // not a real lvalue — degrade to a temp.
+            _ => Place::Var(self.fresh_temp()),
+        }
+    }
+
+    /// Resolves `base.fname` against flattened struct entries. Returns
+    /// `None` when the base is not a flattened struct (collapsed case).
+    fn resolve_field(&mut self, base: &Expr, fname: &str) -> Option<Entry> {
+        match base {
+            Expr::Ident(name) => match self.lookup_or_create(name) {
+                Entry::Struct(map) => map.get(fname).cloned(),
+                Entry::Var(_) => None,
+            },
+            Expr::Field(inner, f2) => match self.resolve_field(inner, f2) {
+                Some(Entry::Struct(map)) => map.get(fname).cloned(),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Lowers an expression to a variable holding its value, emitting
+    /// whatever statements are needed.
+    fn lower_to_var(&mut self, e: &Expr) -> VarId {
+        match e {
+            Expr::Ident(name) => {
+                if let Some(Entry::Var(v)) = self.lookup(name) {
+                    return v;
+                }
+                if self.lookup(name).is_none() {
+                    if let Some(&fid) = self.lw.func_ids.get(name) {
+                        // A function name used as a value.
+                        let obj = self.lw.func_obj(fid);
+                        let t = self.fresh_temp();
+                        self.emit(Stmt::AddrOf { dst: t, obj });
+                        return t;
+                    }
+                }
+                match self.lookup_or_create(name) {
+                    Entry::Var(v) => v,
+                    Entry::Struct(_) => self.fresh_temp(),
+                }
+            }
+            _ => {
+                let t = self.fresh_temp();
+                self.lower_into_place(Place::Var(t), e);
+                t
+            }
+        }
+    }
+
+    fn lower_assign(&mut self, lhs: &Expr, rhs: &Expr) {
+        // Whole-struct copies between flattened structs become fieldwise
+        // copies.
+        if let (Expr::Ident(ln), Expr::Ident(rn)) = (lhs, rhs) {
+            if let (Some(Entry::Struct(lm)), Some(Entry::Struct(rm))) =
+                (self.lookup(ln), self.lookup(rn))
+            {
+                self.copy_struct(&lm, &rm);
+                return;
+            }
+        }
+        let place = self.lower_place(lhs);
+        self.lower_into_place(place, rhs);
+    }
+
+    fn copy_struct(&mut self, lhs: &HashMap<String, Entry>, rhs: &HashMap<String, Entry>) {
+        let mut names: Vec<&String> = lhs.keys().collect();
+        names.sort();
+        for name in names {
+            match (lhs.get(name), rhs.get(name)) {
+                (Some(Entry::Var(d)), Some(Entry::Var(s))) => {
+                    self.emit(Stmt::Copy { dst: *d, src: *s });
+                }
+                (Some(Entry::Struct(dm)), Some(Entry::Struct(sm))) => self.copy_struct(dm, sm),
+                _ => {}
+            }
+        }
+    }
+
+    /// Lowers `place = rhs`, the workhorse of normalization.
+    fn lower_into_place(&mut self, place: Place, rhs: &Expr) {
+        match rhs {
+            Expr::Num(0) => {
+                // `p = 0` is C's null pointer constant: treat exactly like
+                // NULL so the flow-sensitive analysis sees the kill.
+                self.lower_into_place(place, &Expr::Null);
+            }
+            Expr::Num(_) => {
+                // Other integer values are irrelevant to aliasing.
+                self.emit(Stmt::Skip);
+            }
+            Expr::Null => match place {
+                Place::Var(d) => {
+                    self.emit(Stmt::Null { dst: d });
+                }
+                Place::Deref(p) => {
+                    let t = self.fresh_temp();
+                    self.emit(Stmt::Null { dst: t });
+                    self.emit(Stmt::Store { dst: p, src: t });
+                }
+            },
+            Expr::Malloc => {
+                let site = Loc::new(self.fid, self.stmts.len() as StmtIdx);
+                let name = format!("heap@{}:{}", self.fname, site.stmt);
+                let name = self.lw.unique_name(name);
+                let obj = self
+                    .lw
+                    .prog
+                    .add_var(name, VarKind::AllocSite(site), true);
+                match place {
+                    Place::Var(d) => {
+                        self.emit(Stmt::AddrOf { dst: d, obj });
+                    }
+                    Place::Deref(p) => {
+                        let t = self.fresh_temp();
+                        self.emit(Stmt::AddrOf { dst: t, obj });
+                        self.emit(Stmt::Store { dst: p, src: t });
+                    }
+                }
+            }
+            Expr::AddrOf(inner) => {
+                let obj = self.lower_addr_operand(inner);
+                match (place, obj) {
+                    (Place::Var(d), AddrOperand::Obj(o)) => {
+                        self.emit(Stmt::AddrOf { dst: d, obj: o });
+                    }
+                    (Place::Var(d), AddrOperand::Value(v)) => {
+                        self.emit(Stmt::Copy { dst: d, src: v });
+                    }
+                    (Place::Deref(p), AddrOperand::Obj(o)) => {
+                        let t = self.fresh_temp();
+                        self.emit(Stmt::AddrOf { dst: t, obj: o });
+                        self.emit(Stmt::Store { dst: p, src: t });
+                    }
+                    (Place::Deref(p), AddrOperand::Value(v)) => {
+                        self.emit(Stmt::Store { dst: p, src: v });
+                    }
+                }
+            }
+            Expr::Deref(inner) => {
+                let src = self.lower_to_var(inner);
+                match place {
+                    Place::Var(d) => {
+                        self.emit(Stmt::Load { dst: d, src });
+                    }
+                    Place::Deref(p) => {
+                        let t = self.fresh_temp();
+                        self.emit(Stmt::Load { dst: t, src });
+                        self.emit(Stmt::Store { dst: p, src: t });
+                    }
+                }
+            }
+            Expr::Ident(_) | Expr::Field(..) | Expr::Arrow(..) => {
+                let src_place = self.lower_place(rhs);
+                let src = match src_place {
+                    Place::Var(v) => v,
+                    Place::Deref(p) => {
+                        let t = self.fresh_temp();
+                        self.emit(Stmt::Load { dst: t, src: p });
+                        t
+                    }
+                };
+                match place {
+                    Place::Var(d) => {
+                        if d != src {
+                            self.emit(Stmt::Copy { dst: d, src });
+                        }
+                    }
+                    Place::Deref(p) => {
+                        self.emit(Stmt::Store { dst: p, src });
+                    }
+                }
+            }
+            Expr::Call { callee, args } => {
+                self.lower_call(callee, args, Some(place));
+            }
+            Expr::Binary(op, a, b) => {
+                if *op == BinOp::Cmp {
+                    // Comparison results are never addresses.
+                    self.emit(Stmt::Skip);
+                    return;
+                }
+                // Naive pointer arithmetic: the result may alias any
+                // non-constant operand; encode the choice as a
+                // nondeterministic diamond.
+                let mut operands = Vec::new();
+                for side in [a.as_ref(), b.as_ref()] {
+                    if !matches!(side, Expr::Num(_)) {
+                        operands.push(side.clone());
+                    }
+                }
+                match operands.len() {
+                    0 => {
+                        self.emit(Stmt::Skip);
+                    }
+                    1 => self.lower_into_place(place, &operands[0]),
+                    _ => {
+                        let branch = self.emit(Stmt::Skip);
+                        let mut join = Vec::new();
+                        for oper in &operands {
+                            self.frontier = vec![branch];
+                            self.lower_into_place(place, oper);
+                            join.extend(self.frontier.iter().copied());
+                        }
+                        self.frontier = join;
+                    }
+                }
+            }
+            Expr::Unary(inner) => self.lower_into_place(place, inner),
+        }
+    }
+
+    /// Lowers the operand of `&e`.
+    fn lower_addr_operand(&mut self, e: &Expr) -> AddrOperand {
+        match e {
+            Expr::Ident(name) => {
+                if self.lookup(name).is_none() {
+                    if let Some(&fid) = self.lw.func_ids.get(name) {
+                        return AddrOperand::Obj(self.lw.func_obj(fid));
+                    }
+                }
+                match self.lookup_or_create(name) {
+                    Entry::Var(v) => AddrOperand::Obj(v),
+                    Entry::Struct(_) => {
+                        // Unreachable in practice: address-taken structs are
+                        // collapsed by the prepass. Degrade to a fresh object.
+                        AddrOperand::Obj(self.fresh_temp())
+                    }
+                }
+            }
+            Expr::Field(base, fname) => match self.resolve_field(base, fname) {
+                Some(Entry::Var(v)) => AddrOperand::Obj(v),
+                _ => {
+                    let p = self.lower_place(e);
+                    match p {
+                        Place::Var(v) => AddrOperand::Obj(v),
+                        Place::Deref(v) => AddrOperand::Value(v),
+                    }
+                }
+            },
+            // &*e == e
+            Expr::Deref(inner) => AddrOperand::Value(self.lower_to_var(inner)),
+            Expr::Arrow(base, _) => AddrOperand::Value(self.lower_to_var(base)),
+            _ => AddrOperand::Value(self.lower_to_var(e)),
+        }
+    }
+
+    fn lower_call(&mut self, callee: &Expr, args: &[Expr], ret_into: Option<Place>) {
+        // (*fp)() and fp() both call through fp.
+        let callee = match callee {
+            Expr::Deref(inner) => inner.as_ref(),
+            other => other,
+        };
+        let direct = match callee {
+            Expr::Ident(name) if self.lookup(name).is_none() => {
+                self.lw.func_ids.get(name).copied()
+            }
+            _ => None,
+        };
+        let arg_vars: Vec<VarId> = args.iter().map(|a| self.lower_to_var(a)).collect();
+        match direct {
+            Some(fid) => {
+                let (params, ret_var) = {
+                    let f = &self.lw.ast.funcs[fid.index()];
+                    let mut params = Vec::new();
+                    for (pi, _) in f.params.iter().enumerate() {
+                        let pname = format!("{}::{}", f.name, f.params[pi].0);
+                        params.push(self.lw.prog.var_named(&pname));
+                    }
+                    let ret = self.lw.prog.var_named(&format!("{}::$ret", f.name));
+                    (params, ret)
+                };
+                for (a, p) in arg_vars.iter().zip(params.iter()) {
+                    if let Some(p) = p {
+                        self.emit(Stmt::Copy { dst: *p, src: *a });
+                    }
+                }
+                let site = self.lw.prog.fresh_call_site();
+                self.emit(Stmt::Call(CallStmt {
+                    target: CallTarget::Direct(fid),
+                    site,
+                    args: Vec::new(),
+                    ret: None,
+                }));
+                if let (Some(place), Some(rv)) = (ret_into, ret_var) {
+                    match place {
+                        Place::Var(d) => {
+                            self.emit(Stmt::Copy { dst: d, src: rv });
+                        }
+                        Place::Deref(p) => {
+                            let t = self.fresh_temp();
+                            self.emit(Stmt::Copy { dst: t, src: rv });
+                            self.emit(Stmt::Store { dst: p, src: t });
+                        }
+                    }
+                }
+            }
+            None => {
+                let fp = self.lower_to_var(callee);
+                let (ret, store_back) = match ret_into {
+                    Some(Place::Var(d)) => (Some(d), None),
+                    Some(Place::Deref(p)) => {
+                        let t = self.fresh_temp();
+                        (Some(t), Some((p, t)))
+                    }
+                    None => (None, None),
+                };
+                let site = self.lw.prog.fresh_call_site();
+                self.emit(Stmt::Call(CallStmt {
+                    target: CallTarget::Indirect(fp),
+                    site,
+                    args: arg_vars,
+                    ret,
+                }));
+                if let Some((p, t)) = store_back {
+                    self.emit(Stmt::Store { dst: p, src: t });
+                }
+            }
+        }
+    }
+}
+
+enum AddrOperand {
+    /// `&x` where `x` names an object: an `AddrOf` of that object.
+    Obj(VarId),
+    /// `&*e`: the value of `e` itself.
+    Value(VarId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn stmt_kinds(prog: &Program, func: &str) -> Vec<String> {
+        let f = prog.func(prog.func_named(func).unwrap());
+        f.body()
+            .iter()
+            .map(|s| match s {
+                Stmt::Copy { .. } => "copy",
+                Stmt::AddrOf { .. } => "addrof",
+                Stmt::Load { .. } => "load",
+                Stmt::Store { .. } => "store",
+                Stmt::Null { .. } => "null",
+                Stmt::Call(_) => "call",
+                Stmt::Return => "return",
+                Stmt::Skip => "skip",
+            })
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn lowers_four_forms() {
+        let p = parse_program(
+            "void main() { int a; int *x; int *y; int **z; x = &a; y = x; z = &x; *z = y; y = *z; }",
+        )
+        .unwrap();
+        let kinds = stmt_kinds(&p, "main");
+        assert!(kinds.contains(&"addrof".to_string()));
+        assert!(kinds.contains(&"copy".to_string()));
+        assert!(kinds.contains(&"store".to_string()));
+        assert!(kinds.contains(&"load".to_string()));
+    }
+
+    #[test]
+    fn nested_deref_introduces_temp() {
+        let p = parse_program("void main() { int *x; int ***z; x = **z; }").unwrap();
+        // x = **z lowers to t = *z; x = *t.
+        let kinds = stmt_kinds(&p, "main");
+        assert_eq!(kinds.iter().filter(|k| *k == "load").count(), 2);
+        assert!(p.var_named("main::$t1").is_some());
+    }
+
+    #[test]
+    fn malloc_becomes_addrof_heap() {
+        let p = parse_program("void main() { int *x; x = malloc(4); }").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let heap = f.body().iter().find_map(|s| match s {
+            Stmt::AddrOf { obj, .. } => Some(*obj),
+            _ => None,
+        });
+        let heap = heap.expect("malloc lowered to AddrOf");
+        assert!(matches!(p.var(heap).kind(), VarKind::AllocSite(_)));
+    }
+
+    #[test]
+    fn free_becomes_null() {
+        let p = parse_program("void main() { int *x; free(x); }").unwrap();
+        assert!(stmt_kinds(&p, "main").contains(&"null".to_string()));
+    }
+
+    #[test]
+    fn direct_call_binds_params_and_return() {
+        let p = parse_program(
+            r#"
+            int *id(int *p) { return p; }
+            void main() { int a; int *x; x = id(&a); }
+            "#,
+        )
+        .unwrap();
+        let main = p.func(p.func_named("main").unwrap());
+        let param = p.var_named("id::p").unwrap();
+        let ret = p.var_named("id::$ret").unwrap();
+        let x = p.var_named("main::x").unwrap();
+        assert!(main
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::Copy { dst, .. } if *dst == param)));
+        assert!(main
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::Copy { dst, src } if *dst == x && *src == ret)));
+    }
+
+    #[test]
+    fn if_builds_diamond() {
+        let p = parse_program(
+            "void main() { int *x; int a; int b; if (a) { x = &a; } else { x = &b; } x = x; }",
+        )
+        .unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        // Find the branch skip with two successors.
+        let has_diamond = (0..f.body().len() as u32).any(|i| f.succs(i).len() == 2);
+        assert!(has_diamond, "if should produce a two-way branch");
+    }
+
+    #[test]
+    fn while_builds_back_edge() {
+        let p = parse_program("void main() { int *x; int a; while (a) { x = &a; } }").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let mut has_back_edge = false;
+        for i in 0..f.body().len() as u32 {
+            for &s in f.succs(i) {
+                if s < i {
+                    has_back_edge = true;
+                }
+            }
+        }
+        assert!(has_back_edge);
+    }
+
+    #[test]
+    fn struct_fields_flatten() {
+        let p = parse_program(
+            r#"
+            struct pair { int *fst; int *snd; };
+            struct pair g;
+            void main() { int a; g.fst = &a; g.snd = g.fst; }
+            "#,
+        )
+        .unwrap();
+        assert!(p.var_named("g.fst").is_some());
+        assert!(p.var_named("g.snd").is_some());
+    }
+
+    #[test]
+    fn address_taken_struct_collapses() {
+        let p = parse_program(
+            r#"
+            struct pair { int *fst; int *snd; };
+            void main() { struct pair s; struct pair *p; p = &s; p->fst = NULL; }
+            "#,
+        )
+        .unwrap();
+        // s is collapsed: no flattened field vars exist.
+        assert!(p.var_named("main::s.fst").is_none());
+        assert!(p.var_named("main::s").is_some());
+    }
+
+    #[test]
+    fn whole_struct_copy_is_fieldwise() {
+        let p = parse_program(
+            r#"
+            struct pair { int *fst; int *snd; };
+            struct pair a; struct pair b;
+            void main() { a = b; }
+            "#,
+        )
+        .unwrap();
+        let kinds = stmt_kinds(&p, "main");
+        assert_eq!(kinds.iter().filter(|k| *k == "copy").count(), 2);
+    }
+
+    #[test]
+    fn pointer_arith_aliases_operands() {
+        let p = parse_program("int *a; int *b; void main() { int *x; x = a + b; }").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let x = p.var_named("main::x").unwrap();
+        let copies: Vec<_> = f
+            .body()
+            .iter()
+            .filter(|s| matches!(s, Stmt::Copy { dst, .. } if *dst == x))
+            .collect();
+        assert_eq!(copies.len(), 2, "x must alias both operands");
+    }
+
+    #[test]
+    fn indirect_call_retains_args_until_devirt() {
+        let mut p = parse_program(
+            r#"
+            int *id(int *q) { return q; }
+            void (*fp)();
+            void main() { int a; int *x; fp = &id; x = fp(&a); }
+            "#,
+        )
+        .unwrap();
+        assert!(p.has_indirect_calls());
+        let id = p.func_named("id").unwrap();
+        let n = p.devirtualize(|_| vec![id]);
+        assert_eq!(n, 1);
+        assert!(!p.has_indirect_calls());
+        // After devirt, the param copy exists.
+        let main = p.func(p.func_named("main").unwrap());
+        let param = p.var_named("id::q").unwrap();
+        assert!(main
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::Copy { dst, .. } if *dst == param)));
+    }
+
+    #[test]
+    fn global_initializers_run_at_main_entry() {
+        let p = parse_program("int a; int *p = &a; void main() { }").unwrap();
+        let kinds = stmt_kinds(&p, "main");
+        assert!(kinds.contains(&"addrof".to_string()));
+    }
+
+    #[test]
+    fn return_jumps_to_exit() {
+        let p = parse_program("void main() { int a; if (a) { return; } a = 1; }").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let ret_idx = f
+            .body()
+            .iter()
+            .position(|s| matches!(s, Stmt::Return))
+            .unwrap() as StmtIdx;
+        assert_eq!(f.succs(ret_idx), &[f.exit().stmt]);
+    }
+
+    #[test]
+    fn unknown_identifiers_become_globals() {
+        let p = parse_program("void main() { mystery = &mystery2; }").unwrap();
+        assert!(p.var_named("mystery").is_some());
+        assert!(p.var_named("mystery2").is_some());
+    }
+}
+
+#[cfg(test)]
+mod null_literal_tests {
+    use crate::parse_program;
+    use crate::prog::Stmt;
+
+    #[test]
+    fn zero_literal_lowers_to_null_kill() {
+        let p = parse_program("int a; int *x; void main() { x = &a; x = 0; }").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let x = p.var_named("x").unwrap();
+        assert!(f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::Null { dst } if *dst == x)));
+    }
+
+    #[test]
+    fn nonzero_literal_still_skips() {
+        let p = parse_program("int a; void main() { a = 5; }").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        assert!(!f.body().iter().any(|s| matches!(s, Stmt::Null { .. })));
+    }
+}

@@ -1,0 +1,682 @@
+//! Recursive-descent parser for mini-C.
+
+use std::fmt;
+
+use crate::ast::{Ast, BinOp, Block, Expr, FuncDef, Stmt, StructDef, Type, VarDecl};
+use crate::lex::{tokenize, LexError, Tok, Token};
+
+/// An error produced while parsing mini-C.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parses mini-C source into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information on malformed input.
+pub fn parse(src: &str) -> Result<Ast, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut ast = p.program()?;
+    ast.source_lines = src.lines().count();
+    Ok(ast)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, off: usize) -> &Tok {
+        let i = (self.pos + off).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos.min(self.toks.len() - 1)];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self.here();
+        Err(ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        })
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == "int" || s == "void" || s == "char" || s == "long" || s == "unsigned" || s == "struct")
+    }
+
+    fn program(&mut self) -> Result<Ast, ParseError> {
+        let mut ast = Ast::default();
+        while *self.peek() != Tok::Eof {
+            if self.is_struct_def() {
+                ast.structs.push(self.struct_def()?);
+            } else if self.is_type_start() {
+                let base = self.base_type()?;
+                if self.is_func_def_after_base() {
+                    ast.funcs.push(self.func_def(base)?);
+                } else {
+                    let decls = self.declarator_list(base)?;
+                    self.expect(Tok::Semi)?;
+                    ast.globals.extend(decls);
+                }
+            } else {
+                return self.err(format!(
+                    "expected struct, declaration or function, found {}",
+                    self.peek()
+                ));
+            }
+        }
+        Ok(ast)
+    }
+
+    fn is_struct_def(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == "struct")
+            && matches!(self.peek_at(1), Tok::Ident(_))
+            && *self.peek_at(2) == Tok::LBrace
+    }
+
+    /// After a base type: `* ... name (` is a function definition only when
+    /// the `(` is immediately after the name (function-pointer declarators
+    /// instead have `(` *before* a `*`).
+    fn is_func_def_after_base(&self) -> bool {
+        let mut off = 0;
+        while *self.peek_at(off) == Tok::Star {
+            off += 1;
+        }
+        matches!(self.peek_at(off), Tok::Ident(_)) && *self.peek_at(off + 1) == Tok::LParen
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, ParseError> {
+        self.bump(); // struct
+        let name = self.expect_ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            let base = self.base_type()?;
+            loop {
+                let (fname, ty) = self.declarator(base.clone())?;
+                fields.push((fname, ty));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::Semi)?;
+        }
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Semi)?;
+        Ok(StructDef { name, fields })
+    }
+
+    fn base_type(&mut self) -> Result<Type, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "int" || s == "char" || s == "long" => {
+                self.bump();
+                // Consume a second scalar keyword (`unsigned long` etc.).
+                Ok(Type::Int)
+            }
+            Tok::Ident(s) if s == "unsigned" => {
+                self.bump();
+                if matches!(self.peek(), Tok::Ident(k) if k == "int" || k == "char" || k == "long")
+                {
+                    self.bump();
+                }
+                Ok(Type::Int)
+            }
+            Tok::Ident(s) if s == "void" => {
+                self.bump();
+                Ok(Type::Void)
+            }
+            Tok::Ident(s) if s == "struct" => {
+                self.bump();
+                let name = self.expect_ident()?;
+                Ok(Type::Struct(name))
+            }
+            other => self.err(format!("expected type, found {other}")),
+        }
+    }
+
+    /// Parses one declarator given the base type: `* ... name`, a
+    /// function-pointer declarator `(*name)(..)`, or array suffixes (arrays
+    /// are treated as scalars, matching the paper's naive pointer
+    /// arithmetic).
+    fn declarator(&mut self, base: Type) -> Result<(String, Type), ParseError> {
+        let mut stars = 0;
+        while *self.peek() == Tok::Star {
+            self.bump();
+            stars += 1;
+        }
+        if *self.peek() == Tok::LParen && *self.peek_at(1) == Tok::Star {
+            // Function pointer: (*name)(params-ignored)
+            self.bump(); // (
+            self.bump(); // *
+            let name = self.expect_ident()?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::LParen)?;
+            self.skip_balanced_parens()?;
+            let _ = stars;
+            return Ok((name, Type::FuncPtr));
+        }
+        let name = self.expect_ident()?;
+        while *self.peek() == Tok::LBracket {
+            self.bump();
+            if let Tok::Num(_) = self.peek() {
+                self.bump();
+            }
+            self.expect(Tok::RBracket)?;
+        }
+        Ok((name, base.wrap_ptr(stars)))
+    }
+
+    /// Skips tokens until the matching `)` of an already-consumed `(`.
+    fn skip_balanced_parens(&mut self) -> Result<(), ParseError> {
+        let mut depth = 1usize;
+        loop {
+            match self.peek() {
+                Tok::LParen => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::RParen => {
+                    depth -= 1;
+                    self.bump();
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Tok::Eof => return self.err("unbalanced parentheses"),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn declarator_list(&mut self, base: Type) -> Result<Vec<VarDecl>, ParseError> {
+        let mut decls = Vec::new();
+        loop {
+            let (name, ty) = self.declarator(base.clone())?;
+            let init = if *self.peek() == Tok::Eq {
+                self.bump();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            decls.push(VarDecl { name, ty, init });
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(decls)
+    }
+
+    fn func_def(&mut self, base: Type) -> Result<FuncDef, ParseError> {
+        let mut stars = 0;
+        while *self.peek() == Tok::Star {
+            self.bump();
+            stars += 1;
+        }
+        let name = self.expect_ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            if matches!(self.peek(), Tok::Ident(s) if s == "void") && *self.peek_at(1) == Tok::RParen
+            {
+                self.bump();
+            } else {
+                loop {
+                    let pbase = self.base_type()?;
+                    let (pname, pty) = self.declarator(pbase)?;
+                    params.push((pname, pty));
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(FuncDef {
+            name,
+            ret: base.wrap_ptr(stars),
+            params,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::LBrace => Ok(Stmt::Block(self.block()?)),
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Block(Block::default()))
+            }
+            Tok::Ident(kw) if kw == "if" => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_blk = self.stmt_as_block()?;
+                let else_blk = if matches!(self.peek(), Tok::Ident(s) if s == "else") {
+                    self.bump();
+                    Some(self.stmt_as_block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                })
+            }
+            Tok::Ident(kw) if kw == "while" => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Ident(kw) if kw == "return" => {
+                self.bump();
+                let e = if *self.peek() != Tok::Semi {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            Tok::Ident(kw) if kw == "free" && *self.peek_at(1) == Tok::LParen => {
+                self.bump();
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Free(e))
+            }
+            _ if self.is_type_start() => {
+                let base = self.base_type()?;
+                let decls = self.declarator_list(base)?;
+                self.expect(Tok::Semi)?;
+                if decls.len() == 1 {
+                    Ok(Stmt::Decl(decls.into_iter().next().expect("one decl")))
+                } else {
+                    Ok(Stmt::Block(Block {
+                        stmts: decls.into_iter().map(Stmt::Decl).collect(),
+                    }))
+                }
+            }
+            _ => {
+                let lhs = self.expr()?;
+                if *self.peek() == Tok::Eq {
+                    self.bump();
+                    let rhs = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Assign { lhs, rhs })
+                } else {
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Expr(lhs))
+                }
+            }
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Block, ParseError> {
+        if *self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            Ok(Block {
+                stmts: vec![self.stmt()?],
+            })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.add_expr()?;
+        while let Tok::CmpOp(_) = self.peek() {
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary(BinOp::Cmp, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Star => {
+                self.bump();
+                Ok(Expr::Deref(Box::new(self.unary_expr()?)))
+            }
+            Tok::Amp => {
+                self.bump();
+                Ok(Expr::AddrOf(Box::new(self.unary_expr()?)))
+            }
+            Tok::Bang | Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary(Box::new(self.unary_expr()?)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Dot => {
+                    self.bump();
+                    let f = self.expect_ident()?;
+                    e = Expr::Field(Box::new(e), f);
+                }
+                Tok::Arrow => {
+                    self.bump();
+                    let f = self.expect_ident()?;
+                    e = Expr::Arrow(Box::new(e), f);
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::Deref(Box::new(Expr::Binary(
+                        BinOp::Add,
+                        Box::new(e),
+                        Box::new(idx),
+                    )));
+                }
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        args,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(s) if s == "NULL" || s == "null" => {
+                self.bump();
+                Ok(Expr::Null)
+            }
+            Tok::Ident(s) if s == "malloc" && *self.peek_at(1) == Tok::LParen => {
+                self.bump();
+                self.bump();
+                self.skip_balanced_parens()?;
+                Ok(Expr::Malloc)
+            }
+            Tok::Ident(s) if s == "sizeof" && *self.peek_at(1) == Tok::LParen => {
+                self.bump();
+                self.bump();
+                self.skip_balanced_parens()?;
+                Ok(Expr::Num(4))
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Expr::Ident(s))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure2_program() {
+        let ast = parse(
+            r#"
+            void main() {
+                int a; int b; int c;
+                int *p; int *q; int *r;
+                p = &a;
+                q = &b;
+                r = &c;
+                q = p;
+                q = r;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ast.funcs.len(), 1);
+        assert_eq!(ast.funcs[0].name, "main");
+        assert_eq!(ast.funcs[0].body.stmts.len(), 11);
+    }
+
+    #[test]
+    fn parses_globals_and_structs() {
+        let ast = parse(
+            r#"
+            struct list { struct list *next; int *data; };
+            struct list head;
+            int **x, *y;
+            void main() { }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ast.structs.len(), 1);
+        assert_eq!(ast.globals.len(), 3);
+        assert_eq!(
+            ast.globals[1].ty,
+            Type::Ptr(Box::new(Type::Ptr(Box::new(Type::Int))))
+        );
+    }
+
+    #[test]
+    fn parses_control_flow_and_calls() {
+        let ast = parse(
+            r#"
+            int *id(int *p) { return p; }
+            void main() {
+                int a; int *x;
+                if (a > 0) { x = id(&a); } else { x = NULL; }
+                while (a < 10) { a = a + 1; }
+                free(x);
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ast.funcs.len(), 2);
+    }
+
+    #[test]
+    fn parses_function_pointers() {
+        let ast = parse(
+            r#"
+            void f() { }
+            void (*fp)();
+            void main() { fp = &f; fp(); }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ast.globals.len(), 1);
+        assert_eq!(ast.globals[0].ty, Type::FuncPtr);
+    }
+
+    #[test]
+    fn parses_malloc_and_sizeof() {
+        let ast = parse("void main() { int *p; p = malloc(sizeof(int)); }").unwrap();
+        let f = &ast.funcs[0];
+        assert!(matches!(
+            &f.body.stmts[1],
+            Stmt::Assign { rhs: Expr::Malloc, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_array_indexing_as_deref() {
+        let ast = parse("int *a; void main() { int x; x = a[2]; }").unwrap();
+        let f = &ast.funcs[0];
+        assert!(matches!(
+            &f.body.stmts[1],
+            Stmt::Assign { rhs: Expr::Deref(_), .. }
+        ));
+    }
+
+    #[test]
+    fn error_mentions_position() {
+        let err = parse("void main() { x = ; }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("expected expression"));
+    }
+
+    #[test]
+    fn error_on_unterminated_block() {
+        assert!(parse("void main() {").is_err());
+    }
+
+    #[test]
+    fn parses_field_chains() {
+        let ast = parse(
+            r#"
+            struct s { int *p; };
+            struct s g;
+            void main() { int *q; q = g.p; g.p = q; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ast.funcs[0].body.stmts.len(), 3);
+    }
+}

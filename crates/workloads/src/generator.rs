@@ -1,0 +1,492 @@
+//! Seeded synthetic program generator.
+//!
+//! We do not have the paper's benchmark sources (Linux drivers, sendmail,
+//! httpd, …), so each Table 1 row is substituted by a generated program
+//! matching that row's *pointer population shape*:
+//!
+//! * the total number of pointers;
+//! * the number of Steensgaard partitions and the size of the largest one;
+//! * how far Andersen clustering can refine the largest partition (the
+//!   sendmail-vs-mt-daapd contrast the paper discusses: refinement helps
+//!   iff the max cluster size actually drops).
+//!
+//! The big-partition construction is a *hub-and-spokes* pattern: each
+//! spoke is a directional copy chain seeded with its own object, and a
+//! short hub chain absorbs every spoke's head. Steensgaard (bidirectional)
+//! merges the whole pattern into one partition; Andersen keeps each spoke
+//! separate and only shares the hubs, so the maximum Andersen cluster is
+//! roughly `spoke_len + hubs` — two independent knobs.
+//!
+//! Statements are distributed over a function tree (with a little
+//! recursion and some identity-function indirection) so that the
+//! flow/context-sensitive engine has real interprocedural work to do, and
+//! each community's statements stay localized to a few home functions
+//! (the locality the paper's summarization exploits).
+
+use bootstrap_ir::{FuncId, Program, ProgramBuilder, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one oversized Steensgaard partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BigPartition {
+    /// Total pointer count of the partition (the paper's "Max" column for
+    /// Steensgaard).
+    pub size: usize,
+    /// Target maximum Andersen cluster size after refinement (the paper's
+    /// "Max" column for Andersen clustering).
+    pub andersen_max: usize,
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Benchmark name (used in reports).
+    pub name: String,
+    /// RNG seed: generation is fully deterministic per seed.
+    pub seed: u64,
+    /// Number of ordinary functions (identity helpers are extra).
+    pub n_funcs: usize,
+    /// Oversized partitions (usually one or two).
+    pub big_partitions: Vec<BigPartition>,
+    /// Number of small pointer communities.
+    pub small_partitions: usize,
+    /// Maximum size of a small community (sizes are 1..=this).
+    pub small_max: usize,
+    /// Extra isolated pointers (never assigned).
+    pub singletons: usize,
+    /// Fraction (0..=100) of chain copies routed through an identity
+    /// function, creating interprocedural value flow.
+    pub call_percent: u8,
+    /// Number of *churn* communities: chains of stores through ambiguous
+    /// double pointers that force the FSCS engine to fork under Definition
+    /// 8 constraints — the workload for the constraint-cap ablation.
+    pub churn_communities: usize,
+    /// Whether to wrap some statements in branches and loops.
+    pub control_flow: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            name: "synthetic".to_string(),
+            seed: 42,
+            n_funcs: 16,
+            big_partitions: vec![],
+            small_partitions: 24,
+            small_max: 6,
+            singletons: 4,
+            call_percent: 12,
+            churn_communities: 0,
+            control_flow: true,
+        }
+    }
+}
+
+/// One planned pointer operation (flattened before emission).
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    AddrOf(VarId, VarId),
+    Copy(VarId, VarId),
+    /// A copy routed through the community's identity function — each
+    /// community gets its own helper, otherwise a shared helper's
+    /// parameter would unify unrelated communities under Steensgaard.
+    CopyViaCall(VarId, VarId, FuncId),
+    Store(VarId, VarId),
+    Load(VarId, VarId),
+    Alloc(VarId),
+    Free(VarId),
+}
+
+/// Generates a program from the configuration.
+pub fn generate(config: &GenConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = ProgramBuilder::new();
+
+    // Declare the function tree. Function 0 is main.
+    let n_funcs = config.n_funcs.max(2);
+    let main = b.declare_func("main", 0, false);
+    let mut funcs = vec![main];
+    for i in 1..n_funcs {
+        funcs.push(b.declare_func(&format!("f{i}"), 0, false));
+    }
+    // Per-function op scripts.
+    let mut scripts: Vec<Vec<Op>> = vec![Vec::new(); n_funcs];
+
+    // Plan the communities.
+    let mut plan = Planner {
+        b: &mut b,
+        rng: &mut rng,
+        scripts: &mut scripts,
+        n_funcs,
+        call_percent: config.call_percent,
+        small_max: config.small_max.max(1),
+        counter: 0,
+        id_funcs: Vec::new(),
+        current_id: None,
+    };
+    for (bi, big) in config.big_partitions.iter().enumerate() {
+        plan.big_partition(bi, big);
+    }
+    for ci in 0..config.small_partitions {
+        plan.small_community(ci);
+    }
+    for ci in 0..config.churn_communities {
+        plan.churn_community(ci);
+    }
+    for si in 0..config.singletons {
+        let name = format!("lone{si}");
+        plan.b.global(&name, true);
+    }
+    let id_funcs = plan.id_funcs.clone();
+    drop(plan);
+
+    // Emit bodies: each function runs its script and then calls its
+    // children in the call tree; two adjacent functions get a guarded
+    // recursive back-call.
+    let fanout = 4usize;
+    for (i, &fid) in funcs.iter().enumerate() {
+        let script = scripts[i].clone();
+        let children: Vec<FuncId> = (1..n_funcs)
+            .filter(|c| (c - 1) / fanout == i)
+            .map(|c| funcs[c])
+            .collect();
+        let mut fb = b.build_func(fid);
+        let mut since_branch = 0usize;
+        for (k, op) in script.iter().enumerate() {
+            if config.control_flow {
+                since_branch += 1;
+                if since_branch >= 9 {
+                    if k % 2 == 0 {
+                        fb.begin_if();
+                        emit_op(&mut fb, *op);
+                        fb.else_arm();
+                        fb.skip();
+                        fb.end_if();
+                    } else {
+                        fb.begin_loop();
+                        emit_op(&mut fb, *op);
+                        fb.end_loop();
+                    }
+                    since_branch = 0;
+                    continue;
+                }
+            }
+            emit_op(&mut fb, *op);
+        }
+        for &c in &children {
+            fb.call(c, &[], None);
+        }
+        // Guarded self-recursion on a few functions for SCC coverage.
+        if i > 0 && i % 13 == 0 {
+            fb.begin_if();
+            fb.call(fid, &[], None);
+            fb.else_arm();
+            fb.skip();
+            fb.end_if();
+        }
+        fb.finish();
+    }
+    // Identity helpers: id(p) { return p; }
+    for &idf in &id_funcs {
+        let mut fb = b.build_func(idf);
+        let p0 = fb.param(0);
+        fb.ret(Some(p0));
+        fb.finish();
+    }
+    b.finish()
+}
+
+fn emit_op(fb: &mut bootstrap_ir::builder::FuncBodyBuilder<'_>, op: Op) {
+    match op {
+        Op::AddrOf(d, o) => {
+            fb.addr_of(d, o);
+        }
+        Op::Copy(d, s) => {
+            fb.copy(d, s);
+        }
+        Op::CopyViaCall(d, s, idf) => {
+            fb.call(idf, &[s], Some(d));
+        }
+        Op::Store(d, s) => {
+            fb.store(d, s);
+        }
+        Op::Load(d, s) => {
+            fb.load(d, s);
+        }
+        Op::Alloc(d) => {
+            fb.alloc(d);
+        }
+        Op::Free(d) => {
+            fb.null(d);
+        }
+    }
+}
+
+struct Planner<'a> {
+    b: &'a mut ProgramBuilder,
+    rng: &'a mut StdRng,
+    scripts: &'a mut Vec<Vec<Op>>,
+    n_funcs: usize,
+    call_percent: u8,
+    small_max: usize,
+    counter: usize,
+    /// Per-community identity helpers (bodies emitted after planning).
+    id_funcs: Vec<FuncId>,
+    /// The identity helper of the community currently being planned.
+    current_id: Option<FuncId>,
+}
+
+impl Planner<'_> {
+    /// Picks a small set of home functions for a community and returns a
+    /// closure-free sampler over them.
+    fn homes(&mut self, size: usize) -> Vec<usize> {
+        let count = (1 + size / 16).min(5).min(self.n_funcs);
+        let mut homes = Vec::new();
+        for _ in 0..count {
+            homes.push(self.rng.gen_range(0..self.n_funcs));
+        }
+        homes.sort_unstable();
+        homes.dedup();
+        homes
+    }
+
+    fn push_op(&mut self, homes: &[usize], op: Op) {
+        let f = homes[self.rng.gen_range(0..homes.len())];
+        self.scripts[f].push(op);
+    }
+
+    fn fresh(&mut self, prefix: &str, is_pointer: bool) -> VarId {
+        self.counter += 1;
+        let name = format!("{prefix}_{}", self.counter);
+        self.b.global(&name, is_pointer)
+    }
+
+    fn maybe_call_copy(&mut self, d: VarId, s: VarId) -> Op {
+        if self.call_percent > 0 && self.rng.gen_range(0..100u8) < self.call_percent {
+            let idf = self.community_id_func();
+            Op::CopyViaCall(d, s, idf)
+        } else {
+            Op::Copy(d, s)
+        }
+    }
+
+    /// The identity helper for the current community, created on demand.
+    fn community_id_func(&mut self) -> FuncId {
+        if let Some(f) = self.current_id {
+            return f;
+        }
+        let f = self
+            .b
+            .declare_func(&format!("id{}", self.id_funcs.len()), 1, true);
+        self.id_funcs.push(f);
+        self.current_id = Some(f);
+        f
+    }
+
+    /// Hub-and-spokes big partition (see module docs).
+    fn big_partition(&mut self, index: usize, big: &BigPartition) {
+        self.current_id = None;
+        let size = big.size.max(3);
+        let amax = big.andersen_max.clamp(2, size);
+        let hubs = (amax / 3).clamp(1, 32);
+        let spoke_len = (amax - hubs).max(1);
+        let n_spokes = ((size.saturating_sub(hubs)) / spoke_len).max(1);
+        let homes = self.homes(size);
+
+        // Hub chain (own identity helper: a shared one would conflate the
+        // spokes under Andersen, defeating the calibrated refinement gap).
+        self.current_id = None;
+        let mut hub_vars = Vec::new();
+        for h in 0..hubs {
+            let v = self.fresh(&format!("bp{index}_hub{h}"), true);
+            hub_vars.push(v);
+        }
+        for h in 1..hubs {
+            let op = self.maybe_call_copy(hub_vars[h], hub_vars[h - 1]);
+            self.push_op(&homes, op);
+        }
+
+        for s in 0..n_spokes {
+            // Fresh identity helper per spoke (see hub comment).
+            self.current_id = None;
+            let obj = self.fresh(&format!("bp{index}_o{s}"), false);
+            let base = self.fresh(&format!("bp{index}_s{s}_p0"), true);
+            let mut prev = base;
+            self.push_op(&homes, Op::AddrOf(prev, obj));
+            for j in 1..spoke_len {
+                let next = self.fresh(&format!("bp{index}_s{s}_p{j}"), true);
+                let op = self.maybe_call_copy(next, prev);
+                self.push_op(&homes, op);
+                prev = next;
+            }
+            // Spoke head feeds the hub chain (directional — Andersen keeps
+            // the spokes separate; Steensgaard merges everything). A plain
+            // copy: routing it through a helper would merge spokes.
+            self.push_op(&homes, Op::Copy(hub_vars[0], prev));
+            // Depth: a double pointer into this spoke plus a store within
+            // the spoke, giving the FSCS engine stores to disambiguate
+            // without merging spokes.
+            if s % 4 == 0 && spoke_len >= 2 {
+                let dp = self.fresh(&format!("bp{index}_s{s}_dp"), true);
+                self.push_op(&homes, Op::AddrOf(dp, base));
+                self.push_op(&homes, Op::Store(dp, prev));
+                let ld = self.fresh(&format!("bp{index}_s{s}_ld"), true);
+                self.push_op(&homes, Op::Load(ld, dp));
+            }
+        }
+    }
+
+    /// A churn community: a chain of stores through double pointers that
+    /// may target either of two carriers, so every backward walk through
+    /// the chain forks under points-to constraints. Chain length ~6 makes
+    /// constraint conjunctions long enough for the cap to matter.
+    fn churn_community(&mut self, index: usize) {
+        self.current_id = None;
+        let homes = self.homes(8);
+        let obj = self.fresh(&format!("ch{index}_o"), false);
+        let mut cur = self.fresh(&format!("ch{index}_p0"), true);
+        self.push_op(&homes, Op::AddrOf(cur, obj));
+        for j in 0..6 {
+            let alt = self.fresh(&format!("ch{index}_alt{j}"), true);
+            let dp = self.fresh(&format!("ch{index}_dp{j}"), true);
+            let next = self.fresh(&format!("ch{index}_p{}", j + 1), true);
+            // dp may point at either carrier: the store and load below are
+            // ambiguous, producing constraint forks in the engine.
+            self.push_op(&homes, Op::AddrOf(dp, cur));
+            self.push_op(&homes, Op::AddrOf(dp, alt));
+            self.push_op(&homes, Op::Store(dp, cur));
+            self.push_op(&homes, Op::Load(next, dp));
+            cur = next;
+        }
+    }
+
+    /// A small community: a few pointers sharing one or two objects, with
+    /// an occasional heap allocation or free.
+    fn small_community(&mut self, index: usize) {
+        self.current_id = None;
+        let size = self.rng.gen_range(1..=self.small_max);
+        let homes = self.homes(size);
+        let obj = self.fresh(&format!("sc{index}_o"), false);
+        let mut members = Vec::new();
+        for j in 0..size {
+            let p = self.fresh(&format!("sc{index}_p{j}"), true);
+            members.push(p);
+        }
+        self.push_op(&homes, Op::AddrOf(members[0], obj));
+        for j in 1..size {
+            let op = self.maybe_call_copy(members[j], members[j - 1]);
+            self.push_op(&homes, op);
+        }
+        match self.rng.gen_range(0..5) {
+            0 => self.push_op(&homes, Op::Alloc(members[0])),
+            1 if size > 1 => {
+                let victim = members[size - 1];
+                self.push_op(&homes, Op::Free(victim));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GenConfig {
+        GenConfig {
+            name: "test".into(),
+            seed: 7,
+            n_funcs: 8,
+            big_partitions: vec![BigPartition {
+                size: 60,
+                andersen_max: 12,
+            }],
+            small_partitions: 10,
+            small_max: 6,
+            singletons: 3,
+            call_percent: 20,
+            churn_communities: 1,
+            control_flow: true,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = small_config();
+        let p1 = generate(&c);
+        let p2 = generate(&c);
+        assert_eq!(p1.var_count(), p2.var_count());
+        assert_eq!(p1.stmt_count(), p2.stmt_count());
+        assert_eq!(p1.to_string(), p2.to_string());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c1 = small_config();
+        let mut c2 = small_config();
+        c2.seed = 8;
+        assert_ne!(generate(&c1).to_string(), generate(&c2).to_string());
+    }
+
+    #[test]
+    fn big_partition_shape_emerges() {
+        let c = small_config();
+        let p = generate(&c);
+        let st = bootstrap_analyses::steensgaard::analyze(&p);
+        let max_partition = st
+            .pointer_partitions(&p)
+            .map(|(_, m)| m.iter().filter(|v| p.var(**v).is_pointer()).count())
+            .max()
+            .unwrap();
+        // The hub-and-spokes community dominates (some slack for call
+        // plumbing pulling in temps/params).
+        assert!(
+            max_partition >= 50,
+            "expected a big partition, got {max_partition}"
+        );
+    }
+
+    #[test]
+    fn andersen_refines_big_partition() {
+        let c = small_config();
+        let p = generate(&c);
+        let session = bootstrap_core::Session::new(
+            &p,
+            bootstrap_core::Config {
+                andersen_threshold: 20,
+                ..bootstrap_core::Config::default()
+            },
+        );
+        let steens_max = session.steensgaard_cover().max_cluster_size();
+        let refined_max = session.cover().max_cluster_size();
+        assert!(
+            refined_max < steens_max,
+            "Andersen must shrink the max cluster: {refined_max} vs {steens_max}"
+        );
+    }
+
+    #[test]
+    fn everything_reachable_from_main() {
+        let p = generate(&small_config());
+        let cg = bootstrap_ir::CallGraph::build(&p);
+        let main = p.entry().unwrap().id();
+        let reach = cg.reachable_from(main);
+        // All fN functions are in the call tree.
+        let unreachable: Vec<&str> = p
+            .functions()
+            .filter(|f| !reach.contains(&f.id()) && f.name().starts_with('f'))
+            .map(|f| f.name())
+            .collect();
+        assert!(unreachable.is_empty(), "unreachable: {unreachable:?}");
+    }
+
+    #[test]
+    fn pointer_count_scales_with_config() {
+        let mut c = small_config();
+        let base = generate(&c).pointer_count();
+        c.big_partitions[0].size = 200;
+        let bigger = generate(&c).pointer_count();
+        assert!(bigger > base + 100);
+    }
+}

@@ -1,0 +1,33 @@
+//! Workloads for the bootstrapped alias-analysis reproduction.
+//!
+//! Two kinds of inputs drive the benchmarks and tests:
+//!
+//! * [`figures`] — the exact example programs from the paper's figures
+//!   (ground truth for unit-level reproduction tests);
+//! * [`generator`] + [`presets`] — a seeded synthetic program generator
+//!   with one calibrated preset per Table 1 benchmark row, substituting
+//!   for the paper's (unavailable) Linux driver / sendmail / httpd
+//!   sources. See DESIGN.md for the substitution argument.
+//!
+//! # Examples
+//!
+//! ```
+//! // The paper's Figure 2 program.
+//! let program = bootstrap_workloads::figures::parse_figure(bootstrap_workloads::figures::FIG2);
+//! assert!(program.var_named("q").is_some());
+//!
+//! // A small synthetic benchmark.
+//! let preset = bootstrap_workloads::presets::by_name("sock").unwrap();
+//! let program = preset.generate();
+//! assert!(program.pointer_count() > 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod generator;
+pub mod presets;
+
+pub use generator::{generate, BigPartition, GenConfig};
+pub use presets::{Preset, PaperRow};

@@ -1,0 +1,259 @@
+//! Table 1 benchmark presets.
+//!
+//! Each preset pairs the paper's reported numbers for one benchmark row
+//! (the `PaperRow`) with a generator configuration calibrated to reproduce
+//! that row's pointer-population shape: total pointers, largest
+//! Steensgaard partition, and how far Andersen clustering refines it.
+//! Absolute times are not expected to match (different machine, different
+//! program bodies); the *shape* — which strategy wins and by roughly what
+//! factor — is what the Table 1 harness compares.
+
+use crate::generator::{BigPartition, GenConfig};
+
+/// The paper's numbers for one Table 1 row.
+#[derive(Clone, Debug)]
+pub struct PaperRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Source size in KLOC.
+    pub kloc: f64,
+    /// Number of pointers.
+    pub pointers: usize,
+    /// Steensgaard partitioning time (seconds).
+    pub partitioning_secs: f64,
+    /// Andersen clustering time (seconds).
+    pub clustering_secs: f64,
+    /// Flow- and context-sensitive analysis time without clustering;
+    /// `None` means the paper reports "> 15min" (sendmail: 76 min).
+    pub fscs_unclustered_secs: Option<f64>,
+    /// Steensgaard clustering: number of clusters.
+    pub steens_clusters: usize,
+    /// Steensgaard clustering: max cluster size.
+    pub steens_max: usize,
+    /// Steensgaard clustering: FSCS time (seconds, 5-way simulated).
+    pub steens_secs: f64,
+    /// Andersen clustering: number of clusters.
+    pub andersen_clusters: usize,
+    /// Andersen clustering: max cluster size.
+    pub andersen_max: usize,
+    /// Andersen clustering: FSCS time (seconds, 5-way simulated).
+    pub andersen_secs: f64,
+}
+
+/// A calibrated benchmark preset.
+#[derive(Clone, Debug)]
+pub struct Preset {
+    /// The paper's reference numbers.
+    pub paper: PaperRow,
+    /// The generator configuration approximating the row.
+    pub config: GenConfig,
+}
+
+impl Preset {
+    /// Generates the synthetic program for this preset.
+    pub fn generate(&self) -> bootstrap_ir::Program {
+        crate::generator::generate(&self.config)
+    }
+}
+
+/// Raw Table 1 data:
+/// (name, kloc, pointers, part_s, clus_s, unclustered, st_n, st_max, st_s,
+///  an_n, an_max, an_s). `-1.0` in the unclustered column encodes "> 15min".
+const TABLE1: &[(
+    &str,
+    f64,
+    usize,
+    f64,
+    f64,
+    f64,
+    usize,
+    usize,
+    f64,
+    usize,
+    usize,
+    f64,
+)] = &[
+    ("sock", 0.9, 1089, 0.02, 0.04, 0.11, 517, 9, 0.03, 539, 6, 0.01),
+    ("hugetlb", 1.2, 3607, 0.3, 0.5, 8.0, 1091, 45, 0.7, 1290, 11, 0.78),
+    ("ctrace", 1.4, 377, 0.01, 0.03, 0.07, 47, 36, 0.03, 193, 6, 0.03),
+    ("autofs", 8.3, 3258, 0.6, 1.0, 6.48, 589, 125, 0.52, 907, 27, 0.92),
+    ("plip", 14.0, 3257, 0.7, 1.2, 6.51, 568, 26, 0.57, 761, 14, 0.62),
+    ("ptrace", 15.0, 9075, 0.9, 1.1, 16.0, 924, 96, 1.46, 5941, 18, 0.67),
+    ("raid", 17.0, 814, 0.01, 0.06, 0.12, 100, 129, 0.03, 192, 26, 0.03),
+    ("jfs_dmap", 17.0, 14339, 2.9, 4.7, 510.0, 4190, 39, 3.62, 9214, 11, 1.34),
+    ("tty_io", 18.0, 2675, 0.9, 2.1, 22.0, 828, 8, 0.52, 882, 6, 0.45),
+    ("wavelan_ko", 20.0, 3117, 0.6, 1.4, 17.68, 591, 44, 1.2, 744, 19, 1.0),
+    ("pico", 22.0, 1903, 2.0, 10.0, -1.0, 484, 171, 4.98, 871, 102, 4.46),
+    ("synclink", 24.0, 16355, 12.0, 18.0, -1.0, 1237, 95, 26.85, 3503, 93, 26.0),
+    ("ipoib_multicast", 26.0, 2888, 0.9, 1.2, 54.7, 1167, 15, 1.0, 1378, 9, 0.5),
+    ("icecast", 49.0, 7490, 2.0, 12.0, 459.0, 964, 114, 15.0, 2553, 52, 15.0),
+    ("freshclam", 54.0, 1991, 0.3, 0.9, -1.0, 157, 77, 0.6, 740, 45, 0.44),
+    ("mt_daapd", 92.0, 4008, 1.4, 6.8, -1.0, 635, 89, 4.8, 1118, 83, 12.79),
+    ("sigtool", 95.0, 5881, 2.0, 10.0, -1.0, 552, 151, 8.0, 981, 147, 7.0),
+    ("clamd", 101.0, 16639, 13.0, 34.0, 61.0, 1274, 346, 49.0, 3915, 187, 41.0),
+    ("sendmail", 115.0, 65134, 125.0, 675.0, 4560.0, 21088, 596, 187.8, 24580, 193, 138.9),
+    ("httpd", 128.0, 16180, 40.0, 89.0, -1.0, 1779, 199, 35.0, 3893, 152, 32.0),
+];
+
+fn row_to_preset(
+    row: &(
+        &'static str,
+        f64,
+        usize,
+        f64,
+        f64,
+        f64,
+        usize,
+        usize,
+        f64,
+        usize,
+        usize,
+        f64,
+    ),
+) -> Preset {
+    let (name, kloc, pointers, part_s, clus_s, unclus, st_n, st_max, st_s, an_n, an_max, an_s) =
+        *row;
+    let paper = PaperRow {
+        name,
+        kloc,
+        pointers,
+        partitioning_secs: part_s,
+        clustering_secs: clus_s,
+        fscs_unclustered_secs: (unclus >= 0.0).then_some(unclus),
+        steens_clusters: st_n,
+        steens_max: st_max,
+        steens_secs: st_s,
+        andersen_clusters: an_n,
+        andersen_max: an_max,
+        andersen_secs: an_s,
+    };
+
+    // One dominant partition shaped to the row's max sizes, plus a
+    // secondary one at roughly half size for histogram realism.
+    let mut big_partitions = vec![BigPartition {
+        size: st_max,
+        andersen_max: an_max.min(st_max),
+    }];
+    if st_max > 80 {
+        big_partitions.push(BigPartition {
+            size: st_max / 2,
+            andersen_max: (an_max / 2).max(2).min(st_max / 2),
+        });
+    }
+    let big_total: usize = big_partitions.iter().map(|b| b.size).sum();
+    let remaining = pointers.saturating_sub(big_total);
+    let small_count = st_n.saturating_sub(big_partitions.len()).max(1);
+    // Small community sizes are uniform in 1..=small_max, so the mean is
+    // (1 + small_max) / 2; pick small_max to land near the remaining
+    // pointer budget (clamped — cluster *count* fidelity gives way to
+    // pointer-count fidelity when the average would exceed the clamp).
+    let avg = (remaining as f64 / small_count as f64).max(1.0);
+    let small_max = ((2.0 * avg - 1.0).round() as usize).clamp(1, 12);
+    let small_partitions = if small_max == 12 {
+        ((remaining as f64 / 6.5).round() as usize).max(1)
+    } else {
+        small_count
+    };
+
+    // Deterministic per-name seed.
+    let seed = name
+        .bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
+
+    let config = GenConfig {
+        name: name.to_string(),
+        seed,
+        n_funcs: ((kloc * 10.0) as usize).clamp(8, 1400),
+        big_partitions,
+        small_partitions,
+        small_max,
+        singletons: 2,
+        call_percent: 12,
+        churn_communities: 0,
+        control_flow: true,
+    };
+    Preset { paper, config }
+}
+
+/// All twenty Table 1 presets, in the paper's row order.
+pub fn all() -> Vec<Preset> {
+    TABLE1.iter().map(row_to_preset).collect()
+}
+
+/// Looks up a preset by benchmark name.
+pub fn by_name(name: &str) -> Option<Preset> {
+    TABLE1
+        .iter()
+        .find(|r| r.0 == name)
+        .map(row_to_preset)
+}
+
+/// A small subset for quick runs and CI: the four fastest rows.
+pub fn quick() -> Vec<Preset> {
+    ["sock", "ctrace", "raid", "autofs"]
+        .iter()
+        .map(|n| by_name(n).expect("known preset"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_presets() {
+        assert_eq!(all().len(), 20);
+        assert!(by_name("sendmail").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert_eq!(quick().len(), 4);
+    }
+
+    #[test]
+    fn sendmail_row_matches_paper() {
+        let p = by_name("sendmail").unwrap();
+        assert_eq!(p.paper.pointers, 65134);
+        assert_eq!(p.paper.steens_max, 596);
+        assert_eq!(p.paper.andersen_max, 193);
+        assert_eq!(p.paper.fscs_unclustered_secs, Some(4560.0));
+    }
+
+    #[test]
+    fn timeout_rows_encoded_as_none() {
+        let p = by_name("pico").unwrap();
+        assert_eq!(p.paper.fscs_unclustered_secs, None);
+    }
+
+    #[test]
+    fn quick_presets_generate_with_plausible_pointer_counts() {
+        for preset in quick() {
+            let prog = preset.generate();
+            let target = preset.paper.pointers as f64;
+            let actual = prog.pointer_count() as f64;
+            // Generated counts include call plumbing; allow a broad band.
+            assert!(
+                actual > target * 0.5 && actual < target * 2.0,
+                "{}: target {target}, generated {actual}",
+                preset.paper.name
+            );
+        }
+    }
+
+    #[test]
+    fn generated_partition_shape_tracks_paper_shape() {
+        let preset = by_name("ctrace").unwrap();
+        let prog = preset.generate();
+        let st = bootstrap_analyses::steensgaard::analyze(&prog);
+        let max = st
+            .pointer_partitions(&prog)
+            .map(|(_, m)| m.iter().filter(|v| prog.var(**v).is_pointer()).count())
+            .max()
+            .unwrap();
+        let target = preset.paper.steens_max;
+        assert!(
+            max as f64 > target as f64 * 0.5 && (max as f64) < target as f64 * 2.5,
+            "max partition {max} vs paper {target}"
+        );
+    }
+}

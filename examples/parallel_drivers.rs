@@ -1,0 +1,72 @@
+//! Parallel per-cluster analysis over a synthetic Linux-driver-like
+//! workload — the paper's third leg: "the analysis for each of the subsets
+//! can be carried out independently of others thereby allowing us to
+//! leverage parallelization".
+//!
+//! Generates the `autofs`-calibrated benchmark, analyzes every cluster on
+//! 1, 2, 4 and 8 threads, and prints the paper's 5-machine greedy-binning
+//! simulation alongside the real-thread wall clock.
+//!
+//! Run with `cargo run --release --example parallel_drivers`.
+
+use bootstrap_alias::core::parallel::{
+    process_clusters_parallel, simulated_parallel_time, timed,
+};
+use bootstrap_alias::core::{Config, Session};
+use bootstrap_alias::workloads::presets;
+
+fn main() {
+    let preset = presets::by_name("autofs").expect("autofs preset");
+    let program = preset.generate();
+    println!(
+        "workload: {} ({} pointers, {} functions, {} IR statements)",
+        preset.paper.name,
+        program.pointer_count(),
+        program.func_count(),
+        program.stmt_count()
+    );
+
+    let session = Session::new(&program, Config::default());
+    let cover = session.cover().clone();
+    println!(
+        "cover: {} clusters, max size {} (Steensgaard partitioning {:?}, clustering {:?})",
+        cover.len(),
+        cover.max_cluster_size(),
+        session.timings().steensgaard,
+        session.timings().clustering,
+    );
+
+    let mut serial_reports = Vec::new();
+    println!("\n{:>8} {:>12} {:>14}", "threads", "wall", "timeouts");
+    for threads in [1usize, 2, 4, 8] {
+        let (reports, wall) = timed(|| {
+            process_clusters_parallel(&session, cover.clusters(), threads, 5_000_000)
+        });
+        let timeouts = reports.iter().filter(|r| r.timed_out).count();
+        println!("{threads:>8} {:>12?} {timeouts:>14}", wall);
+        if threads == 1 {
+            serial_reports = reports;
+        }
+    }
+
+    let sim5 = simulated_parallel_time(&serial_reports, 5);
+    let total: std::time::Duration = serial_reports.iter().map(|r| r.duration).sum();
+    println!("\npaper-style 5-machine simulation (greedy binning of serial times):");
+    println!("  total serial {total:?}, max part {sim5:?}");
+
+    // Per-cluster statistics like the paper's locality argument: most
+    // clusters need summaries in only a few functions.
+    let mut by_funcs = std::collections::BTreeMap::new();
+    for r in &serial_reports {
+        *by_funcs.entry(r.summary_entries.min(50)).or_insert(0usize) += 1;
+    }
+    let small = serial_reports
+        .iter()
+        .filter(|r| r.summary_entries <= 10)
+        .count();
+    println!(
+        "\nlocality: {}/{} clusters needed summaries for <= 10 (function, pointer) pairs",
+        small,
+        serial_reports.len()
+    );
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the bootstrapped pointer alias analysis workspace.
+//!
+//! Re-exports the public APIs of the member crates so examples and
+//! integration tests can use a single dependency. See the `bootstrap-core`
+//! crate for the analysis entry points and the repository README for an
+//! overview.
+
+pub use bootstrap_analyses as analyses;
+pub use bootstrap_core as core;
+pub use bootstrap_ir as ir;
+pub use bootstrap_workloads as workloads;

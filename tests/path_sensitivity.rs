@@ -1,0 +1,257 @@
+//! Tests for the path-sensitivity extension (paper §3, "Path
+//! Sensitivity"): branch literals in summary-tuple constraints weed out
+//! infeasible paths.
+
+use bootstrap_alias::core::{AnalysisBudget, Config, Session};
+use bootstrap_alias::ir::parse_program;
+
+/// The classic correlated-branches program: both branches test the same
+/// unmodified variable, so (then₁, else₂) and (else₁, then₂) path
+/// combinations are infeasible.
+const CORRELATED: &str = "
+    int c; int a; int b;
+    int *x; int *y;
+    void main() {
+        if (c) { x = &a; } else { x = &b; }
+        if (c) { y = &b; } else { y = &a; }
+    }
+";
+
+fn config(path_sensitive: bool) -> Config {
+    Config {
+        path_sensitive,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn correlated_branches_insensitive_aliases() {
+    // Path-insensitive: x in {&a, &b}, y in {&b, &a} — spurious alias.
+    let p = parse_program(CORRELATED).unwrap();
+    let session = Session::new(&p, config(false));
+    let az = session.analyzer();
+    let exit = p.entry().unwrap().exit();
+    let (x, y) = (p.var_named("x").unwrap(), p.var_named("y").unwrap());
+    assert!(az.may_alias(x, y, exit).unwrap());
+}
+
+#[test]
+fn correlated_branches_sensitive_refutes() {
+    // Path-sensitive: x = &a requires c, y = &a requires !c — never both.
+    let p = parse_program(CORRELATED).unwrap();
+    let session = Session::new(&p, config(true));
+    let az = session.analyzer();
+    let exit = p.entry().unwrap().exit();
+    let (x, y) = (p.var_named("x").unwrap(), p.var_named("y").unwrap());
+    assert!(!az.may_alias(x, y, exit).unwrap());
+
+    // The sources carry the literals.
+    let mut budget = AnalysisBudget::unlimited();
+    let srcs = az.sources(x, exit, &mut budget).unwrap();
+    assert_eq!(srcs.len(), 2);
+    assert!(srcs.iter().all(|(_, cond)| !cond.is_top()));
+}
+
+#[test]
+fn same_branch_same_arm_still_aliases() {
+    // x = &a under c, y = &a under the *same* polarity: feasible.
+    let p = parse_program(
+        "int c; int a; int b;
+         int *x; int *y;
+         void main() {
+             if (c) { x = &a; } else { x = &b; }
+             if (c) { y = &a; } else { y = &b; }
+         }",
+    )
+    .unwrap();
+    let session = Session::new(&p, config(true));
+    let az = session.analyzer();
+    let exit = p.entry().unwrap().exit();
+    let (x, y) = (p.var_named("x").unwrap(), p.var_named("y").unwrap());
+    assert!(az.may_alias(x, y, exit).unwrap());
+}
+
+#[test]
+fn modified_condition_breaks_correlation() {
+    // c is reassigned between the branches: the literals must not
+    // correlate (the second test sees a different value).
+    let p = parse_program(
+        "int c; int d; int a; int b;
+         int *x; int *y;
+         void main() {
+             if (c) { x = &a; } else { x = &b; }
+             c = d;
+             if (c) { y = &b; } else { y = &a; }
+         }",
+    )
+    .unwrap();
+    let session = Session::new(&p, config(true));
+    let az = session.analyzer();
+    let exit = p.entry().unwrap().exit();
+    let (x, y) = (p.var_named("x").unwrap(), p.var_named("y").unwrap());
+    assert!(
+        az.may_alias(x, y, exit).unwrap(),
+        "havoc on the reassigned condition must keep the alias"
+    );
+}
+
+#[test]
+fn address_taken_condition_is_not_tracked() {
+    // &c escapes, so a store could change c between the tests: no
+    // correlation allowed.
+    let p = parse_program(
+        "int c; int a; int b;
+         int *x; int *y; int *pc;
+         void main() {
+             pc = &c;
+             if (c) { x = &a; } else { x = &b; }
+             *pc = 0;
+             if (c) { y = &b; } else { y = &a; }
+         }",
+    )
+    .unwrap();
+    let session = Session::new(&p, config(true));
+    let az = session.analyzer();
+    let exit = p.entry().unwrap().exit();
+    let (x, y) = (p.var_named("x").unwrap(), p.var_named("y").unwrap());
+    assert!(az.may_alias(x, y, exit).unwrap());
+}
+
+#[test]
+fn loop_branch_literals_stay_sound() {
+    // A loop whose branch variable is loop-invariant: every iteration
+    // takes the same arm, so correlating is sound and the analysis still
+    // sees both final values across the two initial branch outcomes.
+    let p = parse_program(
+        "int c; int a; int b;
+         int *x;
+         void main() {
+             x = &b;
+             while (c) { x = &a; }
+         }",
+    )
+    .unwrap();
+    let session = Session::new(&p, config(true));
+    let az = session.analyzer();
+    let exit = p.entry().unwrap().exit();
+    let x = p.var_named("x").unwrap();
+    let mut budget = AnalysisBudget::unlimited();
+    let srcs = az.sources(x, exit, &mut budget).unwrap();
+    let names: Vec<String> = srcs.iter().map(|(s, _)| s.display(&p)).collect();
+    assert!(names.contains(&"&a".to_string()), "{names:?}");
+    assert!(names.contains(&"&b".to_string()), "{names:?}");
+}
+
+#[test]
+fn summaries_do_not_leak_branch_literals_across_frames() {
+    // The callee assigns under a local branch; two separate calls must
+    // both see both outcomes (no cross-frame correlation).
+    let p = parse_program(
+        "int a; int b; int *g; int *h;
+         void set(int sel) { if (sel) { g = &a; } else { g = &b; } }
+         void main() { set(1); h = g; set(0); }",
+    )
+    .unwrap();
+    let session = Session::new(&p, config(true));
+    let az = session.analyzer();
+    let exit = p.entry().unwrap().exit();
+    let (g, h) = (p.var_named("g").unwrap(), p.var_named("h").unwrap());
+    // g after second call: both &a and &b possible; h from first call:
+    // both too; they may alias.
+    assert!(az.may_alias(g, h, exit).unwrap());
+}
+
+#[test]
+fn path_sensitive_mode_agrees_with_concrete_truth_on_figures() {
+    // Path-sensitive must never refute an alias the insensitive mode
+    // derives from an actually feasible path: check on the figure
+    // programs that enabling the mode only ever removes pairs that the
+    // insensitive mode also could not justify concretely. (Here: the
+    // figures have no correlated branches, so verdicts must be identical.)
+    for (name, src) in bootstrap_alias::workloads::figures::all() {
+        let p = bootstrap_alias::workloads::figures::parse_figure(src);
+        let s1 = Session::new(&p, config(false));
+        let s2 = Session::new(&p, config(true));
+        let (a1, a2) = (s1.analyzer(), s2.analyzer());
+        let exit = p.entry().unwrap().exit();
+        let ptrs: Vec<_> = s1.pointers().to_vec();
+        for &x in &ptrs {
+            for &y in &ptrs {
+                if x >= y {
+                    continue;
+                }
+                assert_eq!(
+                    a1.may_alias(x, y, exit).unwrap(),
+                    a2.may_alias(x, y, exit).unwrap(),
+                    "{name}: verdict changed for {} / {}",
+                    p.var(x).name(),
+                    p.var(y).name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn must_alias_across_a_diamond_via_bdd_coverage() {
+    // x and y get the same address on each arm, but different addresses
+    // per arm: path-insensitively there are two sources each (not a
+    // singleton), yet on every path they coincide — the BDD coverage check
+    // proves must-alias.
+    let p = parse_program(
+        "int c; int a; int b;
+         int *x; int *y;
+         void main() {
+             if (c) { x = &a; y = &a; } else { x = &b; y = &b; }
+         }",
+    )
+    .unwrap();
+    let (x, y) = (p.var_named("x").unwrap(), p.var_named("y").unwrap());
+    let exit = p.entry().unwrap().exit();
+
+    // Path-insensitive: cannot prove must.
+    let s1 = Session::new(&p, config(false));
+    assert!(!s1.analyzer().must_alias(x, y, exit).unwrap());
+    assert!(s1.analyzer().may_alias(x, y, exit).unwrap());
+
+    // Path-sensitive: coverage (c) | (!c) is a tautology.
+    let s2 = Session::new(&p, config(true));
+    assert!(s2.analyzer().must_alias(x, y, exit).unwrap());
+}
+
+#[test]
+fn coverage_must_alias_rejects_partial_coverage() {
+    // On the else arm x and y differ: not a must-alias.
+    let p = parse_program(
+        "int c; int a; int b; int d;
+         int *x; int *y;
+         void main() {
+             if (c) { x = &a; y = &a; } else { x = &b; y = &d; }
+         }",
+    )
+    .unwrap();
+    let (x, y) = (p.var_named("x").unwrap(), p.var_named("y").unwrap());
+    let exit = p.entry().unwrap().exit();
+    let s = Session::new(&p, config(true));
+    assert!(!s.analyzer().must_alias(x, y, exit).unwrap());
+    assert!(s.analyzer().may_alias(x, y, exit).unwrap());
+}
+
+#[test]
+fn coverage_must_alias_rejects_nondeterministic_values() {
+    // A second, uncorrelated branch makes x ambiguous on some paths.
+    let p = parse_program(
+        "int c; int k; int a; int b;
+         int *x; int *y;
+         void main() {
+             if (c) { x = &a; y = &a; } else { x = &b; y = &b; }
+             if (k) { x = &b; }
+         }",
+    )
+    .unwrap();
+    let (x, y) = (p.var_named("x").unwrap(), p.var_named("y").unwrap());
+    let exit = p.entry().unwrap().exit();
+    let s = Session::new(&p, config(true));
+    // On (c, k) = (true, true): x = &b, y = &a — not a must alias.
+    assert!(!s.analyzer().must_alias(x, y, exit).unwrap());
+}

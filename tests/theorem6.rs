@@ -1,0 +1,167 @@
+//! Direct checks of Theorem 6/7: restricting the flow- and
+//! context-sensitive analysis to a cluster's relevant statements `St_P`
+//! loses no aliases — the per-cluster engine must produce the same sources
+//! for cluster members as an engine run over the *whole* pointer
+//! population (whose `St_P` is the entire program).
+
+use bootstrap_alias::core::{
+    AnalysisBudget, ClusterEngine, Config, EngineCx, NoOracle, Session,
+};
+use bootstrap_alias::ir::{parse_program, Program, VarId};
+use bootstrap_alias::workloads::{generator, BigPartition, GenConfig};
+
+fn cx<'a>(session: &'a Session<'a>) -> EngineCx<'a> {
+    EngineCx {
+        program: session.program(),
+        steens: session.steens(),
+        cg: session.callgraph(),
+        index: session.relevant_index(),
+    }
+}
+
+/// For every cluster of the cover and every member, local sources computed
+/// against the cluster slice equal those computed against the whole
+/// program.
+fn check_theorem6(program: &Program, label: &str) {
+    let session = Session::new(program, Config::default());
+    let exit = program.entry().unwrap().exit();
+    let all_pointers: Vec<VarId> = session.pointers().to_vec();
+    let mut whole = ClusterEngine::new(cx(&session), all_pointers, 8);
+
+    for cluster in session.cover().clusters() {
+        let mut sliced = ClusterEngine::new(cx(&session), cluster.members.clone(), 8);
+        // The slice must be a subset of the whole program's statements.
+        assert!(
+            sliced.relevant().stmt_count() <= whole.relevant().stmt_count(),
+            "{label}: slice bigger than program"
+        );
+        for &m in &cluster.members {
+            let a = sliced
+                .local_sources(
+                    cx(&session),
+                    m,
+                    exit,
+                    &NoOracle,
+                    &mut AnalysisBudget::unlimited(),
+                )
+                .unwrap();
+            let b = whole
+                .local_sources(
+                    cx(&session),
+                    m,
+                    exit,
+                    &NoOracle,
+                    &mut AnalysisBudget::unlimited(),
+                )
+                .unwrap();
+            assert_eq!(
+                a,
+                b,
+                "{label}: sources differ for {} (cluster {})",
+                program.var(m).name(),
+                cluster.id
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem6_on_figures() {
+    for (name, src) in bootstrap_alias::workloads::figures::all() {
+        let p = bootstrap_alias::workloads::figures::parse_figure(src);
+        check_theorem6(&p, name);
+    }
+}
+
+#[test]
+fn theorem6_on_handwritten_programs() {
+    let programs = [
+        (
+            "stores_and_branches",
+            "int a; int b; int cnd; int *x; int *y; int **z;
+             void main() {
+                 x = &a;
+                 if (cnd) { z = &x; } else { z = &y; }
+                 *z = &b;
+                 y = *z;
+             }",
+        ),
+        (
+            "interprocedural",
+            "int a; int b; int *g; int *h;
+             int *pick(int *l, int *r) { if (a) { return l; } return r; }
+             void set() { g = pick(&a, &b); }
+             void main() { set(); h = g; free(g); }",
+        ),
+        (
+            "recursion",
+            "int a; int b; int cnd; int *x;
+             void rec() { if (cnd) { rec(); x = &a; } else { x = &b; } }
+             void main() { rec(); }",
+        ),
+    ];
+    for (name, src) in programs {
+        let p = parse_program(src).unwrap();
+        check_theorem6(&p, name);
+    }
+}
+
+#[test]
+fn theorem6_on_generated_programs() {
+    for seed in [11u64, 12, 13] {
+        let config = GenConfig {
+            name: format!("thm6_{seed}"),
+            seed,
+            n_funcs: 6,
+            big_partitions: vec![BigPartition {
+                size: 14,
+                andersen_max: 6,
+            }],
+            small_partitions: 6,
+            small_max: 4,
+            singletons: 1,
+            call_percent: 20,
+            churn_communities: 0,
+            control_flow: true,
+        };
+        let p = generator::generate(&config);
+        check_theorem6(&p, &config.name);
+    }
+}
+
+/// The paper's scalability claim in miniature: the relevant-statement
+/// slice of a typical cluster is much smaller than the program.
+#[test]
+fn slices_are_small() {
+    let config = GenConfig {
+        name: "slice_size".into(),
+        seed: 5,
+        n_funcs: 12,
+        big_partitions: vec![BigPartition {
+            size: 40,
+            andersen_max: 10,
+        }],
+        small_partitions: 30,
+        small_max: 5,
+        singletons: 2,
+        call_percent: 15,
+        churn_communities: 0,
+        control_flow: true,
+    };
+    let p = generator::generate(&config);
+    let session = Session::new(&p, Config::default());
+    let total: usize = p.stmt_count();
+    let mut small = 0usize;
+    let mut clusters = 0usize;
+    for cluster in session.cover().clusters() {
+        let engine = ClusterEngine::new(cx(&session), cluster.members.clone(), 8);
+        clusters += 1;
+        if engine.relevant().stmt_count() * 4 < total {
+            small += 1;
+        }
+    }
+    assert!(
+        small * 10 >= clusters * 9,
+        "at least 90% of slices should be <25% of the program ({small}/{clusters})"
+    );
+}
