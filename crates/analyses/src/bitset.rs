@@ -153,6 +153,12 @@ impl VarSet {
         if other.is_empty() {
             return false;
         }
+        // First flow into an empty destination — the most common union in
+        // one-pass constraint graphs — is a straight clone.
+        if self.is_empty() {
+            *self = other.clone();
+            return true;
+        }
         // Fast dense/dense path.
         if let (VarSet::Dense { words, len }, VarSet::Dense { words: ow, .. }) = (&mut *self, other)
         {
@@ -176,11 +182,140 @@ impl VarSet {
             }
             return changed;
         }
+        // Sparse/sparse: linear merge instead of per-element binary-search
+        // inserts (which are O(n·m) in vector shifts).
+        if let (VarSet::Sparse(a), VarSet::Sparse(b)) = (&mut *self, other) {
+            if sorted_is_subset(b, a) {
+                return false;
+            }
+            let merged = sorted_merge(a, b);
+            *a = merged;
+            if a.len() > PROMOTE_AT {
+                self.promote();
+            }
+            return true;
+        }
         let mut changed = false;
         for k in other.iter() {
             changed |= self.insert(k);
         }
         changed
+    }
+
+    /// Unions `other` into `self`, inserting every *newly added* key into
+    /// `delta` as well; returns `true` if `self` changed.
+    ///
+    /// This is the difference-propagation primitive: the solver needs "what
+    /// did this union actually add" without materializing an intermediate
+    /// difference set. The dense/dense path works a word at a time
+    /// (`added = other & !self`), so no per-element scan or allocation
+    /// happens for large sets.
+    pub fn union_into_delta(&mut self, other: &VarSet, delta: &mut VarSet) -> bool {
+        if other.is_empty() {
+            return false;
+        }
+        // Empty destination: everything in `other` is new.
+        if self.is_empty() {
+            *self = other.clone();
+            if delta.is_empty() {
+                *delta = other.clone();
+            } else {
+                for k in other.iter() {
+                    delta.insert(k);
+                }
+            }
+            return true;
+        }
+        if let (VarSet::Dense { words, len }, VarSet::Dense { words: ow, .. }) = (&mut *self, other)
+        {
+            if ow.len() > words.len() {
+                words.resize(ow.len(), 0);
+            }
+            let mut changed = false;
+            for (i, (w, o)) in words.iter_mut().zip(ow.iter()).enumerate() {
+                let added = *o & !*w;
+                if added != 0 {
+                    changed = true;
+                    *w |= added;
+                    *len += added.count_ones() as usize;
+                    delta.insert_word(i, added);
+                }
+            }
+            return changed;
+        }
+        // Sparse/sparse: one linear merge producing the union and the list
+        // of newly added keys (sorted), folded into `delta` afterwards.
+        if let (VarSet::Sparse(a), VarSet::Sparse(b)) = (&mut *self, other) {
+            if sorted_is_subset(b, a) {
+                return false;
+            }
+            let mut added: Vec<u32> = Vec::new();
+            let mut merged: Vec<u32> = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        merged.push(a[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push(b[j]);
+                        added.push(b[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+            added.extend_from_slice(&b[j..]);
+            *a = merged;
+            if a.len() > PROMOTE_AT {
+                self.promote();
+            }
+            match delta {
+                VarSet::Sparse(d) if d.is_empty() => *d = added,
+                _ => {
+                    for k in added {
+                        delta.insert(k);
+                    }
+                }
+            }
+            return true;
+        }
+        let mut changed = false;
+        for k in other.iter() {
+            if self.insert(k) {
+                delta.insert(k);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Inserts every set bit of `bits` interpreted at word index
+    /// `word_idx` (i.e. keys `word_idx * 64 + bit`).
+    fn insert_word(&mut self, word_idx: usize, bits: u64) {
+        if let VarSet::Dense { words, len } = self {
+            if word_idx >= words.len() {
+                words.resize(word_idx + 1, 0);
+            }
+            let added = bits & !words[word_idx];
+            words[word_idx] |= added;
+            *len += added.count_ones() as usize;
+            return;
+        }
+        let base = word_idx as u32 * 64;
+        let mut b = bits;
+        while b != 0 {
+            let bit = b.trailing_zeros();
+            b &= b - 1;
+            self.insert(base + bit);
+        }
     }
 
     /// Returns `true` if the sets share at least one element.
@@ -202,6 +337,50 @@ impl VarSet {
             },
         }
     }
+}
+
+/// Is sorted slice `b` a subset of sorted slice `a`? Linear scan.
+fn sorted_is_subset(b: &[u32], a: &[u32]) -> bool {
+    if b.len() > a.len() {
+        return false;
+    }
+    let mut i = 0;
+    for &k in b {
+        while i < a.len() && a[i] < k {
+            i += 1;
+        }
+        if i >= a.len() || a[i] != k {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Merges two sorted deduplicated slices into one sorted deduplicated vec.
+fn sorted_merge(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&a[i..]);
+    merged.extend_from_slice(&b[j..]);
+    merged
 }
 
 impl FromIterator<u32> for VarSet {
@@ -341,6 +520,72 @@ mod tests {
         let big: VarSet = (0..500).collect();
         assert!(big.intersects(&a));
         assert!(a.intersects(&big));
+    }
+
+    #[test]
+    fn union_into_delta_reports_only_new_keys() {
+        // sparse/sparse
+        let mut a = VarSet::from_iter([1, 2, 3]);
+        let b = VarSet::from_iter([3, 4, 5]);
+        let mut delta = VarSet::new();
+        assert!(a.union_into_delta(&b, &mut delta));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(delta.iter().collect::<Vec<_>>(), vec![4, 5]);
+        // second union adds nothing
+        let mut delta2 = VarSet::new();
+        assert!(!a.union_into_delta(&b, &mut delta2));
+        assert!(delta2.is_empty());
+    }
+
+    #[test]
+    fn union_into_delta_dense_paths() {
+        // dense/dense word-level path
+        let mut a: VarSet = (0..150).collect();
+        let b: VarSet = (100..300).collect();
+        let mut delta = VarSet::new();
+        assert!(a.union_into_delta(&b, &mut delta));
+        assert_eq!(a.len(), 300);
+        assert_eq!(delta.iter().collect::<Vec<_>>(), (150..300).collect::<Vec<_>>());
+        // delta accumulates across calls (pre-seeded delta keeps old keys)
+        let c: VarSet = (295..310).collect();
+        assert!(a.union_into_delta(&c, &mut delta));
+        assert_eq!(a.len(), 310);
+        assert!(delta.contains(150) && delta.contains(309));
+        assert_eq!(delta.len(), 160);
+        // mixed sparse-self/dense-other
+        let mut s = VarSet::from_iter([5000]);
+        let mut d3 = VarSet::new();
+        assert!(s.union_into_delta(&b, &mut d3));
+        assert_eq!(d3.len(), 200);
+        assert_eq!(s.len(), 201);
+    }
+
+    #[test]
+    fn union_into_delta_agrees_with_union_with() {
+        for (av, bv) in [
+            ((0u32..40).collect::<Vec<_>>(), (20u32..200).collect::<Vec<_>>()),
+            ((0u32..200).step_by(3).collect(), (0u32..200).step_by(5).collect()),
+            (vec![], (0u32..10).collect()),
+            ((0u32..10).collect(), vec![]),
+        ] {
+            let mut via_union: VarSet = av.iter().copied().collect();
+            let b: VarSet = bv.iter().copied().collect();
+            let mut via_delta: VarSet = av.iter().copied().collect();
+            let mut delta = VarSet::new();
+            let c1 = via_union.union_with(&b);
+            let c2 = via_delta.union_into_delta(&b, &mut delta);
+            assert_eq!(c1, c2);
+            assert_eq!(
+                via_union.iter().collect::<Vec<_>>(),
+                via_delta.iter().collect::<Vec<_>>()
+            );
+            // delta is exactly union minus the original a
+            let want: Vec<u32> = via_union
+                .iter()
+                .filter(|k| !av.contains(k))
+                .collect();
+            assert_eq!(delta.iter().collect::<Vec<_>>(), want);
+        }
     }
 
     #[test]

@@ -158,10 +158,37 @@ proptest! {
         let baseline = andersen::analyze_with(&program, andersen::SolverOptions::default());
         let collapsed = andersen::analyze_with(
             &program,
-            andersen::SolverOptions { collapse_cycles: true },
+            andersen::SolverOptions { collapse_cycles: true, ..Default::default() },
         );
         for v in program.var_ids() {
             prop_assert_eq!(baseline.points_to_vars(v), collapsed.points_to_vars(v));
+        }
+    }
+
+    /// The difference-propagation solver (the default) computes exactly
+    /// the same points-to sets as the naive full-set oracle, with cycle
+    /// collapsing both off and on.
+    #[test]
+    fn difference_propagation_matches_naive(ops in prop::collection::vec((0u8..5, 0u8..8, 0u8..8), 1..80)) {
+        let program = build_program(&ops, 8, 4);
+        for collapse_cycles in [false, true] {
+            let naive = andersen::analyze_with(
+                &program,
+                andersen::SolverOptions { collapse_cycles, naive: true },
+            );
+            let delta = andersen::analyze_with(
+                &program,
+                andersen::SolverOptions { collapse_cycles, naive: false },
+            );
+            for v in program.var_ids() {
+                prop_assert_eq!(
+                    naive.points_to_vars(v),
+                    delta.points_to_vars(v),
+                    "mismatch for {} (collapse_cycles={})",
+                    program.var(v).name(),
+                    collapse_cycles
+                );
+            }
         }
     }
 

@@ -1,0 +1,209 @@
+//! Naive vs difference-propagation Andersen solver benchmark.
+//!
+//! Runs both solver variants over the largest Table 1 preset (sendmail):
+//! once on the relevant-statement slice of the biggest Steensgaard
+//! partition (the unit of work the bootstrapping cascade actually hands to
+//! Andersen), and once on the whole program. Prints one speedup line per
+//! workload and dumps the numbers as `BENCH_andersen.json` at the repo
+//! root for machine consumption.
+//!
+//! Run with: `cargo bench --bench solver` (add `-- --quick` for one
+//! sample per measurement).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use bootstrap_analyses::andersen::{self, SolverOptions, SolverStats};
+use bootstrap_analyses::steensgaard;
+use bootstrap_core::relevant::relevant_statements;
+use bootstrap_ir::{Stmt, VarId};
+use bootstrap_workloads::presets;
+
+/// Renumbers the variables of a statement slice into a dense 0..n range so
+/// solver state is allocated for the variables the slice actually touches,
+/// not for the whole program's variable space. Both solver variants get
+/// the same remapped input, so the comparison is unaffected — this only
+/// stops table allocation from drowning out solve time on small slices.
+fn compact(stmts: &[&Stmt]) -> (usize, Vec<Stmt>) {
+    let mut map: HashMap<VarId, VarId> = HashMap::new();
+    let mut next = 0usize;
+    let mut remap = |v: VarId, map: &mut HashMap<VarId, VarId>| -> VarId {
+        *map.entry(v).or_insert_with(|| {
+            let dense = VarId::new(next);
+            next += 1;
+            dense
+        })
+    };
+    let out = stmts
+        .iter()
+        .filter_map(|s| match **s {
+            Stmt::AddrOf { dst, obj } => Some(Stmt::AddrOf {
+                dst: remap(dst, &mut map),
+                obj: remap(obj, &mut map),
+            }),
+            Stmt::Copy { dst, src } => Some(Stmt::Copy {
+                dst: remap(dst, &mut map),
+                src: remap(src, &mut map),
+            }),
+            Stmt::Load { dst, src } => Some(Stmt::Load {
+                dst: remap(dst, &mut map),
+                src: remap(src, &mut map),
+            }),
+            Stmt::Store { dst, src } => Some(Stmt::Store {
+                dst: remap(dst, &mut map),
+                src: remap(src, &mut map),
+            }),
+            // Everything else is a no-op for the inclusion solver.
+            _ => None,
+        })
+        .collect();
+    (map.len(), out)
+}
+
+struct Measurement {
+    label: String,
+    n_vars: usize,
+    n_stmts: usize,
+    naive: Duration,
+    delta: Duration,
+    naive_stats: SolverStats,
+    delta_stats: SolverStats,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.naive.as_secs_f64() / self.delta.as_secs_f64().max(1e-9)
+    }
+}
+
+fn time_solver(
+    n_vars: usize,
+    stmts: &[Stmt],
+    options: SolverOptions,
+    samples: usize,
+) -> (Duration, SolverStats) {
+    // One warmup, then the median of `samples` runs.
+    let (_, stats) = andersen::analyze_stmts_with_stats(n_vars, stmts.iter(), options);
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = andersen::analyze_stmts_with_stats(n_vars, stmts.iter(), options);
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    (times[times.len() / 2], stats)
+}
+
+fn measure(label: &str, n_vars: usize, stmts: &[Stmt], samples: usize) -> Measurement {
+    let naive_opts = SolverOptions {
+        naive: true,
+        ..Default::default()
+    };
+    let delta_opts = SolverOptions::default();
+    let (naive, naive_stats) = time_solver(n_vars, stmts, naive_opts, samples);
+    let (delta, delta_stats) = time_solver(n_vars, stmts, delta_opts, samples);
+    Measurement {
+        label: label.to_string(),
+        n_vars,
+        n_stmts: stmts.len(),
+        naive,
+        delta,
+        naive_stats,
+        delta_stats,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(preset_name: &str, rows: &[Measurement]) -> std::io::Result<String> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"preset\": \"{}\",\n  \"solver\": \"andersen\",\n  \"unit\": \"seconds\",\n  \"workloads\": [\n",
+        json_escape(preset_name)
+    ));
+    for (i, m) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"vars\": {}, \"stmts\": {}, ",
+                "\"naive_secs\": {:.6}, \"delta_secs\": {:.6}, \"speedup\": {:.2}, ",
+                "\"naive_pops\": {}, \"delta_pops\": {}, ",
+                "\"naive_edges\": {}, \"delta_edges\": {}}}{}\n"
+            ),
+            json_escape(&m.label),
+            m.n_vars,
+            m.n_stmts,
+            m.naive.as_secs_f64(),
+            m.delta.as_secs_f64(),
+            m.speedup(),
+            m.naive_stats.pops,
+            m.delta_stats.pops,
+            m.naive_stats.edges,
+            m.delta_stats.edges,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_andersen.json");
+    std::fs::write(path, out)?;
+    Ok(path.to_string())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 1 } else { 3 };
+
+    // Largest preset by paper pointer count (sendmail, 65k pointers).
+    let preset = presets::all()
+        .into_iter()
+        .max_by_key(|p| p.paper.pointers)
+        .expect("presets exist");
+    let name = preset.paper.name;
+    println!("generating preset '{name}' ({} pointers)...", preset.paper.pointers);
+    let program = preset.generate();
+    let st = steensgaard::analyze(&program);
+
+    // Biggest Steensgaard alias partition -> its relevant slice St_P: the
+    // exact workload the cascade hands to the bootstrapped Andersen stage.
+    let partitions = st.alias_partitions(&program);
+    let (_, members) = partitions
+        .iter()
+        .max_by_key(|(_, m)| m.len())
+        .expect("non-empty program");
+    let rel = relevant_statements(&program, &st, members);
+    let slice: Vec<&Stmt> = rel.stmts().map(|l| program.stmt_at(l)).collect();
+    let (slice_vars, slice_stmts) = compact(&slice);
+    println!(
+        "biggest partition: {} members, {} relevant stmts, {} vars after compaction",
+        members.len(),
+        slice.len(),
+        slice_vars
+    );
+
+    let whole: Vec<&Stmt> = program.all_locs().map(|(_, s)| s).collect();
+    let (whole_vars, whole_stmts) = compact(&whole);
+
+    let rows = vec![
+        measure("biggest-partition-slice", slice_vars, &slice_stmts, samples),
+        measure("whole-program", whole_vars, &whole_stmts, samples),
+    ];
+
+    for m in &rows {
+        println!(
+            "solver/{}: naive {:?} ({} pops) -> delta {:?} ({} pops)  speedup {:.2}x",
+            m.label,
+            m.naive,
+            m.naive_stats.pops,
+            m.delta,
+            m.delta_stats.pops,
+            m.speedup()
+        );
+    }
+    match write_json(name, &rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write BENCH_andersen.json: {e}"),
+    }
+}

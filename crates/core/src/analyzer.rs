@@ -14,6 +14,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use bootstrap_analyses::ClassId;
 use bootstrap_ir::{FuncId, Loc, Stmt, VarId};
@@ -68,7 +69,10 @@ impl std::error::Error for QueryError {}
 pub struct Analyzer<'s> {
     session: &'s Session<'s>,
     engines: RefCell<HashMap<ClassId, Rc<RefCell<ClusterEngine>>>>,
-    fsci_cache: RefCell<HashMap<(VarId, Loc), Option<Rc<Vec<VarId>>>>>,
+    /// Thread-local memo over the session's shared cache: avoids the shared
+    /// shard lock (and its hit/miss accounting) on repeat lookups. Values
+    /// are `Arc` so they can be published to the shared cache verbatim.
+    fsci_cache: RefCell<HashMap<(VarId, Loc), Option<Arc<Vec<VarId>>>>>,
     /// FSCI computations currently on the oracle stack; re-entry on the
     /// same `(variable, location)` is a genuine cyclic dependency (the
     /// paper's same-depth case) and degrades to the Steensgaard fallback.
@@ -581,6 +585,16 @@ impl<'s> Analyzer<'s> {
         if let Some(cached) = self.fsci_cache.borrow().get(&(v, loc)) {
             return cached.as_ref().map(|r| r.as_ref().clone());
         }
+        // Session-wide shared cache next: another analyzer (possibly on
+        // another thread) may already have done this computation. Only
+        // clean results are ever published there, so adopting one is
+        // indistinguishable from having computed it here.
+        if let Some(shared) = self.session.fsci_cache().get(v, loc) {
+            self.fsci_cache
+                .borrow_mut()
+                .insert((v, loc), shared.clone());
+            return shared.as_ref().map(|r| r.as_ref().clone());
+        }
         if self.fsci_stack.borrow().contains(&(v, loc)) {
             // Cyclic (same-depth) dependency: report unknown, do not cache.
             return None;
@@ -604,7 +618,7 @@ impl<'s> Analyzer<'s> {
                     .collect();
                 pts.sort();
                 pts.dedup();
-                Some(Rc::new(pts))
+                Some(Arc::new(pts))
             }
             Outcome::TimedOut => None,
         };
@@ -613,6 +627,7 @@ impl<'s> Analyzer<'s> {
             self.fsci_cache
                 .borrow_mut()
                 .insert((v, loc), result.clone());
+            self.session.fsci_cache().insert(v, loc, result.clone());
         }
         result.map(|r| r.as_ref().clone())
     }
@@ -826,6 +841,35 @@ mod tests {
             .0;
         let pts = az.fsci_pts(v(&p, "z"), store_loc).unwrap();
         assert_eq!(pts, vec![v(&p, "x")]);
+    }
+
+    #[test]
+    fn second_analyzer_hits_shared_fsci_cache() {
+        let (p, c) = session(
+            "int a; int *x; int **z;
+             void main() { x = &a; z = &x; *z = &a; }",
+        );
+        let s = Session::new(&p, c);
+        let main = p.func(p.func_named("main").unwrap());
+        let store_loc = main
+            .locs()
+            .find(|(_, st)| matches!(st, Stmt::Store { .. }))
+            .unwrap()
+            .0;
+        let az1 = s.analyzer();
+        let pts1 = az1.fsci_pts(v(&p, "z"), store_loc).unwrap();
+        let after_first = s.fsci_cache_stats();
+        assert!(after_first.entries > 0, "clean result published");
+        // A brand-new analyzer (as a parallel worker would create) answers
+        // from the shared cache instead of recomputing.
+        let az2 = s.analyzer();
+        let pts2 = az2.fsci_pts(v(&p, "z"), store_loc).unwrap();
+        assert_eq!(pts1, pts2);
+        let after_second = s.fsci_cache_stats();
+        assert!(
+            after_second.hits > after_first.hits,
+            "expected a shared-cache hit: {after_second:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! A sharded, concurrently readable FSCI points-to cache shared by every
+//! analyzer of a [`crate::session::Session`].
+//!
+//! Only *clean* top-level FSCI computations land here (see
+//! [`crate::analyzer::Analyzer::fsci_pts`]): their results are independent
+//! of query order and of which thread computed them, so sharing them across
+//! worker threads cannot change any answer — it only removes duplicated
+//! work when parallel cluster processing asks for the same `(variable,
+//! location)` set from several workers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bootstrap_ir::{Loc, VarId};
+use parking_lot::RwLock;
+
+/// Number of independently locked shards. A small power of two: enough to
+/// keep a handful of worker threads from serializing on one lock, cheap
+/// enough to iterate for stats.
+const SHARDS: usize = 16;
+
+type Key = (VarId, Loc);
+/// `None` records a computation that degraded (budget exhausted) — also
+/// deterministic for a clean run, so also shareable.
+type CachedPts = Option<Arc<Vec<VarId>>>;
+
+/// Hit/miss counters for the shared cache (monotonic, process lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsciCacheStats {
+    /// Lookups answered from the shared cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh computation.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// Sharded concurrent map from `(variable, location)` to the FSCI
+/// may-points-to set computed for it.
+#[derive(Default)]
+pub struct SharedFsciCache {
+    shards: [RwLock<HashMap<Key, CachedPts>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedFsciCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: &Key) -> &RwLock<HashMap<Key, CachedPts>> {
+        // Cheap mix of the two ids; shard count is a power of two.
+        let h = (key.0.index() as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(key.1.func.index() as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(key.1.stmt as u64);
+        &self.shards[(h >> 56) as usize & (SHARDS - 1)]
+    }
+
+    /// Looks up a cached result, bumping the hit/miss counters.
+    pub fn get(&self, v: VarId, loc: Loc) -> Option<CachedPts> {
+        let key = (v, loc);
+        let found = self.shard(&key).read().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a clean computation's result. Last write wins; concurrent
+    /// writers for the same key computed the same value (clean FSCI results
+    /// are order-independent), so the race is benign.
+    pub fn insert(&self, v: VarId, loc: Loc, pts: CachedPts) {
+        let key = (v, loc);
+        self.shard(&key).write().insert(key, pts);
+    }
+
+    /// A snapshot of the hit/miss counters and entry count.
+    pub fn stats(&self) -> FsciCacheStats {
+        FsciCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.read().len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootstrap_ir::FuncId;
+
+    fn key(i: usize) -> (VarId, Loc) {
+        (VarId::new(i), Loc::new(FuncId::new(0), i as u32))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = SharedFsciCache::new();
+        let (v, loc) = key(1);
+        assert!(cache.get(v, loc).is_none());
+        cache.insert(v, loc, Some(Arc::new(vec![VarId::new(9)])));
+        let got = cache.get(v, loc).expect("cached");
+        assert_eq!(got.as_deref().map(|p| p.len()), Some(1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn negative_results_are_cached_too() {
+        let cache = SharedFsciCache::new();
+        let (v, loc) = key(2);
+        cache.insert(v, loc, None);
+        assert_eq!(cache.get(v, loc), Some(None));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let cache = SharedFsciCache::new();
+        for i in 0..256 {
+            let (v, loc) = key(i);
+            cache.insert(v, loc, None);
+        }
+        assert_eq!(cache.stats().entries, 256);
+        let populated = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(populated > 1, "all 256 keys landed in one shard");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let cache = SharedFsciCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..64 {
+                        let (v, loc) = key(t * 64 + i);
+                        cache.insert(v, loc, Some(Arc::new(vec![VarId::new(i)])));
+                        assert!(cache.get(v, loc).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 256);
+    }
+}

@@ -42,6 +42,7 @@ pub mod budget;
 pub mod constraint;
 pub mod cover;
 pub mod engine;
+pub mod fsci_cache;
 pub mod parallel;
 pub mod relevant;
 pub mod session;
@@ -51,6 +52,7 @@ pub use analyzer::{Analyzer, QueryError};
 pub use budget::{AnalysisBudget, Outcome};
 pub use cover::{AliasCover, Cluster, ClusterOrigin};
 pub use engine::{ClusterEngine, EngineCx, NoOracle, PtsOracle};
+pub use fsci_cache::FsciCacheStats;
 pub use parallel::ClusterReport;
 pub use relevant::{relevant_statements, RelevantSet};
 pub use session::{CascadeTimings, Config, MiddleStage, Session};

@@ -48,9 +48,22 @@ pub fn process_clusters(
         .collect()
 }
 
-/// Analyzes clusters on `threads` OS threads. Each worker owns a private
-/// analyzer (FSCI work may be duplicated across workers; results are
-/// unaffected). Reports come back in cluster order.
+/// Largest-processing-time-first schedule: cluster indices in descending
+/// member-count order (ties broken by ascending index, so the schedule is
+/// deterministic). Per-cluster cost grows super-linearly with member count,
+/// so starting the big clusters first minimizes the makespan — a small
+/// cluster arriving last pads the tail by little, a big one by a lot.
+pub fn lpt_order(clusters: &[Cluster]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(clusters[i].members.len()), i));
+    order
+}
+
+/// Analyzes clusters on `threads` OS threads. Each worker owns its own
+/// analyzer, but all of them consult the session's shared FSCI cache
+/// ([`Session::fsci_cache_stats`] counts the sharing), so oracle work done
+/// for one cluster is visible to every other worker. Clusters are enqueued
+/// largest-first ([`lpt_order`]); reports still come back in cluster order.
 pub fn process_clusters_parallel(
     session: &Session<'_>,
     clusters: &[Cluster],
@@ -63,7 +76,7 @@ pub fn process_clusters_parallel(
     }
     let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
     let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, ClusterReport)>();
-    for i in 0..clusters.len() {
+    for i in lpt_order(clusters) {
         task_tx.send(i).expect("queue open");
     }
     drop(task_tx);
@@ -179,6 +192,48 @@ mod tests {
             assert_eq!(a.summary_tuples, b.summary_tuples);
             assert_eq!(a.timed_out, b.timed_out);
         }
+    }
+
+    #[test]
+    fn lpt_order_is_descending_by_size() {
+        use crate::cover::ClusterOrigin;
+        use bootstrap_ir::VarId;
+        let mk = |id: usize, n: usize| {
+            Cluster::new(
+                id,
+                ClusterOrigin::WholeProgram,
+                (0..n).map(VarId::new).collect(),
+            )
+        };
+        let clusters = vec![mk(0, 2), mk(1, 7), mk(2, 7), mk(3, 1), mk(4, 5)];
+        assert_eq!(lpt_order(&clusters), vec![1, 2, 4, 0, 3]);
+        let sizes: Vec<usize> = lpt_order(&clusters)
+            .into_iter()
+            .map(|i| clusters[i].members.len())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert!(lpt_order(&[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_workers_publish_to_shared_fsci_cache() {
+        // Multi-level pointers force the engine to consult the FSCI oracle
+        // while processing clusters; clean results land in the session's
+        // shared cache where every worker can see them.
+        let p = parse_program(
+            "int a; int b; int *x; int *y; int **z; int **w;
+             void main() { x = &a; z = &x; w = z; *z = &b; y = *w; }",
+        )
+        .unwrap();
+        let s = Session::new(&p, Config::default());
+        let clusters = s.cover().clusters().to_vec();
+        let reports = process_clusters_parallel(&s, &clusters, 4, 1_000_000);
+        assert_eq!(reports.len(), clusters.len());
+        let stats = s.fsci_cache_stats();
+        assert!(
+            stats.entries > 0,
+            "cluster processing should publish FSCI results: {stats:?}"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::analyzer::Analyzer;
 use crate::budget::AnalysisBudget;
 use crate::cover::{AliasCover, Cluster, ClusterOrigin};
 use crate::engine::EngineCx;
+use crate::fsci_cache::{FsciCacheStats, SharedFsciCache};
 use crate::relevant::{relevant_statements_indexed, RelevantIndex};
 
 /// Which analyses the cascade runs on oversized partitions.
@@ -108,6 +109,10 @@ pub struct Session<'p> {
     callers_of: HashMap<FuncId, Vec<Loc>>,
     alias_partitions: HashMap<bootstrap_analyses::ClassId, Vec<VarId>>,
     timings: CascadeTimings,
+    /// Clean FSCI results, shared by every analyzer of this session (the
+    /// session stays logically immutable: the cache is a memo table over a
+    /// deterministic function of the program).
+    fsci_cache: SharedFsciCache,
 }
 
 impl<'p> Session<'p> {
@@ -154,6 +159,7 @@ impl<'p> Session<'p> {
                 steensgaard: steensgaard_time,
                 clustering: clustering_time,
             },
+            fsci_cache: SharedFsciCache::new(),
         }
     }
 
@@ -197,9 +203,20 @@ impl<'p> Session<'p> {
         self.callers_of.get(&f).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// A fresh caching query context (one per thread).
+    /// A fresh caching query context (one per thread). All analyzers of a
+    /// session consult the session's shared FSCI cache before computing.
     pub fn analyzer(&self) -> Analyzer<'_> {
         Analyzer::new(self)
+    }
+
+    /// The session-wide FSCI cache (clean top-level results only).
+    pub(crate) fn fsci_cache(&self) -> &SharedFsciCache {
+        &self.fsci_cache
+    }
+
+    /// Hit/miss/entry counters of the shared FSCI points-to cache.
+    pub fn fsci_cache_stats(&self) -> FsciCacheStats {
+        self.fsci_cache.stats()
     }
 
     pub(crate) fn engine_cx(&self) -> EngineCx<'_> {

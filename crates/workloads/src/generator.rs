@@ -306,6 +306,43 @@ impl Planner<'_> {
             let op = self.maybe_call_copy(hub_vars[h], hub_vars[h - 1]);
             self.push_op(&homes, op);
         }
+        // Close the hub chain into a copy cycle and give each hub a couple
+        // of address-taken objects of its own. Real oversized partitions
+        // are cyclic (mutually assigned globals and handle tables), and
+        // the ring is what separates solver strategies: every object
+        // injected anywhere on it must travel the whole cycle, so a
+        // full-set solver re-unions ever-growing sets per hop while a
+        // difference-propagating one moves each object once. The hubs
+        // already share one Andersen cluster, so partition shapes and the
+        // calibrated Andersen max are unchanged (hub-object clusters have
+        // `hubs` members, below `spoke_len + hubs`).
+        if hubs > 1 {
+            self.push_op(&homes, Op::Copy(hub_vars[0], hub_vars[hubs - 1]));
+        }
+        for h in 0..hubs {
+            for k in 0..2 {
+                let obj = self.fresh(&format!("bp{index}_hobj{h}_{k}"), false);
+                self.push_op(&homes, Op::AddrOf(hub_vars[h], obj));
+            }
+        }
+        // A handle table over the hubs: a double pointer that may hold the
+        // address of any hub, read and written through `*table`. Each
+        // dereference makes the solver derive one copy edge per (pointed-to
+        // hub × access) — the objects-times-accesses load/store work that
+        // dominates inclusion solving on real oversized partitions.
+        let table = self.fresh(&format!("bp{index}_tab"), true);
+        for &hv in &hub_vars {
+            self.push_op(&homes, Op::AddrOf(table, hv));
+        }
+        let accesses = hubs.min(16);
+        for a in 0..accesses {
+            let ld = self.fresh(&format!("bp{index}_tl{a}"), true);
+            self.push_op(&homes, Op::Load(ld, table));
+            let obj = self.fresh(&format!("bp{index}_tobj{a}"), false);
+            let st = self.fresh(&format!("bp{index}_ts{a}"), true);
+            self.push_op(&homes, Op::AddrOf(st, obj));
+            self.push_op(&homes, Op::Store(table, st));
+        }
 
         for s in 0..n_spokes {
             // Fresh identity helper per spoke (see hub comment).

@@ -1,0 +1,322 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this workspace vendors a
+//! minimal property-testing harness with the same surface the test suites
+//! use: the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`, integer-range / tuple / `prop_map`
+//! strategies, `prop::collection::{vec, btree_set}`, `prop::sample::select`,
+//! and simple regex-like string strategies (`"\\PC{0,200}"`,
+//! `"[chars]{0,300}"`).
+//!
+//! Differences from upstream: no shrinking (failures report the raw inputs
+//! and case seed), and the random stream is SplitMix64 keyed on
+//! test-name + case index, so failures reproduce deterministically across
+//! runs of the same binary.
+
+use std::fmt;
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Deterministic per-case random source.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG keyed on the test path and case number (plus an env override
+    /// `PROPTEST_SEED` to explore alternative streams).
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_1234_ABCD_0001);
+        let mut h = base ^ ((case as u64) << 32) ^ case as u64;
+        for b in test_path.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001B3);
+        }
+        let mut rng = TestRng { state: h };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// The next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// A uniform draw from a half-open `u128` span starting at `lo`.
+    pub fn in_span(&mut self, lo: i128, span: u128) -> i128 {
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+}
+
+/// A failed property assertion (carried out of the test-case closure).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Upstream-compatible alias of [`TestCaseError::fail`].
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Harness configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(128);
+        ProptestConfig { cases }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// its inputs reported) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over `config.cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = ($strat).generate(&mut __rng);)+
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}; ", &$arg));
+                        )+
+                        s
+                    };
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            e,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The harness runs, strategies stay in range, early Ok(()) works.
+        #[test]
+        fn harness_smoke(x in 0u32..10, y in 1usize..4, pair in (0u8..3, 0u32..5)) {
+            prop_assert!(x < 10);
+            prop_assert!((1..4).contains(&y));
+            if pair.0 == 0 {
+                return Ok(());
+            }
+            prop_assert!(pair.1 < 5, "pair out of range: {:?}", pair);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        /// Config form parses and applies.
+        #[test]
+        fn configured_cases(v in prop::collection::vec(0u32..100, 0..10)) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|&k| k < 100));
+        }
+    }
+
+    proptest! {
+        /// String pattern strategies produce strings within length bounds.
+        #[test]
+        fn string_patterns(a in "\\PC{0,20}", b in "[a-z0-9 ]{0,30}") {
+            prop_assert!(a.chars().count() <= 20);
+            prop_assert!(b.chars().count() <= 30);
+            prop_assert!(b.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+    }
+
+    proptest! {
+        /// prop_map and select compose.
+        #[test]
+        fn map_and_select(
+            s in crate::sample::select(vec!["a".to_string(), "bb".to_string()]),
+            n in (0u32..5).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(s == "a" || s == "bb");
+            prop_assert!(n % 2 == 0 && n < 10);
+        }
+    }
+
+    proptest! {
+        /// btree_set sizes respect the bound.
+        #[test]
+        fn btree_sets(set in prop::collection::btree_set(0u32..600, 0..200)) {
+            prop_assert!(set.len() < 200);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy as _;
+        let mut a = crate::TestRng::for_case("x::y", 3);
+        let mut b = crate::TestRng::for_case("x::y", 3);
+        let sa = (0u32..1000).generate(&mut a);
+        let sb = (0u32..1000).generate(&mut b);
+        assert_eq!(sa, sb);
+    }
+}

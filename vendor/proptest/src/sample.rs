@@ -1,0 +1,37 @@
+//! Sampling strategies: uniform selection from a fixed pool.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// A strategy drawing uniformly from `options` (which must be non-empty).
+pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select over an empty pool");
+    Select { options }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_only_yields_pool_members() {
+        let s = select(vec![1, 5, 9]);
+        let mut rng = TestRng::for_case("s", 0);
+        for _ in 0..60 {
+            assert!([1, 5, 9].contains(&s.generate(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Value-generation strategies: integer ranges, tuples, `prop_map`, and
+//! simple regex-like string patterns.
+
+use crate::TestRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: std::fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy (upstream-compatible helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, dynamically-dispatched strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: std::fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                rng.in_span(self.start as i128, span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                rng.in_span(lo as i128, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Pattern strategies: a `&str` is treated as a (tiny) regex subset —
+/// one atom (`\PC` for "any printable char" or a `[...]` character class)
+/// followed by a `{min,max}` repetition. This covers the patterns the
+/// workspace's tests use; anything unrecognized falls back to generating
+/// the literal string itself.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_pattern(self) {
+            Some((pool, min, max)) => {
+                let span = (max - min + 1) as u64;
+                let len = min + rng.below(span) as usize;
+                (0..len)
+                    .map(|_| pool[rng.below(pool.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parses `\PC{a,b}` / `[chars]{a,b}` into (char pool, min, max).
+fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let (pool, rest) = if let Some(rest) = pat.strip_prefix("\\PC") {
+        // Any printable character: ASCII printables plus a few multibyte
+        // code points to keep lexers honest.
+        let mut pool: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+        pool.extend(['é', 'λ', '→', '字', '\u{00A0}']);
+        (pool, rest)
+    } else if let Some(body) = pat.strip_prefix('[') {
+        let close = body.find(']')?;
+        let class = &body[..close];
+        let mut pool = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next()? {
+                    'n' => pool.push('\n'),
+                    't' => pool.push('\t'),
+                    'r' => pool.push('\r'),
+                    other => pool.push(other),
+                }
+            } else if chars.peek() == Some(&'-') {
+                // Character range a-z.
+                chars.next();
+                let hi = chars.next()?;
+                for v in (c as u32)..=(hi as u32) {
+                    pool.push(char::from_u32(v)?);
+                }
+            } else {
+                pool.push(c);
+            }
+        }
+        if pool.is_empty() {
+            return None;
+        }
+        (pool, &body[close + 1..])
+    } else {
+        return None;
+    };
+    let rest = rest.strip_prefix('{')?;
+    let close = rest.find('}')?;
+    if close + 1 != rest.len() {
+        return None;
+    }
+    let (min_s, max_s) = rest[..close].split_once(',')?;
+    Some((pool, min_s.parse().ok()?, max_s.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_pc_pattern() {
+        let (pool, min, max) = parse_pattern("\\PC{0,200}").unwrap();
+        assert!(pool.contains(&'a') && pool.contains(&' '));
+        assert_eq!((min, max), (0, 200));
+    }
+
+    #[test]
+    fn parse_class_pattern() {
+        let (pool, min, max) = parse_pattern("[a-z0-9*&;(){}=,<>! \\n]{0,300}").unwrap();
+        assert!(pool.contains(&'z') && pool.contains(&'7') && pool.contains(&'\n'));
+        assert!(pool.contains(&'{') && pool.contains(&'}'));
+        assert_eq!((min, max), (0, 300));
+    }
+
+    #[test]
+    fn unknown_pattern_is_literal() {
+        assert!(parse_pattern("hello").is_none());
+        let mut rng = TestRng::for_case("t", 0);
+        assert_eq!("hello".generate(&mut rng), "hello");
+    }
+}
