@@ -209,7 +209,7 @@ where
                 solver.stores[dst.index()].push(src.index() as u32);
                 solver.enqueue(dst.index() as u32);
             }
-            Stmt::Null { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
+            Stmt::Null { .. } | Stmt::Free { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
         }
     }
     solver.solve();
@@ -356,7 +356,7 @@ impl Solver {
                 continue; // stale entry for a merged or drained class
             }
             self.pops += 1;
-            if self.options.collapse_cycles && self.pops % (4 * n_nodes) == 0 {
+            if self.options.collapse_cycles && self.pops.is_multiple_of(4 * n_nodes) {
                 self.collapse_sccs();
                 n = self.rep(n as u32) as usize;
                 if self.delta[n].is_empty() {
@@ -385,7 +385,8 @@ impl Solver {
                 if t as usize == n {
                     continue;
                 }
-                let changed = self.pts[t as usize].union_into_delta(&d, &mut self.delta[t as usize]);
+                let changed =
+                    self.pts[t as usize].union_into_delta(&d, &mut self.delta[t as usize]);
                 if changed {
                     self.enqueue(t);
                 }
@@ -401,7 +402,7 @@ impl Solver {
         while let Some(raw) = self.pop_node() {
             let n = self.rep(raw) as usize;
             self.pops += 1;
-            if self.options.collapse_cycles && self.pops % (4 * n_nodes) == 0 {
+            if self.options.collapse_cycles && self.pops.is_multiple_of(4 * n_nodes) {
                 self.collapse_sccs();
             }
             // Derive new copy edges from loads/stores through n.
@@ -604,10 +605,8 @@ mod tests {
     #[test]
     fn figure2_directional_precision() {
         // Figure 2: p=&a; q=&b; r=&c; q=p; q=r.
-        let (p, r) = an(
-            "int a; int b; int c; int *p; int *q; int *r;
-             void main() { p = &a; q = &b; r = &c; q = p; q = r; }",
-        );
+        let (p, r) = an("int a; int b; int c; int *p; int *q; int *r;
+             void main() { p = &a; q = &b; r = &c; q = p; q = r; }");
         assert_eq!(pts_names(&p, &r, "p"), vec!["a"]);
         assert_eq!(pts_names(&p, &r, "r"), vec!["c"]);
         assert_eq!(pts_names(&p, &r, "q"), vec!["a", "b", "c"]);
@@ -615,10 +614,8 @@ mod tests {
 
     #[test]
     fn figure2_clusters_smaller_than_partition() {
-        let (p, r) = an(
-            "int a; int b; int c; int *p; int *q; int *r;
-             void main() { p = &a; q = &b; r = &c; q = p; q = r; }",
-        );
+        let (p, r) = an("int a; int b; int c; int *p; int *q; int *r;
+             void main() { p = &a; q = &b; r = &c; q = p; q = r; }");
         let pointers: Vec<VarId> = ["p", "q", "r"]
             .iter()
             .map(|n| p.var_named(n).unwrap())
@@ -627,15 +624,16 @@ mod tests {
         // Clusters: {p,q} (via a), {q} (via b), {q,r} (via c).
         assert_eq!(clusters.len(), 3);
         let max = clusters.iter().map(|c| c.members.len()).max().unwrap();
-        assert_eq!(max, 2, "largest Andersen cluster is smaller than the Steensgaard partition of size 3");
+        assert_eq!(
+            max, 2,
+            "largest Andersen cluster is smaller than the Steensgaard partition of size 3"
+        );
     }
 
     #[test]
     fn load_store_through_pointer() {
-        let (p, r) = an(
-            "int a; int b; int *x; int *y; int **z;
-             void main() { x = &a; z = &x; *z = &b; y = *z; }",
-        );
+        let (p, r) = an("int a; int b; int *x; int *y; int **z;
+             void main() { x = &a; z = &x; *z = &b; y = *z; }");
         assert_eq!(pts_names(&p, &r, "x"), vec!["a", "b"]);
         assert_eq!(pts_names(&p, &r, "y"), vec!["a", "b"]);
         assert_eq!(pts_names(&p, &r, "z"), vec!["x"]);
@@ -643,10 +641,8 @@ mod tests {
 
     #[test]
     fn may_alias_via_intersection() {
-        let (p, r) = an(
-            "int a; int b; int *x; int *y; int *w;
-             void main() { x = &a; y = &a; w = &b; }",
-        );
+        let (p, r) = an("int a; int b; int *x; int *y; int *w;
+             void main() { x = &a; y = &a; w = &b; }");
         let v = |n: &str| p.var_named(n).unwrap();
         assert!(r.may_alias(v("x"), v("y")));
         assert!(!r.may_alias(v("x"), v("w")));
@@ -664,21 +660,17 @@ mod tests {
 
     #[test]
     fn interprocedural_flow_via_param_binding() {
-        let (p, r) = an(
-            "int a; int *g;
+        let (p, r) = an("int a; int *g;
              int *id(int *q) { return q; }
-             void main() { g = id(&a); }",
-        );
+             void main() { g = id(&a); }");
         assert_eq!(pts_names(&p, &r, "g"), vec!["a"]);
         assert_eq!(pts_names(&p, &r, "id::q"), vec!["a"]);
     }
 
     #[test]
     fn heap_objects_distinguished_by_site() {
-        let (p, r) = an(
-            "int *x; int *y;
-             void main() { x = malloc(4); y = malloc(4); }",
-        );
+        let (p, r) = an("int *x; int *y;
+             void main() { x = malloc(4); y = malloc(4); }");
         let v = |n: &str| p.var_named(n).unwrap();
         assert!(!r.may_alias(v("x"), v("y")), "distinct alloc sites");
         assert_eq!(r.points_to(v("x")).len(), 1);
@@ -712,11 +704,9 @@ mod tests {
 
     #[test]
     fn fp_targets() {
-        let (p, r) = an(
-            "void f() { } void g() { }
+        let (p, r) = an("void f() { } void g() { }
              void (*fp)(); void (*fq)();
-             void main() { fp = &f; fq = &g; fp = fq; }",
-        );
+             void main() { fp = &f; fq = &g; fp = fq; }");
         let fp = p.var_named("fp").unwrap();
         let fq = p.var_named("fq").unwrap();
         assert_eq!(r.fp_targets(&p, fp).len(), 2);
@@ -747,10 +737,22 @@ mod worklist_tests {
                 obj: v(4 + o),
             });
         }
-        stmts.push(Stmt::Copy { dst: v(1), src: v(0) });
-        stmts.push(Stmt::Copy { dst: v(2), src: v(0) });
-        stmts.push(Stmt::Copy { dst: v(3), src: v(1) });
-        stmts.push(Stmt::Copy { dst: v(3), src: v(2) });
+        stmts.push(Stmt::Copy {
+            dst: v(1),
+            src: v(0),
+        });
+        stmts.push(Stmt::Copy {
+            dst: v(2),
+            src: v(0),
+        });
+        stmts.push(Stmt::Copy {
+            dst: v(3),
+            src: v(1),
+        });
+        stmts.push(Stmt::Copy {
+            dst: v(3),
+            src: v(2),
+        });
         let (result, stats) =
             analyze_stmts_with_stats(n_vars, stmts.iter(), SolverOptions::default());
         for node in 0..4 {
@@ -771,9 +773,15 @@ mod worklist_tests {
     fn duplicate_edges_are_deduplicated() {
         let v = |i: usize| VarId::new(i);
         let mut stmts: Vec<Stmt> = Vec::new();
-        stmts.push(Stmt::AddrOf { dst: v(0), obj: v(2) });
+        stmts.push(Stmt::AddrOf {
+            dst: v(0),
+            obj: v(2),
+        });
         for _ in 0..10 {
-            stmts.push(Stmt::Copy { dst: v(1), src: v(0) });
+            stmts.push(Stmt::Copy {
+                dst: v(1),
+                src: v(0),
+            });
         }
         let (result, stats) = analyze_stmts_with_stats(3, stmts.iter(), SolverOptions::default());
         assert_eq!(result.points_to(v(1)).len(), 1);

@@ -46,15 +46,6 @@ impl VarSet {
         Self::default()
     }
 
-    /// Creates a set from an iterator of keys.
-    pub fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
-        let mut s = Self::new();
-        for k in iter {
-            s.insert(k);
-        }
-        s
-    }
-
     /// Number of elements.
     pub fn len(&self) -> usize {
         match self {
@@ -385,7 +376,11 @@ fn sorted_merge(a: &[u32], b: &[u32]) -> Vec<u32> {
 
 impl FromIterator<u32> for VarSet {
     fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
-        VarSet::from_iter(iter)
+        let mut s = Self::new();
+        for k in iter {
+            s.insert(k);
+        }
+        s
     }
 }
 
@@ -545,7 +540,10 @@ mod tests {
         let mut delta = VarSet::new();
         assert!(a.union_into_delta(&b, &mut delta));
         assert_eq!(a.len(), 300);
-        assert_eq!(delta.iter().collect::<Vec<_>>(), (150..300).collect::<Vec<_>>());
+        assert_eq!(
+            delta.iter().collect::<Vec<_>>(),
+            (150..300).collect::<Vec<_>>()
+        );
         // delta accumulates across calls (pre-seeded delta keeps old keys)
         let c: VarSet = (295..310).collect();
         assert!(a.union_into_delta(&c, &mut delta));
@@ -563,8 +561,14 @@ mod tests {
     #[test]
     fn union_into_delta_agrees_with_union_with() {
         for (av, bv) in [
-            ((0u32..40).collect::<Vec<_>>(), (20u32..200).collect::<Vec<_>>()),
-            ((0u32..200).step_by(3).collect(), (0u32..200).step_by(5).collect()),
+            (
+                (0u32..40).collect::<Vec<_>>(),
+                (20u32..200).collect::<Vec<_>>(),
+            ),
+            (
+                (0u32..200).step_by(3).collect(),
+                (0u32..200).step_by(5).collect(),
+            ),
             (vec![], (0u32..10).collect()),
             ((0u32..10).collect(), vec![]),
         ] {
@@ -580,10 +584,7 @@ mod tests {
                 via_delta.iter().collect::<Vec<_>>()
             );
             // delta is exactly union minus the original a
-            let want: Vec<u32> = via_union
-                .iter()
-                .filter(|k| !av.contains(k))
-                .collect();
+            let want: Vec<u32> = via_union.iter().filter(|k| !av.contains(k)).collect();
             assert_eq!(delta.iter().collect::<Vec<_>>(), want);
         }
     }

@@ -128,7 +128,7 @@ pub fn analyze(program: &Program) -> OneFlowResult {
                 stores[dst.index()].push(src.index() as u32);
                 worklist.push(dst.index() as u32);
             }
-            Stmt::Null { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
+            Stmt::Null { .. } | Stmt::Free { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
         }
     }
 
@@ -184,10 +184,8 @@ mod tests {
 
     #[test]
     fn directional_top_level() {
-        let (p, of) = run(
-            "int a; int b; int *x; int *y;
-             void main() { x = &a; y = &b; y = x; }",
-        );
+        let (p, of) = run("int a; int b; int *x; int *y;
+             void main() { x = &a; y = &b; y = x; }");
         let v = |n: &str| p.var_named(n).unwrap();
         assert!(of.may_alias(v("x"), v("y")));
         assert_eq!(of.points_to_vars(v("x")).len(), 1);
@@ -222,10 +220,8 @@ mod tests {
 
     #[test]
     fn load_store_through_pointer() {
-        let (p, of) = run(
-            "int a; int b; int *x; int *y; int **z;
-             void main() { x = &a; z = &x; *z = &b; y = *z; }",
-        );
+        let (p, of) = run("int a; int b; int *x; int *y; int **z;
+             void main() { x = &a; z = &x; *z = &b; y = *z; }");
         let v = |n: &str| p.var_named(n).unwrap();
         assert!(of.may_alias(v("x"), v("y")));
         assert!(of.points_to(v("y")).contains(v("b").index() as u32));
@@ -233,10 +229,8 @@ mod tests {
 
     #[test]
     fn clusters_cover_all_pointers() {
-        let (p, of) = run(
-            "int a; int *x; int *never;
-             void main() { x = &a; }",
-        );
+        let (p, of) = run("int a; int *x; int *never;
+             void main() { x = &a; }");
         let pointers = vec![p.var_named("x").unwrap(), p.var_named("never").unwrap()];
         let clusters = of.clusters(&pointers);
         let mut covered: Vec<VarId> = clusters.into_iter().flatten().collect();

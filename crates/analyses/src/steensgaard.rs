@@ -235,7 +235,7 @@ pub fn analyze(program: &Program) -> SteensgaardResult {
                 let px = solver.pointee_of(dst.index() as u32);
                 solver.union(px, src.index() as u32);
             }
-            Stmt::Null { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
+            Stmt::Null { .. } | Stmt::Free { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
         }
     }
     solver.finish(program)
@@ -458,10 +458,8 @@ mod tests {
     #[test]
     fn figure2_partitions() {
         // Figure 2 of the paper: p=&a; q=&b; r=&c; q=p; q=r.
-        let (p, r) = st(
-            "int a; int b; int c; int *p; int *q; int *r;
-             void main() { p = &a; q = &b; r = &c; q = p; q = r; }",
-        );
+        let (p, r) = st("int a; int b; int c; int *p; int *q; int *r;
+             void main() { p = &a; q = &b; r = &c; q = p; q = r; }");
         let v = |n: &str| p.var_named(n).unwrap();
         // Steensgaard merges p, q, r into one class and a, b, c below it.
         assert_eq!(r.class_of(v("p")), r.class_of(v("q")));
@@ -475,10 +473,8 @@ mod tests {
     #[test]
     fn figure3_partitions() {
         // Figure 3: partitions {a,b}, {y}, {p,x}.
-        let (p, r) = st(
-            "int a; int b; int *x; int *y; int *p;
-             void main() { x = &a; y = &b; p = x; *x = *y; }",
-        );
+        let (p, r) = st("int a; int b; int *x; int *y; int *p;
+             void main() { x = &a; y = &b; p = x; *x = *y; }");
         let v = |n: &str| p.var_named(n).unwrap();
         assert_eq!(r.class_of(v("a")), r.class_of(v("b")));
         assert_eq!(r.class_of(v("p")), r.class_of(v("x")));
@@ -492,10 +488,8 @@ mod tests {
 
     #[test]
     fn depths_follow_hierarchy() {
-        let (p, r) = st(
-            "int a; int *x; int **z;
-             void main() { x = &a; z = &x; }",
-        );
+        let (p, r) = st("int a; int *x; int **z;
+             void main() { x = &a; z = &x; }");
         let v = |n: &str| p.var_named(n).unwrap();
         let (za, xa, aa) = (r.class_of(v("z")), r.class_of(v("x")), r.class_of(v("a")));
         assert_eq!(r.depth(za), 0);
@@ -517,10 +511,8 @@ mod tests {
 
     #[test]
     fn unrelated_pointers_stay_separate() {
-        let (p, r) = st(
-            "int a; int b; int *x; int *y;
-             void main() { x = &a; y = &b; }",
-        );
+        let (p, r) = st("int a; int b; int *x; int *y;
+             void main() { x = &a; y = &b; }");
         let v = |n: &str| p.var_named(n).unwrap();
         assert_ne!(r.class_of(v("x")), r.class_of(v("y")));
         assert_ne!(r.class_of(v("a")), r.class_of(v("b")));
@@ -528,27 +520,20 @@ mod tests {
 
     #[test]
     fn load_unifies_contents() {
-        let (p, r) = st(
-            "int a; int *x; int *y; int **z;
-             void main() { z = &x; x = &a; y = *z; }",
-        );
+        let (p, r) = st("int a; int *x; int *y; int **z;
+             void main() { z = &x; x = &a; y = *z; }");
         let v = |n: &str| p.var_named(n).unwrap();
         // y = *z means y's contents unify with x's contents.
-        assert_eq!(
-            r.pointee(r.class_of(v("y"))),
-            r.pointee(r.class_of(v("x")))
-        );
+        assert_eq!(r.pointee(r.class_of(v("y"))), r.pointee(r.class_of(v("x"))));
         // In fact Steensgaard unifies y and x themselves (both pointed by z's class).
         assert_eq!(r.points_to_vars(v("y")), r.points_to_vars(v("x")));
     }
 
     #[test]
     fn interprocedural_binding_unifies() {
-        let (p, r) = st(
-            "int a; int *g;
+        let (p, r) = st("int a; int *g;
              int *id(int *q) { return q; }
-             void main() { g = id(&a); }",
-        );
+             void main() { g = id(&a); }");
         let v = |n: &str| p.var_named(n).unwrap();
         // g = id(&a): param q gets &a; ret flows to g; all unify.
         assert_eq!(r.points_to_vars(v("g")), &[v("a")]);
@@ -557,10 +542,8 @@ mod tests {
 
     #[test]
     fn partitions_cover_all_vars_disjointly() {
-        let (p, r) = st(
-            "int a; int b; int *x; int *y; int **z;
-             void main() { x = &a; y = &b; z = &x; *z = y; }",
-        );
+        let (p, r) = st("int a; int b; int *x; int *y; int **z;
+             void main() { x = &a; y = &b; z = &x; *z = y; }");
         let mut seen = std::collections::HashSet::new();
         let mut count = 0;
         for (_, members) in r.partitions() {

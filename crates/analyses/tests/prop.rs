@@ -79,8 +79,12 @@ proptest! {
 /// and a pool of objects, from a compact op encoding.
 fn build_program(ops: &[(u8, u8, u8)], n_ptrs: usize, n_objs: usize) -> Program {
     let mut b = ProgramBuilder::new();
-    let ptrs: Vec<VarId> = (0..n_ptrs).map(|i| b.global(&format!("p{i}"), true)).collect();
-    let objs: Vec<VarId> = (0..n_objs).map(|i| b.global(&format!("o{i}"), false)).collect();
+    let ptrs: Vec<VarId> = (0..n_ptrs)
+        .map(|i| b.global(&format!("p{i}"), true))
+        .collect();
+    let objs: Vec<VarId> = (0..n_objs)
+        .map(|i| b.global(&format!("o{i}"), false))
+        .collect();
     let main = b.declare_func("main", 0, false);
     let mut fb = b.build_func(main);
     for (i, &(kind, x, y)) in ops.iter().enumerate() {

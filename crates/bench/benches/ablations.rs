@@ -35,9 +35,8 @@ fn main() {
             },
         );
         let cover = session.cover().clone();
-        let (reports, total) = parallel::timed(|| {
-            parallel::process_clusters(&session, cover.clusters(), steps)
-        });
+        let (reports, total) =
+            parallel::timed(|| parallel::process_clusters(&session, cover.clusters(), steps));
         let sim = parallel::simulated_parallel_time(&reports, 5);
         let label = if threshold == usize::MAX {
             "inf".to_string()
@@ -80,9 +79,8 @@ fn main() {
             },
         );
         let cover = session.cover().clone();
-        let (reports, total) = parallel::timed(|| {
-            parallel::process_clusters(&session, cover.clusters(), steps)
-        });
+        let (reports, total) =
+            parallel::timed(|| parallel::process_clusters(&session, cover.clusters(), steps));
         let tuples: usize = reports.iter().map(|r| r.summary_tuples).sum();
         println!("{cap:>5} {tuples:>12} {:>10}", fmt_secs(total));
     }
@@ -107,8 +105,14 @@ fn main() {
 
     println!();
     println!("== Ablation 4: cascade middle stage (Steensgaard -> [One-Flow] -> Andersen) ==");
-    println!("{:>10} {:>9} {:>7} {:>10} {:>10}", "stage", "clusters", "max", "clust-time", "fscs");
-    for (label, stage) in [("none", MiddleStage::None), ("oneflow", MiddleStage::OneFlow)] {
+    println!(
+        "{:>10} {:>9} {:>7} {:>10} {:>10}",
+        "stage", "clusters", "max", "clust-time", "fscs"
+    );
+    for (label, stage) in [
+        ("none", MiddleStage::None),
+        ("oneflow", MiddleStage::OneFlow),
+    ] {
         let session = Session::new(
             &program,
             Config {
@@ -117,9 +121,8 @@ fn main() {
             },
         );
         let cover = session.cover().clone();
-        let (reports, total) = parallel::timed(|| {
-            parallel::process_clusters(&session, cover.clusters(), steps)
-        });
+        let (reports, total) =
+            parallel::timed(|| parallel::process_clusters(&session, cover.clusters(), steps));
         let _ = reports;
         println!(
             "{label:>10} {:>9} {:>7} {:>10} {:>10}",
@@ -135,7 +138,10 @@ fn main() {
     let big = presets::by_name("clamd").expect("clamd preset").generate();
     println!("{:>12} {:>10}", "solver", "time");
     for (label, opts) in [
-        ("baseline", bootstrap_analyses::andersen::SolverOptions::default()),
+        (
+            "baseline",
+            bootstrap_analyses::andersen::SolverOptions::default(),
+        ),
         (
             "collapse",
             bootstrap_analyses::andersen::SolverOptions {
@@ -143,9 +149,7 @@ fn main() {
             },
         ),
     ] {
-        let (_, wall) = parallel::timed(|| {
-            bootstrap_analyses::andersen::analyze_with(&big, opts)
-        });
+        let (_, wall) = parallel::timed(|| bootstrap_analyses::andersen::analyze_with(&big, opts));
         println!("{label:>12} {:>10}", fmt_secs(wall));
     }
 }

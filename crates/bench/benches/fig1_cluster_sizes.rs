@@ -39,8 +39,10 @@ fn main() {
     }
 
     println!("Figure 1 reproduction — cluster size frequencies for autofs");
-    println!("paper shape: dense at small sizes; Steensgaard max {} vs Andersen max {}",
-        preset.paper.steens_max, preset.paper.andersen_max);
+    println!(
+        "paper shape: dense at small sizes; Steensgaard max {} vs Andersen max {}",
+        preset.paper.steens_max, preset.paper.andersen_max
+    );
     println!();
     println!("{:>6} {:>12} {:>10}", "size", "steensgaard", "andersen");
     for (size, (s, a)) in &sizes {

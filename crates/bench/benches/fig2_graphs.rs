@@ -17,16 +17,17 @@ fn main() {
     let st = steensgaard::analyze(&program);
     let mut printed = std::collections::HashSet::new();
     for (class, members) in st.partitions() {
-        let names: Vec<&str> = members
-            .iter()
-            .map(|m| program.var(*m).name())
-            .collect();
+        let names: Vec<&str> = members.iter().map(|m| program.var(*m).name()).collect();
         if !printed.insert(class) {
             continue;
         }
         match st.pointee(class) {
             Some(p) => {
-                let tgt: Vec<&str> = st.members(p).iter().map(|m| program.var(*m).name()).collect();
+                let tgt: Vec<&str> = st
+                    .members(p)
+                    .iter()
+                    .map(|m| program.var(*m).name())
+                    .collect();
                 println!("  {{{}}} -> {{{}}}", names.join(","), tgt.join(","));
             }
             None => println!("  {{{}}}", names.join(",")),

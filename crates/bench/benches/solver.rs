@@ -162,7 +162,10 @@ fn main() {
         .max_by_key(|p| p.paper.pointers)
         .expect("presets exist");
     let name = preset.paper.name;
-    println!("generating preset '{name}' ({} pointers)...", preset.paper.pointers);
+    println!(
+        "generating preset '{name}' ({} pointers)...",
+        preset.paper.pointers
+    );
     let program = preset.generate();
     let st = steensgaard::analyze(&program);
 

@@ -12,7 +12,9 @@ use bootstrap_bench::{fmt_baseline, fmt_secs, run_row, Profile};
 
 fn main() {
     let profile = Profile::from_env();
-    println!("Table 1 reproduction — profile {profile:?} (BOOTSTRAP_BENCH_PROFILE=full for all rows)");
+    println!(
+        "Table 1 reproduction — profile {profile:?} (BOOTSTRAP_BENCH_PROFILE=full for all rows)"
+    );
     println!(
         "times in seconds; baseline capped at {}; St/An times are 5-way simulated-parallel maxima",
         fmt_secs(profile.baseline_cap())
@@ -20,7 +22,18 @@ fn main() {
     println!();
     println!(
         "{:<18} {:>7} {:>8} | {:>7} {:>7} | {:>9} | {:>8} {:>6} {:>8} | {:>8} {:>6} {:>8}",
-        "example", "kstmts", "ptrs", "part", "clust", "no-clust", "St#", "StMax", "StTime", "An#", "AnMax", "AnTime"
+        "example",
+        "kstmts",
+        "ptrs",
+        "part",
+        "clust",
+        "no-clust",
+        "St#",
+        "StMax",
+        "StTime",
+        "An#",
+        "AnMax",
+        "AnTime"
     );
     println!("{}", "-".repeat(127));
     for preset in profile.presets() {

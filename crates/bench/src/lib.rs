@@ -114,11 +114,8 @@ pub fn run_row(preset: &Preset, profile: Profile) -> RowResult {
 
     // Columns 7-9: FSCS on Steensgaard partitions.
     let steens_cover = session.steensgaard_cover();
-    let steens_reports = parallel::process_clusters(
-        &session,
-        steens_cover.clusters(),
-        profile.cluster_steps(),
-    );
+    let steens_reports =
+        parallel::process_clusters(&session, steens_cover.clusters(), profile.cluster_steps());
     let steens_time = parallel::simulated_parallel_time(&steens_reports, 5);
 
     // Columns 10-12: FSCS on the Andersen cover.

@@ -1,0 +1,453 @@
+//! Client checkers over the bootstrapped alias engine.
+//!
+//! The paper's motivation for making flow- and context-sensitive (FSCS)
+//! alias analysis scale is precisely this layer: bug-finding clients that
+//! consume per-statement points-to facts. This crate implements three
+//! flow- and context-sensitive checkers over Mini-C programs:
+//!
+//! * **null-pointer dereference** — a dereference of `p` at `L` where the
+//!   FSCS sources of `p` at `L` include `NULL`. Strong updates in the
+//!   backward walk (a `p = &a` kills an earlier `p = NULL`) suppress the
+//!   false positives a flow-insensitive checker would report.
+//! * **use-after-free** — a dereference of a pointer whose points-to set
+//!   at `L` contains a heap object freed at an earlier-executing free
+//!   site.
+//! * **double-free** — a free site releasing a heap object already
+//!   released by a distinct free site that may execute before it.
+//!
+//! Dereference and free sites are collected per Andersen cluster (sites
+//! are queried in partition order so consecutive queries hit the same
+//! per-cluster `St_P` slice and engine), and every site is resolved
+//! through [`Session::query_at_loc`], sharing one [`Analyzer`]'s memo and
+//! the session-wide FSCI cache across the whole batch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod order;
+mod report;
+
+use std::collections::{HashMap, HashSet};
+
+use bootstrap_core::{Analyzer, Cond, FsciCacheStats, Outcome, Session, Source};
+use bootstrap_ir::{Loc, Program, Stmt, VarId, VarKind};
+
+pub use order::reachable_after;
+pub use report::{render_json, render_text};
+
+/// The individual checkers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheckerKind {
+    /// Dereference of a possibly-NULL pointer.
+    NullDeref,
+    /// Dereference of a pointer to a freed heap object.
+    UseAfterFree,
+    /// Second free of an already-freed heap object.
+    DoubleFree,
+}
+
+impl CheckerKind {
+    /// All checkers, in canonical reporting order.
+    pub const ALL: [CheckerKind; 3] = [
+        CheckerKind::NullDeref,
+        CheckerKind::UseAfterFree,
+        CheckerKind::DoubleFree,
+    ];
+
+    /// The checker's stable command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckerKind::NullDeref => "null-deref",
+            CheckerKind::UseAfterFree => "use-after-free",
+            CheckerKind::DoubleFree => "double-free",
+        }
+    }
+
+    /// Parses a command-line name (`uaf` is accepted as an alias).
+    pub fn parse(s: &str) -> Option<CheckerKind> {
+        match s {
+            "null-deref" | "nullderef" | "null" => Some(CheckerKind::NullDeref),
+            "uaf" | "use-after-free" => Some(CheckerKind::UseAfterFree),
+            "double-free" | "doublefree" | "df" => Some(CheckerKind::DoubleFree),
+            _ => None,
+        }
+    }
+}
+
+/// How certain a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The defect may occur on some path (other clean values also reach
+    /// the site).
+    Warning,
+    /// Every resolvable value reaching the site exhibits the defect.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic produced by a checker.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The checker that produced it.
+    pub checker: CheckerKind,
+    /// Error when the defect is unconditional, warning when path-dependent.
+    pub severity: Severity,
+    /// Name of the function containing the site.
+    pub func: String,
+    /// The IR location of the offending statement.
+    pub loc: Loc,
+    /// 1-based source line of the statement, when the program was lowered
+    /// from source.
+    pub line: Option<u32>,
+    /// Source-level name of the dereferenced / freed pointer.
+    pub var: String,
+    /// The freed heap object (use-after-free and double-free only).
+    pub object: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Per-checker work counters.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckerStats {
+    /// The checker these counters describe.
+    pub kind: CheckerKind,
+    /// Dereference / free sites the checker examined.
+    pub sites: usize,
+    /// `query_at_loc` resolutions the checker consumed (shared resolutions
+    /// count for every checker that used them).
+    pub queries: usize,
+    /// Findings reported.
+    pub findings: usize,
+}
+
+/// The result of one checker run.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// All findings, sorted by function, statement and checker.
+    pub findings: Vec<Finding>,
+    /// One entry per requested checker, in [`CheckerKind::ALL`] order.
+    pub stats: Vec<CheckerStats>,
+    /// Shared FSCI cache counters at the end of the run.
+    pub cache: FsciCacheStats,
+    /// Site queries that exhausted their step budget (their sites are
+    /// skipped — a source of missed defects, never of false positives).
+    pub timed_out_queries: usize,
+}
+
+/// A dereference or free site.
+#[derive(Clone, Copy, Debug)]
+struct Site {
+    ptr: VarId,
+    loc: Loc,
+}
+
+/// One resolved site: the satisfiable sources, or `None` on a timeout.
+type Resolution = Option<Vec<(Source, Cond)>>;
+
+/// Memoizing wrapper around [`Session::query_at_loc`]: one resolution per
+/// `(pointer, loc)` pair for the whole batch.
+struct Resolver<'a, 'p> {
+    session: &'a Session<'p>,
+    az: Analyzer<'a>,
+    resolved: HashMap<(VarId, Loc), Resolution>,
+    timeouts: usize,
+}
+
+impl Resolver<'_, '_> {
+    fn sources(&mut self, ptr: VarId, loc: Loc) -> Option<&[(Source, Cond)]> {
+        if !self.resolved.contains_key(&(ptr, loc)) {
+            let resolved = match self.session.query_at_loc(&self.az, ptr, loc) {
+                Outcome::Done(sources) => Some(sources),
+                Outcome::TimedOut => {
+                    self.timeouts += 1;
+                    None
+                }
+            };
+            self.resolved.insert((ptr, loc), resolved);
+        }
+        self.resolved[&(ptr, loc)].as_deref()
+    }
+}
+
+/// Runs the requested checkers over the session's program.
+///
+/// Pass [`CheckerKind::ALL`] (or any subset) as `kinds`; duplicates are
+/// ignored. The report's findings are deduplicated and deterministically
+/// ordered.
+pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
+    let program = session.program();
+    let want = |k: CheckerKind| kinds.contains(&k);
+    let want_null = want(CheckerKind::NullDeref);
+    let want_uaf = want(CheckerKind::UseAfterFree);
+    let want_df = want(CheckerKind::DoubleFree);
+    let need_deref = want_null || want_uaf;
+    let need_free = want_uaf || want_df;
+
+    let mut deref_sites: Vec<Site> = Vec::new();
+    let mut free_sites: Vec<Site> = Vec::new();
+    for f in program.functions() {
+        for (loc, s) in f.locs() {
+            match s {
+                Stmt::Load { src, .. } => deref_sites.push(Site { ptr: *src, loc }),
+                Stmt::Store { dst, .. } => deref_sites.push(Site { ptr: *dst, loc }),
+                Stmt::Free { dst } => free_sites.push(Site { ptr: *dst, loc }),
+                _ => {}
+            }
+        }
+    }
+    // Query in Steensgaard-partition order: consecutive sites then share
+    // the same per-cluster engine and relevant-statement slice.
+    let cluster_order = |s: &Site| {
+        (
+            session.steens().partition_key(s.ptr),
+            s.loc.func,
+            s.loc.stmt,
+        )
+    };
+    deref_sites.sort_by_key(cluster_order);
+    free_sites.sort_by_key(cluster_order);
+
+    let mut rs = Resolver {
+        session,
+        az: session.analyzer(),
+        resolved: HashMap::new(),
+        timeouts: 0,
+    };
+    let mut stats: HashMap<CheckerKind, CheckerStats> = CheckerKind::ALL
+        .iter()
+        .filter(|k| want(**k))
+        .map(|&kind| {
+            (
+                kind,
+                CheckerStats {
+                    kind,
+                    sites: 0,
+                    queries: 0,
+                    findings: 0,
+                },
+            )
+        })
+        .collect();
+    let bump = |stats: &mut HashMap<CheckerKind, CheckerStats>, k: CheckerKind, on: bool| {
+        if on {
+            let s = stats.get_mut(&k).expect("requested checker");
+            s.sites += 1;
+            s.queries += 1;
+        }
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut seen: HashSet<(CheckerKind, Loc, VarId, Option<VarId>)> = HashSet::new();
+
+    // Resolve dereference sites once; null-deref findings fall out inline.
+    if need_deref {
+        for site in &deref_sites {
+            bump(&mut stats, CheckerKind::NullDeref, want_null);
+            bump(&mut stats, CheckerKind::UseAfterFree, want_uaf);
+            let Some(sources) = rs.sources(site.ptr, site.loc) else {
+                continue;
+            };
+            if !want_null {
+                continue;
+            }
+            let nulls = sources.iter().filter(|(s, _)| *s == Source::Null).count();
+            if nulls == 0 || !seen.insert((CheckerKind::NullDeref, site.loc, site.ptr, None)) {
+                continue;
+            }
+            let severity = if nulls == sources.len() {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            let var = program.var(site.ptr).name().to_string();
+            let message = match severity {
+                Severity::Error => format!("dereference of `{var}` which is NULL"),
+                Severity::Warning => format!("dereference of `{var}` which may be NULL"),
+            };
+            findings.push(Finding {
+                checker: CheckerKind::NullDeref,
+                severity,
+                func: program.func(site.loc.func).name().to_string(),
+                loc: site.loc,
+                line: program.line_of(site.loc),
+                var,
+                object: None,
+                message,
+            });
+        }
+    }
+
+    // Freed heap objects per free site: the heap (allocation-site) objects
+    // among the FSCS sources of the freed pointer at the free statement.
+    let mut freed: Vec<(Site, Vec<VarId>)> = Vec::new();
+    if need_free {
+        for site in &free_sites {
+            bump(&mut stats, CheckerKind::UseAfterFree, want_uaf);
+            bump(&mut stats, CheckerKind::DoubleFree, want_df);
+            let Some(sources) = rs.sources(site.ptr, site.loc) else {
+                continue;
+            };
+            let heap: Vec<VarId> = sources
+                .iter()
+                .filter_map(|(s, _)| match s {
+                    Source::Addr(o) if matches!(program.var(*o).kind(), VarKind::AllocSite(_)) => {
+                        Some(*o)
+                    }
+                    _ => None,
+                })
+                .collect();
+            if !heap.is_empty() {
+                freed.push((*site, heap));
+            }
+        }
+    }
+
+    // Forward may-execute-after sets, one per interesting free site.
+    let mut follow: HashMap<Loc, HashSet<Loc>> = HashMap::new();
+    for (site, _) in &freed {
+        follow
+            .entry(site.loc)
+            .or_insert_with(|| reachable_after(session, site.loc));
+    }
+
+    if want_uaf {
+        for (fsite, objs) in &freed {
+            let after = &follow[&fsite.loc];
+            for dsite in &deref_sites {
+                if !after.contains(&dsite.loc) {
+                    continue;
+                }
+                let Some(sources) = rs.sources(dsite.ptr, dsite.loc) else {
+                    continue;
+                };
+                let hit: Vec<VarId> = sources
+                    .iter()
+                    .filter_map(|(s, _)| match s {
+                        Source::Addr(o) if objs.contains(o) => Some(*o),
+                        _ => None,
+                    })
+                    .collect();
+                if hit.is_empty() {
+                    continue;
+                }
+                // Unconditional when every resolvable source is a freed
+                // object from this free site.
+                let severity = if hit.len() == sources.len() {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                };
+                for obj in hit {
+                    if !seen.insert((CheckerKind::UseAfterFree, dsite.loc, dsite.ptr, Some(obj))) {
+                        continue;
+                    }
+                    let var = program.var(dsite.ptr).name().to_string();
+                    let object = program.var(obj).name().to_string();
+                    findings.push(Finding {
+                        checker: CheckerKind::UseAfterFree,
+                        severity,
+                        func: program.func(dsite.loc.func).name().to_string(),
+                        loc: dsite.loc,
+                        line: program.line_of(dsite.loc),
+                        var,
+                        message: format!(
+                            "dereference of `{}` may access `{}` freed at {}",
+                            program.var(dsite.ptr).name(),
+                            object,
+                            site_label(program, fsite.loc),
+                        ),
+                        object: Some(object),
+                    });
+                }
+            }
+        }
+    }
+
+    if want_df {
+        for (i, (f1, objs1)) in freed.iter().enumerate() {
+            let after = &follow[&f1.loc];
+            for (j, (f2, objs2)) in freed.iter().enumerate() {
+                // A site paired with itself is excluded: in the modeled
+                // semantics free nulls its operand, so a loop re-executing
+                // one free(p) re-frees nothing (p is NULL or reassigned).
+                if i == j || !after.contains(&f2.loc) {
+                    continue;
+                }
+                let common: Vec<VarId> = objs2
+                    .iter()
+                    .copied()
+                    .filter(|o| objs1.contains(o))
+                    .collect();
+                if common.is_empty() {
+                    continue;
+                }
+                let severity = if common.len() == objs2.len() {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                };
+                for obj in common {
+                    if !seen.insert((CheckerKind::DoubleFree, f2.loc, f2.ptr, Some(obj))) {
+                        continue;
+                    }
+                    let object = program.var(obj).name().to_string();
+                    findings.push(Finding {
+                        checker: CheckerKind::DoubleFree,
+                        severity,
+                        func: program.func(f2.loc.func).name().to_string(),
+                        loc: f2.loc,
+                        line: program.line_of(f2.loc),
+                        var: program.var(f2.ptr).name().to_string(),
+                        message: format!(
+                            "`{}` frees `{}` already freed at {}",
+                            program.var(f2.ptr).name(),
+                            object,
+                            site_label(program, f1.loc),
+                        ),
+                        object: Some(object),
+                    });
+                }
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.loc.func, a.loc.stmt, a.checker, &a.var, &a.object)
+            .cmp(&(b.loc.func, b.loc.stmt, b.checker, &b.var, &b.object))
+    });
+    for f in &findings {
+        if let Some(s) = stats.get_mut(&f.checker) {
+            s.findings += 1;
+        }
+    }
+    let stats: Vec<CheckerStats> = CheckerKind::ALL
+        .iter()
+        .filter_map(|k| stats.get(k).copied())
+        .collect();
+    CheckReport {
+        findings,
+        stats,
+        cache: session.fsci_cache_stats(),
+        timed_out_queries: rs.timeouts,
+    }
+}
+
+/// A human-readable label for a program location: `func:line` when source
+/// lines are known, `func@stmt` otherwise.
+pub fn site_label(program: &Program, loc: Loc) -> String {
+    let func = program.func(loc.func).name();
+    match program.line_of(loc) {
+        Some(line) => format!("{func}:{line}"),
+        None => format!("{func}@{}", loc.stmt),
+    }
+}

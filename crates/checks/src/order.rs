@@ -1,0 +1,57 @@
+//! May-execute-after ordering over the interprocedural CFG.
+//!
+//! The checkers need to know which program points can execute *after* a
+//! free site. Rather than re-deriving execution order from the
+//! flow-sensitive summaries (whose conditions are per-cluster), we use a
+//! context-insensitive forward reachability over the ICFG: intraprocedural
+//! CFG successors, plus call edges into direct callees, plus return edges
+//! from a function's exit back to the successors of every call site of
+//! that function. This over-approximates execution order (sound for
+//! may-happen-after), while the per-site alias queries supply the flow-
+//! and context-sensitive value facts.
+
+use std::collections::HashSet;
+
+use bootstrap_core::Session;
+use bootstrap_ir::{CallTarget, Loc, Stmt};
+
+/// All locations that may execute strictly after `from`.
+///
+/// `from` itself is included only if it is reachable from itself (e.g. it
+/// sits in a loop or its function is called again later).
+pub fn reachable_after(session: &Session<'_>, from: Loc) -> HashSet<Loc> {
+    let program = session.program();
+    let mut seen: HashSet<Loc> = HashSet::new();
+    let mut work: Vec<Loc> = Vec::new();
+
+    let push_succs = |l: Loc, work: &mut Vec<Loc>| {
+        let f = program.func(l.func);
+        for &s in f.succs(l.stmt) {
+            work.push(Loc::new(l.func, s));
+        }
+    };
+
+    push_succs(from, &mut work);
+    while let Some(l) = work.pop() {
+        if !seen.insert(l) {
+            continue;
+        }
+        let f = program.func(l.func);
+        // Entering a direct callee: its whole body may run before control
+        // returns to the successor statements (already pushed below).
+        if let Stmt::Call(c) = f.stmt(l.stmt) {
+            if let CallTarget::Direct(g) = c.target {
+                work.push(program.func(g).entry());
+            }
+        }
+        // Returning from a function: control resumes after any call site
+        // of this function.
+        if l == f.exit() {
+            for &call in session.callers_of(l.func) {
+                push_succs(call, &mut work);
+            }
+        }
+        push_succs(l, &mut work);
+    }
+    seen
+}

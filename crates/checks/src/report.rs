@@ -1,0 +1,115 @@
+//! Diagnostic rendering: stable plain text and hand-rolled JSON.
+
+use crate::{CheckReport, Finding};
+
+/// Renders findings as one diagnostic per line:
+///
+/// ```text
+/// error[null-deref] main:5: dereference of `p` which is NULL
+/// ```
+///
+/// The location is `func:line` when source lines are available and
+/// `func@stmt` otherwise. Only findings are rendered (the output is
+/// golden-file stable); callers append statistics separately.
+pub fn render_text(report: &CheckReport, file: Option<&str>) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&render_finding(f, file));
+        out.push('\n');
+    }
+    out
+}
+
+fn render_finding(f: &Finding, file: Option<&str>) -> String {
+    let pos = match f.line {
+        Some(line) => match file {
+            Some(file) => format!("{file}:{line} ({})", f.func),
+            None => format!("{}:{line}", f.func),
+        },
+        None => format!("{}@{}", f.func, f.loc.stmt),
+    };
+    format!(
+        "{}[{}] {}: {}",
+        f.severity.label(),
+        f.checker.name(),
+        pos,
+        f.message
+    )
+}
+
+/// Renders the full report (findings, per-checker stats, cache counters)
+/// as a JSON object. The encoder is hand-rolled because the workspace is
+/// dependency-free; all strings pass through [`escape`].
+pub fn render_json(report: &CheckReport, file: Option<&str>) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"checker\": \"{}\", ", f.checker.name()));
+        out.push_str(&format!("\"severity\": \"{}\", ", f.severity.label()));
+        if let Some(file) = file {
+            out.push_str(&format!("\"file\": \"{}\", ", escape(file)));
+        }
+        out.push_str(&format!("\"function\": \"{}\", ", escape(&f.func)));
+        match f.line {
+            Some(line) => out.push_str(&format!("\"line\": {line}, ")),
+            None => out.push_str("\"line\": null, "),
+        }
+        out.push_str(&format!("\"stmt\": {}, ", f.loc.stmt));
+        out.push_str(&format!("\"var\": \"{}\", ", escape(&f.var)));
+        match &f.object {
+            Some(o) => out.push_str(&format!("\"object\": \"{}\", ", escape(o))),
+            None => out.push_str("\"object\": null, "),
+        }
+        out.push_str(&format!("\"message\": \"{}\"", escape(&f.message)));
+        out.push('}');
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"stats\": [");
+    for (i, s) in report.stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"checker\": \"{}\", \"sites\": {}, \"queries\": {}, \"findings\": {}}}",
+            s.kind.name(),
+            s.sites,
+            s.queries,
+            s.findings
+        ));
+    }
+    if !report.stats.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!(
+        "  \"fsci_cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},\n",
+        report.cache.hits, report.cache.misses, report.cache.entries
+    ));
+    out.push_str(&format!(
+        "  \"timed_out_queries\": {}\n}}\n",
+        report.timed_out_queries
+    ));
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,204 @@
+//! Behavioral tests for the client checkers.
+
+use bootstrap_checks::{run_checks, CheckReport, CheckerKind, Severity};
+use bootstrap_core::{Config, Session};
+
+fn check(src: &str) -> CheckReport {
+    let program = bootstrap_ir::parse_program(src).unwrap();
+    let session = Session::new(&program, Config::default());
+    run_checks(&session, &CheckerKind::ALL)
+}
+
+fn kinds(report: &CheckReport) -> Vec<CheckerKind> {
+    report.findings.iter().map(|f| f.checker).collect()
+}
+
+#[test]
+fn flags_definite_null_deref() {
+    let r = check(
+        "int *p; int x;
+         void main() { p = NULL; x = *p; }",
+    );
+    assert_eq!(kinds(&r), vec![CheckerKind::NullDeref]);
+    assert_eq!(r.findings[0].severity, Severity::Error);
+    assert_eq!(r.findings[0].var, "p");
+}
+
+#[test]
+fn branch_dependent_null_is_a_warning() {
+    let r = check(
+        "int *p; int a; int c; int x;
+         void main() { if (c) { p = &a; } else { p = NULL; } x = *p; }",
+    );
+    assert_eq!(kinds(&r), vec![CheckerKind::NullDeref]);
+    assert_eq!(r.findings[0].severity, Severity::Warning);
+}
+
+#[test]
+fn strong_update_suppresses_null_deref() {
+    // Flow-insensitively p may be NULL, but the reassignment kills it.
+    let r = check(
+        "int *p; int a; int x;
+         void main() { p = NULL; p = &a; x = *p; }",
+    );
+    assert!(r.findings.is_empty(), "unexpected: {:?}", r.findings);
+}
+
+#[test]
+fn store_through_null_is_flagged() {
+    let r = check(
+        "int *p; int a;
+         void main() { p = NULL; *p = a; }",
+    );
+    assert_eq!(kinds(&r), vec![CheckerKind::NullDeref]);
+}
+
+#[test]
+fn flags_use_after_free_through_alias() {
+    let r = check(
+        "int *h; int *q; int x;
+         void main() { h = malloc(); q = h; free(h); x = *q; }",
+    );
+    let uaf: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.checker == CheckerKind::UseAfterFree)
+        .collect();
+    assert_eq!(uaf.len(), 1, "findings: {:?}", r.findings);
+    assert_eq!(uaf[0].var, "q");
+    assert!(uaf[0].object.is_some());
+}
+
+#[test]
+fn realloc_after_free_is_clean() {
+    // h is reassigned before the dereference: no use-after-free.
+    let r = check(
+        "int *h; int a; int x;
+         void main() { h = malloc(); free(h); h = &a; x = *h; }",
+    );
+    assert!(r.findings.is_empty(), "unexpected: {:?}", r.findings);
+}
+
+#[test]
+fn flags_double_free_through_alias() {
+    let r = check(
+        "int *h; int *q;
+         void main() { h = malloc(); q = h; free(h); free(q); }",
+    );
+    assert_eq!(kinds(&r), vec![CheckerKind::DoubleFree]);
+    assert_eq!(r.findings[0].var, "q");
+}
+
+#[test]
+fn single_free_is_clean() {
+    let r = check(
+        "int *h;
+         void main() { h = malloc(); free(h); }",
+    );
+    assert!(r.findings.is_empty(), "unexpected: {:?}", r.findings);
+}
+
+#[test]
+fn interprocedural_use_after_free() {
+    // The callee frees the global's target (nulling `g` but not its alias
+    // `q`); the caller dereferences `q` after the call returns.
+    let r = check(
+        "int *g; int *q; int x;
+         void release() { free(g); }
+         void main() { g = malloc(); q = g; release(); x = *q; }",
+    );
+    let has_uaf = r
+        .findings
+        .iter()
+        .any(|f| f.checker == CheckerKind::UseAfterFree && f.var == "q");
+    assert!(has_uaf, "findings: {:?}", r.findings);
+}
+
+#[test]
+fn interprocedural_double_free() {
+    // The callee frees the heap object through `g`; the caller then frees
+    // the same object again through the surviving alias `q`.
+    let r = check(
+        "int *g; int *q;
+         void release() { free(g); }
+         void main() { g = malloc(); q = g; release(); free(q); }",
+    );
+    let has_df = r
+        .findings
+        .iter()
+        .any(|f| f.checker == CheckerKind::DoubleFree && f.var == "q");
+    assert!(has_df, "findings: {:?}", r.findings);
+}
+
+#[test]
+fn checker_selection_is_respected() {
+    let src = "int *p; int *h; int *q; int x; int y;
+         void main() { p = NULL; x = *p; h = malloc(); q = h; free(h); y = *q; free(q); }";
+    let program = bootstrap_ir::parse_program(src).unwrap();
+    let session = Session::new(&program, Config::default());
+    let only_null = run_checks(&session, &[CheckerKind::NullDeref]);
+    assert!(only_null
+        .findings
+        .iter()
+        .all(|f| f.checker == CheckerKind::NullDeref));
+    assert_eq!(only_null.stats.len(), 1);
+    assert_eq!(only_null.stats[0].kind, CheckerKind::NullDeref);
+    assert!(only_null.stats[0].queries > 0);
+}
+
+#[test]
+fn report_carries_stats_and_cache_counters() {
+    let r = check(
+        "int *p; int x;
+         void main() { p = NULL; x = *p; }",
+    );
+    assert_eq!(r.stats.len(), 3);
+    let nd = r
+        .stats
+        .iter()
+        .find(|s| s.kind == CheckerKind::NullDeref)
+        .unwrap();
+    assert_eq!(nd.findings, 1);
+    assert!(nd.sites >= 1);
+    assert_eq!(r.timed_out_queries, 0);
+}
+
+#[test]
+fn findings_carry_source_lines() {
+    let src = "int *p;\nint x;\nvoid main() {\n  p = NULL;\n  x = *p;\n}\n";
+    let r = check(src);
+    assert_eq!(kinds(&r), vec![CheckerKind::NullDeref]);
+    assert_eq!(r.findings[0].line, Some(5));
+    let text = bootstrap_checks::render_text(&r, Some("bug.c"));
+    assert!(
+        text.contains("error[null-deref] bug.c:5 (main):"),
+        "text: {text}"
+    );
+}
+
+#[test]
+fn json_output_is_well_formed() {
+    let r = check(
+        "int *p; int x;
+         void main() { p = NULL; x = *p; }",
+    );
+    let json = bootstrap_checks::render_json(&r, Some("bug.c"));
+    assert!(json.contains("\"checker\": \"null-deref\""));
+    assert!(json.contains("\"severity\": \"error\""));
+    assert!(json.contains("\"fsci_cache\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn checker_kind_parsing() {
+    assert_eq!(CheckerKind::parse("uaf"), Some(CheckerKind::UseAfterFree));
+    assert_eq!(
+        CheckerKind::parse("null-deref"),
+        Some(CheckerKind::NullDeref)
+    );
+    assert_eq!(
+        CheckerKind::parse("double-free"),
+        Some(CheckerKind::DoubleFree)
+    );
+    assert_eq!(CheckerKind::parse("bogus"), None);
+}

@@ -7,6 +7,7 @@
 //! bootstrap-alias sources     <file.c> --var p [--at FUNC] [--path-sensitive]
 //! bootstrap-alias may-alias   <file.c> --pair p,q [--at FUNC] [--path-sensitive]
 //! bootstrap-alias must-alias  <file.c> --pair p,q [--at FUNC] [--path-sensitive]
+//! bootstrap-alias check       <file.c> [--only null-deref,uaf,double-free] [--format text|json]
 //! bootstrap-alias dot         <file.c> (--cfg FUNC | --callgraph)
 //! bootstrap-alias stats       <file.c>
 //! ```
@@ -14,6 +15,10 @@
 //! Query locations default to the exit of `main`; `--at FUNC` queries at
 //! the exit of `FUNC`. All commands parse mini-C, resolve function
 //! pointers (devirtualization), and run the bootstrapping cascade.
+//!
+//! `check` runs the flow- and context-sensitive client checkers
+//! ([`bootstrap_checks`]) and exits with status 1 when defects are found,
+//! 2 on usage/analysis errors, 0 when clean.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,8 +27,9 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use bootstrap_analyses::steensgaard;
+use bootstrap_checks::CheckerKind;
 use bootstrap_core::{AnalysisBudget, Config, Outcome, Session};
-use bootstrap_ir::{CallGraph, Loc, Program, VarId};
+use bootstrap_ir::{CallGraph, Loc, Program, VarId, VarKind};
 
 /// A CLI error: bad usage or a failed analysis.
 #[derive(Debug)]
@@ -52,14 +58,17 @@ commands:
   sources      print value sources of a pointer (--var p) [--at FUNC]
   may-alias    query may-alias for a pair (--pair p,q) [--at FUNC]
   must-alias   query must-alias for a pair (--pair p,q) [--at FUNC]
+  check        run the client checkers (null-deref, use-after-free, double-free)
   dot          emit Graphviz (--cfg FUNC | --callgraph)
   stats        print program and cascade statistics
 
 options:
   --at FUNC          query at the exit of FUNC (default: main)
-  --threshold N      Andersen threshold for `clusters`
+  --threshold N      Andersen threshold (clusters, check; default 60)
   --path-sensitive   enable the path-sensitive mode
   --vars a,b  /  --var p  /  --pair p,q   variable selectors
+  --only a,b         checkers to run (null-deref, uaf, double-free)
+  --format FMT       `check` output format: text (default) or json
 ";
 
 /// Parsed command-line options.
@@ -72,6 +81,8 @@ struct Opts {
     vars: Vec<String>,
     cfg: Option<String>,
     callgraph: bool,
+    only: Option<String>,
+    format: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, CliError> {
@@ -87,6 +98,8 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
         vars: Vec::new(),
         cfg: None,
         callgraph: false,
+        only: None,
+        format: None,
     };
     let mut i = 2;
     while i < args.len() {
@@ -114,6 +127,14 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
                 opts.cfg = Some(take(args, i, "--cfg")?);
             }
             "--callgraph" => opts.callgraph = true,
+            "--only" => {
+                i += 1;
+                opts.only = Some(take(args, i, "--only")?);
+            }
+            "--format" => {
+                i += 1;
+                opts.format = Some(take(args, i, "--format")?);
+            }
             other => return err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -127,15 +148,40 @@ fn take(args: &[String], i: usize, flag: &str) -> Result<String, CliError> {
         .ok_or_else(|| CliError(format!("{flag} needs a value")))
 }
 
+/// CLI output: the text to print plus the process exit status (0 clean,
+/// 1 when `check` reports findings).
+#[derive(Debug)]
+pub struct CliOutput {
+    /// Text to print on stdout.
+    pub text: String,
+    /// Process exit status.
+    pub exit_code: i32,
+}
+
 /// Runs the CLI and returns the text it would print.
+///
+/// Convenience wrapper around [`run_full`] that discards the exit status.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] on bad usage, unreadable/unparsable input, unknown
 /// variable or function names, or an analysis that exceeds its budget.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_full(args).map(|out| out.text)
+}
+
+/// Runs the CLI and returns the text plus the intended exit status.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on bad usage, unreadable/unparsable input, unknown
+/// variable or function names, or an analysis that exceeds its budget.
+pub fn run_full(args: &[String]) -> Result<CliOutput, CliError> {
     if args.first().map(String::as_str) == Some("--help") || args.is_empty() {
-        return Ok(USAGE.to_string());
+        return Ok(CliOutput {
+            text: USAGE.to_string(),
+            exit_code: 0,
+        });
     }
     let opts = parse_args(args)?;
     let source = std::fs::read_to_string(&opts.file)
@@ -144,7 +190,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         .map_err(|e| CliError(format!("{}: {e}", opts.file)))?;
     steensgaard::resolve_and_devirtualize(&mut program);
 
-    match opts.command.as_str() {
+    if opts.command == "check" {
+        return cmd_check(&program, &opts);
+    }
+    let text = match opts.command.as_str() {
         "partitions" => cmd_partitions(&program),
         "clusters" => cmd_clusters(&program, &opts),
         "relevant" => cmd_relevant(&program, &opts),
@@ -154,7 +203,72 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "dot" => cmd_dot(&program, &opts),
         "stats" => cmd_stats(&program, &opts),
         other => err(format!("unknown command `{other}`\n{USAGE}")),
+    }?;
+    Ok(CliOutput { text, exit_code: 0 })
+}
+
+fn cmd_check(program: &Program, opts: &Opts) -> Result<CliOutput, CliError> {
+    let kinds: Vec<CheckerKind> = match &opts.only {
+        None => CheckerKind::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                CheckerKind::parse(name)
+                    .ok_or_else(|| CliError(format!("unknown checker `{name}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if kinds.is_empty() {
+        return err("--only selected no checkers");
     }
+    let session = Session::new(program, config_of(opts));
+    let report = bootstrap_checks::run_checks(&session, &kinds);
+
+    let text = match opts.format.as_deref() {
+        Some("json") => bootstrap_checks::render_json(&report, Some(&opts.file)),
+        None | Some("text") => {
+            let mut out = bootstrap_checks::render_text(&report, Some(&opts.file));
+            if report.findings.is_empty() {
+                let _ = writeln!(out, "no defects found");
+            }
+            let _ = writeln!(out);
+            for s in &report.stats {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {} sites, {} queries, {} findings",
+                    s.kind.name(),
+                    s.sites,
+                    s.queries,
+                    s.findings
+                );
+            }
+            let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
+            if report.timed_out_queries > 0 {
+                let _ = writeln!(out, "timed-out queries: {}", report.timed_out_queries);
+            }
+            out
+        }
+        Some(other) => return err(format!("unknown format `{other}` (text|json)")),
+    };
+    Ok(CliOutput {
+        exit_code: i32::from(!report.findings.is_empty()),
+        text,
+    })
+}
+
+fn cache_line(stats: bootstrap_core::FsciCacheStats) -> String {
+    let total = stats.hits + stats.misses;
+    let rate = if total == 0 {
+        0.0
+    } else {
+        100.0 * stats.hits as f64 / total as f64
+    };
+    format!(
+        "fsci cache: {} hits / {} misses ({} entries, {rate:.1}% hit rate)",
+        stats.hits, stats.misses, stats.entries
+    )
 }
 
 fn config_of(opts: &Opts) -> Config {
@@ -201,7 +315,13 @@ fn cmd_clusters(program: &Program, opts: &Opts) -> Result<String, CliError> {
     );
     for c in session.cover().clusters() {
         let names: Vec<&str> = c.members.iter().map(|m| program.var(*m).name()).collect();
-        let _ = writeln!(out, "cluster {} [{:?}]: {{{}}}", c.id, c.origin, names.join(", "));
+        let _ = writeln!(
+            out,
+            "cluster {} [{:?}]: {{{}}}",
+            c.id,
+            c.origin,
+            names.join(", ")
+        );
     }
     Ok(out)
 }
@@ -229,9 +349,8 @@ fn cmd_relevant(program: &Program, opts: &Opts) -> Result<String, CliError> {
     for loc in locs {
         let _ = writeln!(
             out,
-            "  {} {}: {}",
-            program.func(loc.func).name(),
-            loc.stmt,
+            "  {}: {}",
+            cite(program, &opts.file, loc),
             bootstrap_ir::display::stmt_to_string(program, program.stmt_at(loc))
         );
     }
@@ -250,9 +369,23 @@ fn cmd_sources(program: &Program, opts: &Opts) -> Result<String, CliError> {
     match az.sources(v, loc, &mut budget) {
         Outcome::Done(srcs) => {
             let mut out = String::new();
-            let _ = writeln!(out, "sources of {name} at exit of {}:", program.func(loc.func).name());
+            let _ = writeln!(
+                out,
+                "sources of {name} at exit of {}:",
+                program.func(loc.func).name()
+            );
             for (s, c) in srcs {
-                let _ = writeln!(out, "  {} under {}", s.display(program), c);
+                // Heap values cite their allocation site as file:line.
+                let site = match s {
+                    bootstrap_core::Source::Addr(o) => match program.var(o).kind() {
+                        VarKind::AllocSite(site) => {
+                            format!(" (allocated at {})", cite(program, &opts.file, *site))
+                        }
+                        _ => String::new(),
+                    },
+                    _ => String::new(),
+                };
+                let _ = writeln!(out, "  {} under {}{site}", s.display(program), c);
             }
             Ok(out)
         }
@@ -297,6 +430,15 @@ fn cmd_dot(program: &Program, opts: &Opts) -> Result<String, CliError> {
     err("dot needs --cfg FUNC or --callgraph")
 }
 
+/// `file:line` when the statement has source-line metadata, `func@stmt`
+/// otherwise (synthetic or generated programs).
+fn cite(program: &Program, file: &str, loc: Loc) -> String {
+    match program.line_of(loc) {
+        Some(line) => format!("{file}:{line} ({})", program.func(loc.func).name()),
+        None => format!("{}@{}", program.func(loc.func).name(), loc.stmt),
+    }
+}
+
 fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
     let session = Session::new(program, config_of(opts));
     let steens_cover = session.steensgaard_cover();
@@ -305,10 +447,38 @@ fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
     let _ = writeln!(out, "variables:            {}", program.var_count());
     let _ = writeln!(out, "pointers:             {}", program.pointer_count());
     let _ = writeln!(out, "ir statements:        {}", program.stmt_count());
-    let _ = writeln!(out, "steensgaard clusters: {} (max {})", steens_cover.len(), steens_cover.max_cluster_size());
-    let _ = writeln!(out, "bootstrapped cover:   {} (max {})", session.cover().len(), session.cover().max_cluster_size());
-    let _ = writeln!(out, "partitioning time:    {:?}", session.timings().steensgaard);
-    let _ = writeln!(out, "clustering time:      {:?}", session.timings().clustering);
+    let _ = writeln!(
+        out,
+        "steensgaard clusters: {} (max {})",
+        steens_cover.len(),
+        steens_cover.max_cluster_size()
+    );
+    let _ = writeln!(
+        out,
+        "bootstrapped cover:   {} (max {})",
+        session.cover().len(),
+        session.cover().max_cluster_size()
+    );
+    let _ = writeln!(
+        out,
+        "partitioning time:    {:?}",
+        session.timings().steensgaard
+    );
+    let _ = writeln!(
+        out,
+        "clustering time:      {:?}",
+        session.timings().clustering
+    );
+    // Exercise the engine the way clients do (the checker site sweep) so
+    // the shared FSCI dovetailing cache counters reflect real queries.
+    let report = bootstrap_checks::run_checks(&session, &CheckerKind::ALL);
+    let queries: usize = report.stats.iter().map(|s| s.queries).sum();
+    let _ = writeln!(
+        out,
+        "checker queries:      {queries} ({} timed out)",
+        report.timed_out_queries
+    );
+    let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
     Ok(out)
 }
 
@@ -317,7 +487,8 @@ mod tests {
     use super::*;
 
     fn write_temp(name: &str, contents: &str) -> String {
-        let path = std::env::temp_dir().join(format!("bootstrap_cli_{name}_{}.c", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("bootstrap_cli_{name}_{}.c", std::process::id()));
         std::fs::write(&path, contents).unwrap();
         path.to_string_lossy().into_owned()
     }
@@ -395,6 +566,74 @@ mod tests {
         let out = run_args(&["stats", &f]).unwrap();
         assert!(out.contains("pointers:"));
         assert!(out.contains("bootstrapped cover:"));
+        assert!(out.contains("fsci cache:"), "{out}");
+        assert!(out.contains("checker queries:"), "{out}");
+    }
+
+    const BUGGY: &str = "
+        int *p; int x;
+        void main() { p = NULL; x = *p; }
+    ";
+
+    fn run_args_full(args: &[&str]) -> Result<CliOutput, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run_full(&owned)
+    }
+
+    #[test]
+    fn check_reports_defects_and_exits_nonzero() {
+        let f = write_temp("check_buggy", BUGGY);
+        let out = run_args_full(&["check", &f]).unwrap();
+        assert_eq!(out.exit_code, 1);
+        assert!(out.text.contains("error[null-deref]"), "{}", out.text);
+        assert!(out.text.contains("fsci cache:"), "{}", out.text);
+    }
+
+    #[test]
+    fn check_clean_file_exits_zero() {
+        let f = write_temp("check_clean", DEMO);
+        let out = run_args_full(&["check", &f]).unwrap();
+        assert_eq!(out.exit_code, 0);
+        assert!(out.text.contains("no defects found"), "{}", out.text);
+    }
+
+    #[test]
+    fn check_only_filters_checkers() {
+        let f = write_temp("check_only", BUGGY);
+        let out = run_args_full(&["check", &f, "--only", "uaf,double-free"]).unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.text);
+        assert!(!out.text.contains("null-deref]"), "{}", out.text);
+        let e = run_args_full(&["check", &f, "--only", "bogus"]).unwrap_err();
+        assert!(e.to_string().contains("unknown checker"));
+    }
+
+    #[test]
+    fn check_json_format() {
+        let f = write_temp("check_json", BUGGY);
+        let out = run_args_full(&["check", &f, "--format", "json"]).unwrap();
+        assert_eq!(out.exit_code, 1);
+        assert!(
+            out.text.contains("\"checker\": \"null-deref\""),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("\"fsci_cache\""), "{}", out.text);
+        let e = run_args_full(&["check", &f, "--format", "yaml"]).unwrap_err();
+        assert!(e.to_string().contains("unknown format"));
+    }
+
+    #[test]
+    fn check_cites_source_lines() {
+        let path =
+            std::env::temp_dir().join(format!("bootstrap_cli_lines_{}.c", std::process::id()));
+        std::fs::write(
+            &path,
+            "int *p;\nint x;\nvoid main() {\n  p = NULL;\n  x = *p;\n}\n",
+        )
+        .unwrap();
+        let f = path.to_string_lossy().into_owned();
+        let out = run_args_full(&["check", &f]).unwrap();
+        assert!(out.text.contains(":5 (main):"), "{}", out.text);
     }
 
     #[test]
@@ -418,8 +657,7 @@ mod tests {
         );
         let insensitive = run_args(&["may-alias", &f, "--pair", "x,y"]).unwrap();
         assert!(insensitive.contains("= true"));
-        let sensitive =
-            run_args(&["may-alias", &f, "--pair", "x,y", "--path-sensitive"]).unwrap();
+        let sensitive = run_args(&["may-alias", &f, "--pair", "x,y", "--path-sensitive"]).unwrap();
         assert!(sensitive.contains("= false"), "{sensitive}");
     }
 }

@@ -2,8 +2,11 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match bootstrap_cli::run(&args) {
-        Ok(output) => print!("{output}"),
+    match bootstrap_cli::run_full(&args) {
+        Ok(out) => {
+            print!("{}", out.text);
+            std::process::exit(out.exit_code);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);

@@ -27,6 +27,9 @@ use crate::parallel::ClusterReport;
 use crate::session::Session;
 use crate::summary::{Source, Value};
 
+/// Thread-local FSCI memo: `None` marks an oracle budget miss.
+type FsciMemo = HashMap<(VarId, Loc), Option<Arc<Vec<VarId>>>>;
+
 /// An error raised by a malformed query.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryError {
@@ -72,7 +75,7 @@ pub struct Analyzer<'s> {
     /// Thread-local memo over the session's shared cache: avoids the shared
     /// shard lock (and its hit/miss accounting) on repeat lookups. Values
     /// are `Arc` so they can be published to the shared cache verbatim.
-    fsci_cache: RefCell<HashMap<(VarId, Loc), Option<Arc<Vec<VarId>>>>>,
+    fsci_cache: RefCell<FsciMemo>,
     /// FSCI computations currently on the oracle stack; re-entry on the
     /// same `(variable, location)` is a genuine cyclic dependency (the
     /// paper's same-depth case) and degrades to the Steensgaard fallback.
@@ -197,11 +200,7 @@ impl<'s> Analyzer<'s> {
     /// summaries, and the interprocedural sources of every member at the
     /// entry function's exit. This is the per-cluster work unit whose cost
     /// the Table 1 harness measures.
-    pub fn process_cluster(
-        &self,
-        cluster: &Cluster,
-        mut budget: AnalysisBudget,
-    ) -> ClusterReport {
+    pub fn process_cluster(&self, cluster: &Cluster, mut budget: AnalysisBudget) -> ClusterReport {
         let t0 = std::time::Instant::now();
         let cx = self.cx();
         let mut engine = ClusterEngine::with_options(
@@ -357,15 +356,10 @@ impl<'s> Analyzer<'s> {
 
     /// Filters sources whose constraints are refutable against the FSCI
     /// points-to cache.
-    fn satisfiable_sources(
-        &self,
-        sources: Vec<(Source, Cond)>,
-    ) -> Vec<(Source, Cond)> {
+    pub(crate) fn satisfiable_sources(&self, sources: Vec<(Source, Cond)>) -> Vec<(Source, Cond)> {
         sources
             .into_iter()
-            .filter(|(_, cond)| {
-                cond.satisfiable(|v, l| self.fsci_pts(v, l))
-            })
+            .filter(|(_, cond)| cond.satisfiable(|v, l| self.fsci_pts(v, l)))
             .collect()
     }
 
@@ -719,9 +713,14 @@ mod tests {
         let az = s.analyzer();
         assert!(!az.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
         let an = bootstrap_analyses::andersen::analyze(&p);
-        assert!(an.may_alias(v(&p, "x"), v(&p, "y")), "Andersen conflates the call sites");
+        assert!(
+            an.may_alias(v(&p, "x"), v(&p, "y")),
+            "Andersen conflates the call sites"
+        );
         // Sanity: x still aliases a fresh pointer to a.
-        assert!(az.must_alias(v(&p, "x"), v(&p, "x"), main_exit(&p)).unwrap());
+        assert!(az
+            .must_alias(v(&p, "x"), v(&p, "x"), main_exit(&p))
+            .unwrap());
     }
 
     #[test]
@@ -737,7 +736,10 @@ mod tests {
         let setter_exit = p.func(setter).exit();
         let call_sites: Vec<Loc> = s.callers_of(setter).to_vec();
         assert_eq!(call_sites.len(), 2);
-        let (cs1, cs2) = (call_sites[0].min(call_sites[1]), call_sites[0].max(call_sites[1]));
+        let (cs1, cs2) = (
+            call_sites[0].min(call_sites[1]),
+            call_sites[0].max(call_sites[1]),
+        );
         let mut b1 = AnalysisBudget::unlimited();
         let srcs1 = az
             .sources_in_context(v(&p, "g"), setter_exit, &[cs1], &mut b1)
@@ -778,9 +780,7 @@ mod tests {
 
     #[test]
     fn invalid_context_is_rejected() {
-        let (p, c) = session(
-            "int *gv; void g() { } void main() { g(); }",
-        );
+        let (p, c) = session("int *gv; void g() { } void main() { g(); }");
         let s = Session::new(&p, c);
         let az = s.analyzer();
         let g = p.func_named("g").unwrap();
@@ -819,8 +819,12 @@ mod tests {
         );
         let s = Session::new(&p, c);
         let az = s.analyzer();
-        assert!(az.must_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
-        assert!(!az.must_alias(v(&p, "x"), v(&p, "z"), main_exit(&p)).unwrap());
+        assert!(az
+            .must_alias(v(&p, "x"), v(&p, "y"), main_exit(&p))
+            .unwrap());
+        assert!(!az
+            .must_alias(v(&p, "x"), v(&p, "z"), main_exit(&p))
+            .unwrap());
         assert!(az.may_alias(v(&p, "x"), v(&p, "z"), main_exit(&p)).unwrap());
     }
 
@@ -904,9 +908,7 @@ mod tests {
 
     #[test]
     fn null_does_not_alias_by_default() {
-        let (p, c) = session(
-            "int *x; int *y; void main() { x = NULL; y = NULL; }",
-        );
+        let (p, c) = session("int *x; int *y; void main() { x = NULL; y = NULL; }");
         let s = Session::new(&p, c);
         let az = s.analyzer();
         assert!(!az.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
@@ -917,7 +919,9 @@ mod tests {
         };
         let s2 = Session::new(&p, c2);
         let az2 = s2.analyzer();
-        assert!(az2.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
+        assert!(az2
+            .may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p))
+            .unwrap());
     }
 
     #[test]

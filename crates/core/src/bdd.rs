@@ -168,10 +168,7 @@ impl Manager {
         if let Some(&r) = self.ite_cache.get(&key) {
             return r;
         }
-        let v = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let v = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);

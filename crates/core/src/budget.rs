@@ -83,7 +83,7 @@ impl AnalysisBudget {
             return false;
         }
         // Check the clock only occasionally; Instant::now is not free.
-        if self.steps % 1024 == 0 {
+        if self.steps.is_multiple_of(1024) {
             if let Some(d) = self.deadline {
                 if Instant::now() > d {
                     self.exhausted = true;

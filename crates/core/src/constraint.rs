@@ -172,7 +172,11 @@ impl Cond {
     #[must_use]
     pub fn and(&self, atom: Atom, cap: usize) -> Option<Cond> {
         let atom = atom.normalized();
-        if self.atoms.binary_search(&atom.negated().normalized()).is_ok() {
+        if self
+            .atoms
+            .binary_search(&atom.negated().normalized())
+            .is_ok()
+        {
             return None;
         }
         match self.atoms.binary_search(&atom) {
@@ -394,7 +398,9 @@ mod tests {
         let b = Cond::top().and(pt(2, 0, 1), 8).unwrap();
         let c = a.and_cond(&b, 8).unwrap();
         assert_eq!(c.atoms().len(), 2);
-        assert!(a.and_cond(&Cond::top().and(pt(1, 0, 1).negated(), 8).unwrap(), 8).is_none());
+        assert!(a
+            .and_cond(&Cond::top().and(pt(1, 0, 1).negated(), 8).unwrap(), 8)
+            .is_none());
     }
 }
 
@@ -425,11 +431,7 @@ mod branch_atom_tests {
             ptr: VarId::new(0),
             obj: VarId::new(1),
         };
-        let c = Cond::top()
-            .and(bt(1), 8)
-            .unwrap()
-            .and(pts, 8)
-            .unwrap();
+        let c = Cond::top().and(bt(1), 8).unwrap().and(pts, 8).unwrap();
         let d = c.drop_branch_atoms();
         assert_eq!(d.atoms(), &[pts]);
         // No-op (and no reallocation semantics change) without literals.

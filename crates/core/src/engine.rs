@@ -28,7 +28,9 @@ use bootstrap_ir::{CallGraph, CallTarget, FuncId, Loc, Program, Stmt, StmtIdx, V
 
 use crate::budget::{AnalysisBudget, Outcome};
 use crate::constraint::{Atom, Cond};
-use crate::relevant::{modifying_functions, relevant_statements_indexed, RelevantIndex, RelevantSet};
+use crate::relevant::{
+    modifying_functions, relevant_statements_indexed, RelevantIndex, RelevantSet,
+};
 use crate::summary::{SummaryKey, SummaryStore, SummaryTuple, Value};
 
 /// Supplies flow-sensitive, context-insensitive points-to sets for pointers
@@ -516,7 +518,9 @@ impl ClusterEngine {
                         continues.push((x, cond.clone()));
                     }
                 }
-                Stmt::Null { dst } => {
+                // A `free` nulls its operand, so for the backward value walk
+                // it behaves exactly like an explicit NULL assignment.
+                Stmt::Null { dst } | Stmt::Free { dst } => {
                     if *dst == x && self.relevant.contains_stmt(loc) {
                         if let Some(c) = self.with_reach_cond(cx, f, m, &cond, &dead) {
                             out.results.push((Value::Null, c));
@@ -837,7 +841,10 @@ mod tests {
         // completed back to c's entry value; around the store: a's own
         // entry value.
         let values: Vec<&Value> = res.iter().map(|(v, _)| v).collect();
-        assert!(values.contains(&&Value::Ptr(s.v("c"))), "maximal completion reaches c: {res:?}");
+        assert!(
+            values.contains(&&Value::Ptr(s.v("c"))),
+            "maximal completion reaches c: {res:?}"
+        );
         assert!(values.contains(&&Value::Ptr(s.v("a"))));
         // The through-store result must carry the x -> a constraint.
         let (_, cond) = res
@@ -920,7 +927,10 @@ mod tests {
         let res = sources_of(&s, &["x"], "x", s.exit_of("main"));
         let values: Vec<Value> = res.iter().map(|(v, _)| *v).collect();
         assert!(values.contains(&Value::Addr(s.v("a"))));
-        assert!(values.contains(&Value::Ptr(s.v("x"))), "identity path: {values:?}");
+        assert!(
+            values.contains(&Value::Ptr(s.v("x"))),
+            "identity path: {values:?}"
+        );
     }
 
     #[test]
@@ -1006,8 +1016,9 @@ mod tests {
         );
         let res = sources_of(&s, &["x", "y"], "y", s.exit_of("main"));
         // y = *z with z -> x: y's value is x's value = &a, under z -> x.
-        assert!(res
-            .iter()
-            .any(|(v, _)| *v == Value::Addr(s.v("a"))), "{res:?}");
+        assert!(
+            res.iter().any(|(v, _)| *v == Value::Addr(s.v("a"))),
+            "{res:?}"
+        );
     }
 }

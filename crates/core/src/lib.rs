@@ -50,6 +50,7 @@ pub mod summary;
 
 pub use analyzer::{Analyzer, QueryError};
 pub use budget::{AnalysisBudget, Outcome};
+pub use constraint::Cond;
 pub use cover::{AliasCover, Cluster, ClusterOrigin};
 pub use engine::{ClusterEngine, EngineCx, NoOracle, PtsOracle};
 pub use fsci_cache::FsciCacheStats;

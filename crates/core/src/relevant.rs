@@ -100,9 +100,10 @@ impl RelevantIndex {
                     defs_of.entry(dst).or_default().push(loc);
                     addr_taken.insert(obj);
                 }
-                Stmt::Copy { dst, .. } | Stmt::Load { dst, .. } | Stmt::Null { dst } => {
-                    defs_of.entry(dst).or_default().push(loc)
-                }
+                Stmt::Copy { dst, .. }
+                | Stmt::Load { dst, .. }
+                | Stmt::Null { dst }
+                | Stmt::Free { dst } => defs_of.entry(dst).or_default().push(loc),
                 Stmt::Store { dst, .. } => {
                     if let Some(c) = st.pointee(st.class_of(dst)) {
                         stores_writing.entry(c.0).or_default().push(loc);
@@ -172,7 +173,7 @@ pub fn relevant_statements_indexed(
                             }
                         }
                     }
-                    Stmt::AddrOf { .. } | Stmt::Null { .. } => {}
+                    Stmt::AddrOf { .. } | Stmt::Null { .. } | Stmt::Free { .. } => {}
                     _ => {}
                 }
             }

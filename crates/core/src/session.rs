@@ -20,11 +20,13 @@ use bootstrap_analyses::{andersen, oneflow, steensgaard, SteensgaardResult};
 use bootstrap_ir::{CallGraph, FuncId, Loc, Program, Stmt, VarId};
 
 use crate::analyzer::Analyzer;
-use crate::budget::AnalysisBudget;
+use crate::budget::{AnalysisBudget, Outcome};
+use crate::constraint::Cond;
 use crate::cover::{AliasCover, Cluster, ClusterOrigin};
 use crate::engine::EngineCx;
 use crate::fsci_cache::{FsciCacheStats, SharedFsciCache};
 use crate::relevant::{relevant_statements_indexed, RelevantIndex};
+use crate::summary::Source;
 
 /// Which analyses the cascade runs on oversized partitions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -207,6 +209,29 @@ impl<'p> Session<'p> {
     /// session consult the session's shared FSCI cache before computing.
     pub fn analyzer(&self) -> Analyzer<'_> {
         Analyzer::new(self)
+    }
+
+    /// The flow- and context-sensitive value sources of `p` just before
+    /// `loc`, filtered to constraint-satisfiable tuples.
+    ///
+    /// This is the per-statement query surface client checkers batch their
+    /// site queries through: each call gets a fresh query budget, runs
+    /// Algorithm 3 at an arbitrary program point (not just function exits),
+    /// and weeds out sources whose guarding constraints the FSCI oracle
+    /// refutes — the must-alias strong updates that suppress false
+    /// positives. Pass the same `az` for all queries of one batch so the
+    /// per-thread memo and the shared FSCI cache are reused across sites.
+    pub fn query_at_loc(
+        &self,
+        az: &Analyzer<'_>,
+        p: VarId,
+        loc: Loc,
+    ) -> Outcome<Vec<(Source, Cond)>> {
+        let mut budget = self.config.query_budget();
+        match az.sources(p, loc, &mut budget) {
+            Outcome::Done(sources) => Outcome::Done(az.satisfiable_sources(sources)),
+            Outcome::TimedOut => Outcome::TimedOut,
+        }
     }
 
     /// The session-wide FSCI cache (clean top-level results only).
@@ -418,20 +443,18 @@ mod tests {
         };
         let s = Session::new(&p, config);
         assert!(s.cover().covers(s.pointers()));
-        assert!(s
-            .cover()
-            .clusters()
-            .iter()
-            .any(|c| matches!(c.origin, ClusterOrigin::OneFlow { .. })
-                || matches!(c.origin, ClusterOrigin::Andersen { .. })));
+        assert!(s.cover().clusters().iter().any(|c| matches!(
+            c.origin,
+            ClusterOrigin::OneFlow { .. }
+        ) || matches!(
+            c.origin,
+            ClusterOrigin::Andersen { .. }
+        )));
     }
 
     #[test]
     fn callers_map_lists_call_sites() {
-        let p = parse_program(
-            "void g() { } void main() { g(); g(); }",
-        )
-        .unwrap();
+        let p = parse_program("void g() { } void main() { g(); g(); }").unwrap();
         let s = Session::new(&p, Config::default());
         let g = p.func_named("g").unwrap();
         assert_eq!(s.callers_of(g).len(), 2);

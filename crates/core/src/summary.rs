@@ -141,11 +141,12 @@ impl SummaryStore {
 
     /// Ensures an (empty) entry exists; returns `true` if it was created.
     pub fn ensure(&mut self, key: SummaryKey) -> bool {
-        if self.entries.contains_key(&key) {
-            false
-        } else {
-            self.entries.insert(key, Vec::new());
-            true
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Vec::new());
+                true
+            }
         }
     }
 
@@ -197,9 +198,18 @@ mod tests {
     fn store_put_detects_change_and_dedups() {
         let mut s = SummaryStore::new();
         let key = (FuncId::new(0), v(1));
-        assert!(s.put(key, vec![(Value::Ptr(v(1)), Cond::top()), (Value::Ptr(v(1)), Cond::top())]));
+        assert!(s.put(
+            key,
+            vec![
+                (Value::Ptr(v(1)), Cond::top()),
+                (Value::Ptr(v(1)), Cond::top())
+            ]
+        ));
         assert_eq!(s.get(&key).unwrap().len(), 1, "duplicates removed");
-        assert!(!s.put(key, vec![(Value::Ptr(v(1)), Cond::top())]), "same set");
+        assert!(
+            !s.put(key, vec![(Value::Ptr(v(1)), Cond::top())]),
+            "same set"
+        );
         assert!(s.put(key, vec![(Value::Null, Cond::top())]), "changed set");
         assert_eq!(s.tuple_count(), 1);
         assert_eq!(s.entry_count(), 1);

@@ -12,8 +12,16 @@ fn atom_strategy() -> impl Strategy<Value = Atom> {
         let loc = Loc::new(FuncId::new(0), l);
         let (va, vb) = (VarId::new(a), VarId::new(b));
         match kind {
-            0 => Atom::PointsTo { loc, ptr: va, obj: vb },
-            1 => Atom::NotPointsTo { loc, ptr: va, obj: vb },
+            0 => Atom::PointsTo {
+                loc,
+                ptr: va,
+                obj: vb,
+            },
+            1 => Atom::NotPointsTo {
+                loc,
+                ptr: va,
+                obj: vb,
+            },
             2 => Atom::Eq { loc, a: va, b: vb },
             _ => Atom::NotEq { loc, a: va, b: vb },
         }
@@ -75,8 +83,12 @@ fn build_program(ops: &[(u8, u8, u8)]) -> bootstrap_ir::Program {
     let n_ptrs = 6;
     let n_objs = 3;
     let mut b = ProgramBuilder::new();
-    let ptrs: Vec<VarId> = (0..n_ptrs).map(|i| b.global(&format!("p{i}"), true)).collect();
-    let objs: Vec<VarId> = (0..n_objs).map(|i| b.global(&format!("o{i}"), false)).collect();
+    let ptrs: Vec<VarId> = (0..n_ptrs)
+        .map(|i| b.global(&format!("p{i}"), true))
+        .collect();
+    let objs: Vec<VarId> = (0..n_objs)
+        .map(|i| b.global(&format!("o{i}"), false))
+        .collect();
     let helper = b.declare_func("helper", 1, true);
     let main = b.declare_func("main", 0, false);
     let mut fb = b.build_func(helper);

@@ -70,6 +70,8 @@ pub struct VarDecl {
     pub ty: Type,
     /// Optional initializer expression.
     pub init: Option<Expr>,
+    /// 1-based source line of the declaration (0 when unknown).
+    pub line: u32,
 }
 
 /// A function definition.
@@ -90,6 +92,9 @@ pub struct FuncDef {
 pub struct Block {
     /// The statements, in source order.
     pub stmts: Vec<Stmt>,
+    /// 1-based source line of each statement, parallel to `stmts` (empty
+    /// for synthesized blocks; entries may be `0` when unknown).
+    pub lines: Vec<u32>,
 }
 
 /// A mini-C statement.
@@ -125,7 +130,8 @@ pub enum Stmt {
     Return(Option<Expr>),
     /// An expression statement (typically a call).
     Expr(Expr),
-    /// `free(e);` — lowered to `e = NULL`.
+    /// `free(e);` — lowered to a [`crate::Stmt::Free`], which nulls the
+    /// pointer (Remark 1) while preserving the deallocation event.
     Free(Expr),
     /// A nested block.
     Block(Block),

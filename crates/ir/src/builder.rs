@@ -67,11 +67,10 @@ impl ProgramBuilder {
         let fid = FuncId::new(self.funcs.len());
         let mut params = Vec::new();
         for i in 0..n_params {
-            params.push(self.prog.add_var(
-                format!("{name}::p{i}"),
-                VarKind::Param(fid, i),
-                true,
-            ));
+            params.push(
+                self.prog
+                    .add_var(format!("{name}::p{i}"), VarKind::Param(fid, i), true),
+            );
         }
         let ret = has_ret.then(|| {
             self.prog
@@ -138,17 +137,21 @@ impl ProgramBuilder {
                 branch_conds: Vec::new(),
             });
             let mut func = Function::new(
-                fid, pf.name, pf.params, pf.ret, built.stmts, built.succs, built.exit,
+                fid,
+                pf.name,
+                pf.params,
+                pf.ret,
+                built.stmts,
+                built.succs,
+                built.exit,
             );
             for (idx, v) in built.branch_conds {
                 func.set_branch_cond(idx, v);
             }
             self.prog.add_function(func);
         }
-        if self.prog.entry().is_none() {
-            if self.prog.func_count() > 0 {
-                self.prog.set_entry(FuncId::new(0));
-            }
+        if self.prog.entry().is_none() && self.prog.func_count() > 0 {
+            self.prog.set_entry(FuncId::new(0));
         }
         self.prog
     }
@@ -251,6 +254,12 @@ impl FuncBodyBuilder<'_> {
     /// Emits `dst = NULL`.
     pub fn null(&mut self, dst: VarId) -> StmtIdx {
         self.emit(Stmt::Null { dst })
+    }
+
+    /// Emits `free(dst)`: nulls `dst` like [`FuncBodyBuilder::null`] while
+    /// recording the deallocation event for client checkers.
+    pub fn free(&mut self, dst: VarId) -> StmtIdx {
+        self.emit(Stmt::Free { dst })
     }
 
     /// Emits a no-op.

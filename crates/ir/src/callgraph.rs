@@ -223,10 +223,7 @@ mod tests {
 
     #[test]
     fn reachability() {
-        let p = parse_program(
-            "void isolated() { } void g() { } void main() { g(); }",
-        )
-        .unwrap();
+        let p = parse_program("void isolated() { } void g() { } void main() { g(); }").unwrap();
         let cg = CallGraph::build(&p);
         let m = p.func_named("main").unwrap();
         let reach = cg.reachable_from(m);

@@ -27,10 +27,11 @@ pub fn stmt_to_string(program: &Program, stmt: &Stmt) -> String {
         Stmt::Load { dst, src } => format!("{} = *{}", name(dst), name(src)),
         Stmt::Store { dst, src } => format!("*{} = {}", name(dst), name(src)),
         Stmt::Null { dst } => format!("{} = NULL", name(dst)),
+        Stmt::Free { dst } => format!("free({})", name(dst)),
         Stmt::Call(c) => match c.target {
             CallTarget::Direct(f) => format!("call {}", program.func(f).name()),
             CallTarget::Indirect(fp) => {
-                let args: Vec<String> = c.args.iter().map(|a| name(a)).collect();
+                let args: Vec<String> = c.args.iter().map(&name).collect();
                 format!("call (*{})({})", name(&fp), args.join(", "))
             }
         },
@@ -86,10 +87,8 @@ mod tests {
 
     #[test]
     fn program_display_includes_functions_and_stmts() {
-        let p = parse_program(
-            "int a; int *x; void helper() { x = &a; } void main() { helper(); }",
-        )
-        .unwrap();
+        let p = parse_program("int a; int *x; void helper() { x = &a; } void main() { helper(); }")
+            .unwrap();
         let text = p.to_string();
         assert!(text.contains("fn helper()"));
         assert!(text.contains("x = &a"));
@@ -98,11 +97,13 @@ mod tests {
 
     #[test]
     fn branch_edges_are_shown() {
-        let p = parse_program(
-            "void main() { int a; int *x; if (a) { x = &a; } else { x = NULL; } }",
-        )
-        .unwrap();
+        let p =
+            parse_program("void main() { int a; int *x; if (a) { x = &a; } else { x = NULL; } }")
+                .unwrap();
         let text = p.to_string();
-        assert!(text.contains("-> ["), "branches must list successors: {text}");
+        assert!(
+            text.contains("-> ["),
+            "branches must list successors: {text}"
+        );
     }
 }

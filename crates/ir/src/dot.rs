@@ -43,12 +43,22 @@ pub fn callgraph_dot(program: &Program, cg: &CallGraph) -> String {
         if scc.len() > 1 {
             let _ = writeln!(out, "  subgraph cluster_scc{i} {{ label=\"scc {i}\";");
             for &f in scc {
-                let _ = writeln!(out, "    f{} [label=\"{}\"];", f.index(), program.func(f).name());
+                let _ = writeln!(
+                    out,
+                    "    f{} [label=\"{}\"];",
+                    f.index(),
+                    program.func(f).name()
+                );
             }
             out.push_str("  }\n");
         } else {
             for &f in scc {
-                let _ = writeln!(out, "  f{} [label=\"{}\"];", f.index(), program.func(f).name());
+                let _ = writeln!(
+                    out,
+                    "  f{} [label=\"{}\"];",
+                    f.index(),
+                    program.func(f).name()
+                );
             }
         }
     }
@@ -76,10 +86,7 @@ mod tests {
 
     #[test]
     fn callgraph_dot_clusters_recursion() {
-        let p = parse_program(
-            "void a() { b(); } void b() { a(); } void main() { a(); }",
-        )
-        .unwrap();
+        let p = parse_program("void a() { b(); } void b() { a(); } void main() { a(); }").unwrap();
         let cg = CallGraph::build(&p);
         let dot = callgraph_dot(&p, &cg);
         assert!(dot.contains("cluster_scc"));

@@ -5,7 +5,8 @@
 //! * every pointer assignment is reduced to `x = y`, `x = &y`, `x = *y` or
 //!   `*x = y` by introducing compiler temporaries for nested dereferences;
 //! * heap allocation at a site becomes `p = &heap@site`; `free(p)` becomes
-//!   `p = NULL`;
+//!   a [`Stmt::Free`], which the alias analyses treat as `p = NULL` while
+//!   client checkers see the deallocation event;
 //! * structs are flattened into one variable per field (making the analysis
 //!   field-sensitive); struct variables whose address is taken, and
 //!   struct-typed parameters, are collapsed to a single variable instead
@@ -123,12 +124,12 @@ impl<'a> Lowerer<'a> {
         }
 
         // Globals.
-        let mut global_inits: Vec<(String, Expr)> = Vec::new();
+        let mut global_inits: Vec<(String, Expr, u32)> = Vec::new();
         for g in &self.ast.globals {
             let entry = self.declare_var(&g.name, &g.ty, VarKind::Global, None);
             self.globals.insert(g.name.clone(), entry);
             if let Some(init) = &g.init {
-                global_inits.push((g.name.clone(), init.clone()));
+                global_inits.push((g.name.clone(), init.clone(), g.line));
             }
         }
 
@@ -229,21 +230,14 @@ impl<'a> Lowerer<'a> {
 
     /// Declares a variable of the given type, flattening structs when safe.
     /// `owner` is `None` for globals.
-    fn declare_var(
-        &mut self,
-        name: &str,
-        ty: &Type,
-        kind: VarKind,
-        owner: Option<&str>,
-    ) -> Entry {
+    fn declare_var(&mut self, name: &str, ty: &Type, kind: VarKind, owner: Option<&str>) -> Entry {
         let full = match owner {
             Some(f) => format!("{f}::{name}"),
             None => name.to_string(),
         };
         match ty {
             Type::Struct(sname)
-                if !self.addr_taken_names.contains(name)
-                    && self.structs.contains_key(sname) =>
+                if !self.addr_taken_names.contains(name) && self.structs.contains_key(sname) =>
             {
                 let fields = self.structs[sname].clone();
                 let mut map = HashMap::new();
@@ -311,7 +305,7 @@ impl<'a> Lowerer<'a> {
         params: Vec<VarId>,
         ret_var: Option<VarId>,
         param_entries: Vec<(String, Entry)>,
-        global_inits: &[(String, Expr)],
+        global_inits: &[(String, Expr, u32)],
     ) -> Function {
         let mut fx = FnCx {
             lw: self,
@@ -319,6 +313,8 @@ impl<'a> Lowerer<'a> {
             fname: f.name.clone(),
             stmts: vec![Stmt::Skip],
             succs: vec![Vec::new()],
+            lines: vec![0],
+            current_line: 0,
             frontier: vec![0],
             scopes: vec![param_entries.into_iter().collect()],
             returns: Vec::new(),
@@ -326,14 +322,17 @@ impl<'a> Lowerer<'a> {
             ret_var,
             branch_conds: Vec::new(),
         };
-        for (name, init) in global_inits {
+        for (name, init, line) in global_inits {
+            fx.current_line = *line;
             let rhs = init.clone();
             fx.lower_assign(&Expr::Ident(name.clone()), &rhs);
         }
+        fx.current_line = 0;
         fx.lower_block(&f.body);
         let exit = fx.finish();
-        let (stmts, succs, branch_conds) = (fx.stmts, fx.succs, fx.branch_conds);
+        let (stmts, succs, lines, branch_conds) = (fx.stmts, fx.succs, fx.lines, fx.branch_conds);
         let mut func = Function::new(fid, f.name.clone(), params, ret_var, stmts, succs, exit);
+        func.set_stmt_lines(lines);
         for (idx, v) in branch_conds {
             func.set_branch_cond(idx, v);
         }
@@ -347,6 +346,11 @@ struct FnCx<'a, 'b> {
     fname: String,
     stmts: Vec<Stmt>,
     succs: Vec<Vec<StmtIdx>>,
+    /// 1-based source line per emitted statement, parallel to `stmts`
+    /// (0 when unknown).
+    lines: Vec<u32>,
+    /// Source line of the statement currently being lowered.
+    current_line: u32,
     /// Statement indices whose successor lists the next emitted statement
     /// joins. Empty after a `return` (following code is unreachable).
     frontier: Vec<StmtIdx>,
@@ -363,6 +367,7 @@ impl FnCx<'_, '_> {
         let idx = self.stmts.len() as StmtIdx;
         self.stmts.push(stmt);
         self.succs.push(Vec::new());
+        self.lines.push(self.current_line);
         for &p in &self.frontier {
             self.succs[p as usize].push(idx);
         }
@@ -374,6 +379,7 @@ impl FnCx<'_, '_> {
         let exit = self.stmts.len() as StmtIdx;
         self.stmts.push(Stmt::Skip);
         self.succs.push(Vec::new());
+        self.lines.push(0);
         for &p in &self.frontier {
             self.succs[p as usize].push(exit);
         }
@@ -387,9 +393,7 @@ impl FnCx<'_, '_> {
     fn fresh_temp(&mut self) -> VarId {
         self.temp_counter += 1;
         let name = format!("{}::$t{}", self.fname, self.temp_counter);
-        self.lw
-            .prog
-            .add_var(name, VarKind::Temp(self.fid), true)
+        self.lw.prog.add_var(name, VarKind::Temp(self.fid), true)
     }
 
     fn lookup(&self, name: &str) -> Option<Entry> {
@@ -407,16 +411,19 @@ impl FnCx<'_, '_> {
         if let Some(e) = self.lookup(name) {
             return e;
         }
-        let entry = self
-            .lw
-            .declare_var(name, &Type::Int, VarKind::Global, None);
+        let entry = self.lw.declare_var(name, &Type::Int, VarKind::Global, None);
         self.lw.globals.insert(name.to_string(), entry.clone());
         entry
     }
 
     fn lower_block(&mut self, b: &Block) {
         self.scopes.push(HashMap::new());
-        for s in &b.stmts {
+        for (i, s) in b.stmts.iter().enumerate() {
+            if let Some(&l) = b.lines.get(i) {
+                if l != 0 {
+                    self.current_line = l;
+                }
+            }
             self.lower_stmt(s);
         }
         self.scopes.pop();
@@ -425,9 +432,12 @@ impl FnCx<'_, '_> {
     fn lower_stmt(&mut self, s: &ast::Stmt) {
         match s {
             ast::Stmt::Decl(d) => {
-                let entry =
-                    self.lw
-                        .declare_var(&d.name, &d.ty, VarKind::Local(self.fid), Some(&self.fname));
+                let entry = self.lw.declare_var(
+                    &d.name,
+                    &d.ty,
+                    VarKind::Local(self.fid),
+                    Some(&self.fname),
+                );
                 self.scopes
                     .last_mut()
                     .expect("scope stack is never empty")
@@ -492,14 +502,19 @@ impl FnCx<'_, '_> {
                 }
             }
             ast::Stmt::Free(e) => {
-                // free(p) becomes p = NULL (Remark 1).
+                // free(p) nulls p (Remark 1) via a Free statement that
+                // preserves the deallocation event for client checkers.
                 match self.lower_place(e) {
                     Place::Var(v) => {
-                        self.emit(Stmt::Null { dst: v });
+                        self.emit(Stmt::Free { dst: v });
                     }
                     Place::Deref(p) => {
+                        // free(*p): load the freed pointer into a temp, free
+                        // it (nulling the temp), and store the temp back —
+                        // the net effect on memory is the old `*p = NULL`.
                         let t = self.fresh_temp();
-                        self.emit(Stmt::Null { dst: t });
+                        self.emit(Stmt::Load { dst: t, src: p });
+                        self.emit(Stmt::Free { dst: t });
                         self.emit(Stmt::Store { dst: p, src: t });
                     }
                 }
@@ -659,10 +674,7 @@ impl FnCx<'_, '_> {
                 let site = Loc::new(self.fid, self.stmts.len() as StmtIdx);
                 let name = format!("heap@{}:{}", self.fname, site.stmt);
                 let name = self.lw.unique_name(name);
-                let obj = self
-                    .lw
-                    .prog
-                    .add_var(name, VarKind::AllocSite(site), true);
+                let obj = self.lw.prog.add_var(name, VarKind::AllocSite(site), true);
                 match place {
                     Place::Var(d) => {
                         self.emit(Stmt::AddrOf { dst: d, obj });
@@ -808,9 +820,7 @@ impl FnCx<'_, '_> {
             other => other,
         };
         let direct = match callee {
-            Expr::Ident(name) if self.lookup(name).is_none() => {
-                self.lw.func_ids.get(name).copied()
-            }
+            Expr::Ident(name) if self.lookup(name).is_none() => self.lw.func_ids.get(name).copied(),
             _ => None,
         };
         let arg_vars: Vec<VarId> = args.iter().map(|a| self.lower_to_var(a)).collect();
@@ -898,6 +908,7 @@ mod tests {
                 Stmt::Load { .. } => "load",
                 Stmt::Store { .. } => "store",
                 Stmt::Null { .. } => "null",
+                Stmt::Free { .. } => "free",
                 Stmt::Call(_) => "call",
                 Stmt::Return => "return",
                 Stmt::Skip => "skip",
@@ -941,9 +952,49 @@ mod tests {
     }
 
     #[test]
-    fn free_becomes_null() {
+    fn free_preserves_site_with_null_semantics() {
         let p = parse_program("void main() { int *x; free(x); }").unwrap();
-        assert!(stmt_kinds(&p, "main").contains(&"null".to_string()));
+        let kinds = stmt_kinds(&p, "main");
+        assert!(kinds.contains(&"free".to_string()));
+        assert!(!kinds.contains(&"null".to_string()));
+        let f = p.func(p.func_named("main").unwrap());
+        let x = p.var_named("main::x").unwrap();
+        assert!(f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::Free { dst } if *dst == x)));
+    }
+
+    #[test]
+    fn free_of_deref_loads_frees_and_stores_back() {
+        // free(*z) must expose the freed values of *z while keeping the
+        // old `*z = NULL` net effect.
+        let p = parse_program("void main() { int **z; free(*z); }").unwrap();
+        let kinds = stmt_kinds(&p, "main");
+        let load = kinds.iter().position(|k| k == "load").unwrap();
+        let free = kinds.iter().position(|k| k == "free").unwrap();
+        let store = kinds.iter().position(|k| k == "store").unwrap();
+        assert!(load < free && free < store);
+    }
+
+    #[test]
+    fn statements_carry_source_lines() {
+        let p = parse_program("void main() {\n int a;\n int *x;\n x = &a;\n free(x);\n}").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let addr = f
+            .body()
+            .iter()
+            .position(|s| matches!(s, Stmt::AddrOf { .. }))
+            .unwrap();
+        let free = f
+            .body()
+            .iter()
+            .position(|s| matches!(s, Stmt::Free { .. }))
+            .unwrap();
+        assert_eq!(f.line_of(addr as StmtIdx), Some(4));
+        assert_eq!(f.line_of(free as StmtIdx), Some(5));
+        // Entry/exit pseudo-statements have no line.
+        assert_eq!(f.line_of(0), None);
     }
 
     #[test]

@@ -258,6 +258,7 @@ impl Parser {
     fn declarator_list(&mut self, base: Type) -> Result<Vec<VarDecl>, ParseError> {
         let mut decls = Vec::new();
         loop {
+            let (line, _) = self.here();
             let (name, ty) = self.declarator(base.clone())?;
             let init = if *self.peek() == Tok::Eq {
                 self.bump();
@@ -265,7 +266,12 @@ impl Parser {
             } else {
                 None
             };
-            decls.push(VarDecl { name, ty, init });
+            decls.push(VarDecl {
+                name,
+                ty,
+                init,
+                line,
+            });
             if *self.peek() == Tok::Comma {
                 self.bump();
             } else {
@@ -285,7 +291,8 @@ impl Parser {
         self.expect(Tok::LParen)?;
         let mut params = Vec::new();
         if *self.peek() != Tok::RParen {
-            if matches!(self.peek(), Tok::Ident(s) if s == "void") && *self.peek_at(1) == Tok::RParen
+            if matches!(self.peek(), Tok::Ident(s) if s == "void")
+                && *self.peek_at(1) == Tok::RParen
             {
                 self.bump();
             } else {
@@ -314,14 +321,17 @@ impl Parser {
     fn block(&mut self) -> Result<Block, ParseError> {
         self.expect(Tok::LBrace)?;
         let mut stmts = Vec::new();
+        let mut lines = Vec::new();
         while *self.peek() != Tok::RBrace {
             if *self.peek() == Tok::Eof {
                 return self.err("unterminated block");
             }
+            let (line, _) = self.here();
             stmts.push(self.stmt()?);
+            lines.push(line);
         }
         self.expect(Tok::RBrace)?;
-        Ok(Block { stmts })
+        Ok(Block { stmts, lines })
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -382,8 +392,10 @@ impl Parser {
                 if decls.len() == 1 {
                     Ok(Stmt::Decl(decls.into_iter().next().expect("one decl")))
                 } else {
+                    let lines = decls.iter().map(|d| d.line).collect();
                     Ok(Stmt::Block(Block {
                         stmts: decls.into_iter().map(Stmt::Decl).collect(),
+                        lines,
                     }))
                 }
             }
@@ -406,8 +418,10 @@ impl Parser {
         if *self.peek() == Tok::LBrace {
             self.block()
         } else {
+            let (line, _) = self.here();
             Ok(Block {
                 stmts: vec![self.stmt()?],
+                lines: vec![line],
             })
         }
     }
@@ -641,7 +655,10 @@ mod tests {
         let f = &ast.funcs[0];
         assert!(matches!(
             &f.body.stmts[1],
-            Stmt::Assign { rhs: Expr::Malloc, .. }
+            Stmt::Assign {
+                rhs: Expr::Malloc,
+                ..
+            }
         ));
     }
 
@@ -651,7 +668,10 @@ mod tests {
         let f = &ast.funcs[0];
         assert!(matches!(
             &f.body.stmts[1],
-            Stmt::Assign { rhs: Expr::Deref(_), .. }
+            Stmt::Assign {
+                rhs: Expr::Deref(_),
+                ..
+            }
         ));
     }
 

@@ -42,9 +42,18 @@ pub enum Stmt {
         /// The source pointer.
         src: VarId,
     },
-    /// `dst = NULL` — also models `free(dst)`.
+    /// `dst = NULL` — an explicit nulling assignment.
     Null {
         /// The assigned pointer.
+        dst: VarId,
+    },
+    /// `free(dst)`: the object `dst` points to is deallocated and `dst`
+    /// becomes NULL. Alias analyses treat this exactly like [`Stmt::Null`]
+    /// (the paper's Remark 1 reduction), but the distinct form preserves
+    /// the deallocation *event* for client checkers (use-after-free,
+    /// double-free).
+    Free {
+        /// The freed (and nulled) pointer.
         dst: VarId,
     },
     /// A function call. Direct calls have their parameter/return binding
@@ -69,13 +78,14 @@ impl Stmt {
             Stmt::Copy { dst, .. }
             | Stmt::AddrOf { dst, .. }
             | Stmt::Load { dst, .. }
-            | Stmt::Null { dst } => Some(*dst),
+            | Stmt::Null { dst }
+            | Stmt::Free { dst } => Some(*dst),
             Stmt::Store { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => None,
         }
     }
 
     /// Returns `true` if this statement is one of the four pointer
-    /// assignment forms or a `NULL` assignment.
+    /// assignment forms, a `NULL` assignment or a `free`.
     pub fn is_pointer_assign(&self) -> bool {
         matches!(
             self,
@@ -84,6 +94,7 @@ impl Stmt {
                 | Stmt::Load { .. }
                 | Stmt::Store { .. }
                 | Stmt::Null { .. }
+                | Stmt::Free { .. }
         )
     }
 }
@@ -149,10 +160,7 @@ impl VarKind {
             VarKind::Local(f) | VarKind::Param(f, _) | VarKind::Ret(f) | VarKind::Temp(f) => {
                 Some(*f)
             }
-            VarKind::FuncObj(_)
-            | VarKind::Global
-            | VarKind::AllocSite(_)
-            | VarKind::Null => None,
+            VarKind::FuncObj(_) | VarKind::Global | VarKind::AllocSite(_) | VarKind::Null => None,
         }
     }
 }
@@ -203,6 +211,11 @@ pub struct Function {
     /// `v`, with successor 0 the true arm and successor 1 the false arm.
     /// Used by the optional path-sensitive mode (paper §3).
     branch_conds: HashMap<StmtIdx, VarId>,
+    /// 1-based source line per statement, parallel to `body`. Empty for
+    /// programs built programmatically; entries may be `0` (no line). The
+    /// table may be shorter than `body` after devirtualization appends
+    /// synthesized statements.
+    stmt_lines: Vec<u32>,
 }
 
 impl Function {
@@ -232,6 +245,7 @@ impl Function {
             preds,
             exit,
             branch_conds: HashMap::new(),
+            stmt_lines: Vec::new(),
         }
     }
 
@@ -331,10 +345,24 @@ impl Function {
         &mut self.body
     }
 
+    pub(crate) fn set_stmt_lines(&mut self, lines: Vec<u32>) {
+        self.stmt_lines = lines;
+    }
+
+    /// The 1-based source line of the statement at `idx`, if known.
+    ///
+    /// Returns `None` for programs without source information and for
+    /// statements synthesized after lowering (e.g. by devirtualization).
+    pub fn line_of(&self, idx: StmtIdx) -> Option<u32> {
+        self.stmt_lines
+            .get(idx as usize)
+            .copied()
+            .filter(|&l| l != 0)
+    }
+
     pub(crate) fn succs_vec(&self) -> Vec<Vec<StmtIdx>> {
         self.succs.clone()
     }
-
 }
 
 /// A whole program: a variable table plus a set of functions.
@@ -459,6 +487,11 @@ impl Program {
         self.func(loc.func).stmt(loc.stmt)
     }
 
+    /// The 1-based source line of the statement at `loc`, if known.
+    pub fn line_of(&self, loc: Loc) -> Option<u32> {
+        self.func(loc.func).line_of(loc.stmt)
+    }
+
     /// Number of source lines this program was lowered from (0 for programs
     /// built programmatically); used for the paper's KLOC column.
     pub fn source_lines(&self) -> usize {
@@ -502,9 +535,7 @@ impl Program {
                 .locs()
                 .filter_map(|(loc, s)| match s {
                     Stmt::Call(c) => match c.target {
-                        CallTarget::Indirect(fp) => {
-                            Some((loc.stmt, fp, c.args.clone(), c.ret.clone()))
-                        }
+                        CallTarget::Indirect(fp) => Some((loc.stmt, fp, c.args.clone(), c.ret)),
                         CallTarget::Direct(_) => None,
                     },
                     _ => None,

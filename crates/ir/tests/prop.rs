@@ -27,21 +27,26 @@ proptest! {
 /// A strategy for small valid mini-C programs assembled from statement
 /// templates over a fixed variable pool.
 fn stmt_pool() -> impl Strategy<Value = String> {
-    prop::sample::select(vec![
-        "x = &a;",
-        "y = &b;",
-        "x = y;",
-        "z = &x;",
-        "*z = y;",
-        "x = *z;",
-        "x = NULL;",
-        "free(y);",
-        "x = malloc(4);",
-        "a = a + 1;",
-        "if (a) { x = &b; }",
-        "while (a) { a = a - 1; }",
-        "x = pick(x, y);",
-    ].into_iter().map(String::from).collect::<Vec<_>>())
+    prop::sample::select(
+        vec![
+            "x = &a;",
+            "y = &b;",
+            "x = y;",
+            "z = &x;",
+            "*z = y;",
+            "x = *z;",
+            "x = NULL;",
+            "free(y);",
+            "x = malloc(4);",
+            "a = a + 1;",
+            "if (a) { x = &b; }",
+            "while (a) { a = a - 1; }",
+            "x = pick(x, y);",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect::<Vec<_>>(),
+    )
 }
 
 proptest! {

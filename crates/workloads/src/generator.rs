@@ -218,7 +218,7 @@ fn emit_op(fb: &mut bootstrap_ir::builder::FuncBodyBuilder<'_>, op: Op) {
             fb.alloc(d);
         }
         Op::Free(d) => {
-            fb.null(d);
+            fb.free(d);
         }
     }
 }
@@ -319,10 +319,10 @@ impl Planner<'_> {
         if hubs > 1 {
             self.push_op(&homes, Op::Copy(hub_vars[0], hub_vars[hubs - 1]));
         }
-        for h in 0..hubs {
+        for (h, &hv) in hub_vars.iter().enumerate() {
             for k in 0..2 {
                 let obj = self.fresh(&format!("bp{index}_hobj{h}_{k}"), false);
-                self.push_op(&homes, Op::AddrOf(hub_vars[h], obj));
+                self.push_op(&homes, Op::AddrOf(hv, obj));
             }
         }
         // A handle table over the hubs: a double pointer that may hold the

@@ -25,9 +25,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buggy;
 pub mod figures;
 pub mod generator;
 pub mod presets;
 
+pub use buggy::{BuggyConfig, BuggyProgram, ExpectedDefect};
 pub use generator::{generate, BigPartition, GenConfig};
-pub use presets::{Preset, PaperRow};
+pub use presets::{PaperRow, Preset};

@@ -59,8 +59,9 @@ impl Preset {
 /// Raw Table 1 data:
 /// (name, kloc, pointers, part_s, clus_s, unclustered, st_n, st_max, st_s,
 ///  an_n, an_max, an_s). `-1.0` in the unclustered column encodes "> 15min".
-const TABLE1: &[(
-    &str,
+/// One raw Table 1 row (see the field list above).
+type Table1Row = (
+    &'static str,
     f64,
     usize,
     f64,
@@ -72,45 +73,105 @@ const TABLE1: &[(
     usize,
     usize,
     f64,
-)] = &[
-    ("sock", 0.9, 1089, 0.02, 0.04, 0.11, 517, 9, 0.03, 539, 6, 0.01),
-    ("hugetlb", 1.2, 3607, 0.3, 0.5, 8.0, 1091, 45, 0.7, 1290, 11, 0.78),
-    ("ctrace", 1.4, 377, 0.01, 0.03, 0.07, 47, 36, 0.03, 193, 6, 0.03),
-    ("autofs", 8.3, 3258, 0.6, 1.0, 6.48, 589, 125, 0.52, 907, 27, 0.92),
-    ("plip", 14.0, 3257, 0.7, 1.2, 6.51, 568, 26, 0.57, 761, 14, 0.62),
-    ("ptrace", 15.0, 9075, 0.9, 1.1, 16.0, 924, 96, 1.46, 5941, 18, 0.67),
-    ("raid", 17.0, 814, 0.01, 0.06, 0.12, 100, 129, 0.03, 192, 26, 0.03),
-    ("jfs_dmap", 17.0, 14339, 2.9, 4.7, 510.0, 4190, 39, 3.62, 9214, 11, 1.34),
-    ("tty_io", 18.0, 2675, 0.9, 2.1, 22.0, 828, 8, 0.52, 882, 6, 0.45),
-    ("wavelan_ko", 20.0, 3117, 0.6, 1.4, 17.68, 591, 44, 1.2, 744, 19, 1.0),
-    ("pico", 22.0, 1903, 2.0, 10.0, -1.0, 484, 171, 4.98, 871, 102, 4.46),
-    ("synclink", 24.0, 16355, 12.0, 18.0, -1.0, 1237, 95, 26.85, 3503, 93, 26.0),
-    ("ipoib_multicast", 26.0, 2888, 0.9, 1.2, 54.7, 1167, 15, 1.0, 1378, 9, 0.5),
-    ("icecast", 49.0, 7490, 2.0, 12.0, 459.0, 964, 114, 15.0, 2553, 52, 15.0),
-    ("freshclam", 54.0, 1991, 0.3, 0.9, -1.0, 157, 77, 0.6, 740, 45, 0.44),
-    ("mt_daapd", 92.0, 4008, 1.4, 6.8, -1.0, 635, 89, 4.8, 1118, 83, 12.79),
-    ("sigtool", 95.0, 5881, 2.0, 10.0, -1.0, 552, 151, 8.0, 981, 147, 7.0),
-    ("clamd", 101.0, 16639, 13.0, 34.0, 61.0, 1274, 346, 49.0, 3915, 187, 41.0),
-    ("sendmail", 115.0, 65134, 125.0, 675.0, 4560.0, 21088, 596, 187.8, 24580, 193, 138.9),
-    ("httpd", 128.0, 16180, 40.0, 89.0, -1.0, 1779, 199, 35.0, 3893, 152, 32.0),
+);
+
+const TABLE1: &[Table1Row] = &[
+    (
+        "sock", 0.9, 1089, 0.02, 0.04, 0.11, 517, 9, 0.03, 539, 6, 0.01,
+    ),
+    (
+        "hugetlb", 1.2, 3607, 0.3, 0.5, 8.0, 1091, 45, 0.7, 1290, 11, 0.78,
+    ),
+    (
+        "ctrace", 1.4, 377, 0.01, 0.03, 0.07, 47, 36, 0.03, 193, 6, 0.03,
+    ),
+    (
+        "autofs", 8.3, 3258, 0.6, 1.0, 6.48, 589, 125, 0.52, 907, 27, 0.92,
+    ),
+    (
+        "plip", 14.0, 3257, 0.7, 1.2, 6.51, 568, 26, 0.57, 761, 14, 0.62,
+    ),
+    (
+        "ptrace", 15.0, 9075, 0.9, 1.1, 16.0, 924, 96, 1.46, 5941, 18, 0.67,
+    ),
+    (
+        "raid", 17.0, 814, 0.01, 0.06, 0.12, 100, 129, 0.03, 192, 26, 0.03,
+    ),
+    (
+        "jfs_dmap", 17.0, 14339, 2.9, 4.7, 510.0, 4190, 39, 3.62, 9214, 11, 1.34,
+    ),
+    (
+        "tty_io", 18.0, 2675, 0.9, 2.1, 22.0, 828, 8, 0.52, 882, 6, 0.45,
+    ),
+    (
+        "wavelan_ko",
+        20.0,
+        3117,
+        0.6,
+        1.4,
+        17.68,
+        591,
+        44,
+        1.2,
+        744,
+        19,
+        1.0,
+    ),
+    (
+        "pico", 22.0, 1903, 2.0, 10.0, -1.0, 484, 171, 4.98, 871, 102, 4.46,
+    ),
+    (
+        "synclink", 24.0, 16355, 12.0, 18.0, -1.0, 1237, 95, 26.85, 3503, 93, 26.0,
+    ),
+    (
+        "ipoib_multicast",
+        26.0,
+        2888,
+        0.9,
+        1.2,
+        54.7,
+        1167,
+        15,
+        1.0,
+        1378,
+        9,
+        0.5,
+    ),
+    (
+        "icecast", 49.0, 7490, 2.0, 12.0, 459.0, 964, 114, 15.0, 2553, 52, 15.0,
+    ),
+    (
+        "freshclam",
+        54.0,
+        1991,
+        0.3,
+        0.9,
+        -1.0,
+        157,
+        77,
+        0.6,
+        740,
+        45,
+        0.44,
+    ),
+    (
+        "mt_daapd", 92.0, 4008, 1.4, 6.8, -1.0, 635, 89, 4.8, 1118, 83, 12.79,
+    ),
+    (
+        "sigtool", 95.0, 5881, 2.0, 10.0, -1.0, 552, 151, 8.0, 981, 147, 7.0,
+    ),
+    (
+        "clamd", 101.0, 16639, 13.0, 34.0, 61.0, 1274, 346, 49.0, 3915, 187, 41.0,
+    ),
+    (
+        "sendmail", 115.0, 65134, 125.0, 675.0, 4560.0, 21088, 596, 187.8, 24580, 193, 138.9,
+    ),
+    (
+        "httpd", 128.0, 16180, 40.0, 89.0, -1.0, 1779, 199, 35.0, 3893, 152, 32.0,
+    ),
 ];
 
-fn row_to_preset(
-    row: &(
-        &'static str,
-        f64,
-        usize,
-        f64,
-        f64,
-        f64,
-        usize,
-        usize,
-        f64,
-        usize,
-        usize,
-        f64,
-    ),
-) -> Preset {
+fn row_to_preset(row: &Table1Row) -> Preset {
     let (name, kloc, pointers, part_s, clus_s, unclus, st_n, st_max, st_s, an_n, an_max, an_s) =
         *row;
     let paper = PaperRow {
@@ -156,11 +217,9 @@ fn row_to_preset(
     };
 
     // Deterministic per-name seed.
-    let seed = name
-        .bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100000001b3)
-        });
+    let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
 
     let config = GenConfig {
         name: name.to_string(),
@@ -184,10 +243,7 @@ pub fn all() -> Vec<Preset> {
 
 /// Looks up a preset by benchmark name.
 pub fn by_name(name: &str) -> Option<Preset> {
-    TABLE1
-        .iter()
-        .find(|r| r.0 == name)
-        .map(row_to_preset)
+    TABLE1.iter().find(|r| r.0 == name).map(row_to_preset)
 }
 
 /// A small subset for quick runs and CI: the four fastest rows.

@@ -1,0 +1,14 @@
+/* A store through an ambiguous double pointer: the backward walk forks
+ * under the paper's Definition 8 points-to constraints and consults the
+ * shared FSCI dovetailing cache to discharge them. Clean — no defects. */
+int *a; int *b; int *c; int *d;
+int **x;
+int e;
+int y;
+
+void main() {
+    a = c;
+    if (e) { x = &a; } else { x = &b; }
+    *x = d;
+    y = **x;
+}

@@ -1,0 +1,12 @@
+/* The paper's Figure 2 program: five assignments contrasting Steensgaard
+ * and Andersen points-to graphs. Clean — `bootstrap-alias check` must
+ * report no defects. */
+int a; int b; int c;
+int *p; int *q; int *r;
+void main() {
+    p = &a;
+    q = &b;
+    r = &c;
+    q = p;
+    q = r;
+}

@@ -1,0 +1,18 @@
+/* NULL used as a sentinel but killed on every path before the
+ * dereference: the strong updates in the backward walk must keep this
+ * clean. */
+int *p;
+int a;
+int b;
+int c;
+int x;
+
+void main() {
+    p = NULL;
+    if (c) {
+        p = &a;
+    } else {
+        p = &b;
+    }
+    x = *p;
+}

@@ -1,0 +1,20 @@
+/* A correct heap-handle lifecycle: allocate, use, free, reallocate,
+ * use again. Flow-insensitive checkers flag the dereference after the
+ * free; the flow- and context-sensitive suite must not. */
+int *h;
+int *cur;
+int x;
+
+void reset() {
+    h = malloc(sizeof(int));
+}
+
+void main() {
+    h = malloc(sizeof(int));
+    cur = h;
+    x = *cur;
+    free(h);
+    reset();
+    cur = h;
+    x = *cur;
+}

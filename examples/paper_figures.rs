@@ -29,7 +29,11 @@ fn fig2() {
         match st.pointee(class) {
             Some(t) => {
                 let tgt: Vec<&str> = st.members(t).iter().map(|m| p.var(*m).name()).collect();
-                println!("  steensgaard: {{{}}} -> {{{}}}", names.join(","), tgt.join(","));
+                println!(
+                    "  steensgaard: {{{}}} -> {{{}}}",
+                    names.join(","),
+                    tgt.join(",")
+                );
             }
             None => println!("  steensgaard: {{{}}}", names.join(",")),
         }
@@ -56,7 +60,11 @@ fn fig3() {
     let main = p.func(p.func_named("main").unwrap());
     for (loc, stmt) in main.locs() {
         if stmt.is_pointer_assign() {
-            let mark = if rel.contains_stmt(loc) { "in  St_P" } else { "NOT in St_P" };
+            let mark = if rel.contains_stmt(loc) {
+                "in  St_P"
+            } else {
+                "NOT in St_P"
+            };
             println!("  {:<12} {}", mark, stmt_to_string(&p, stmt));
         }
     }
@@ -89,7 +97,7 @@ fn fig5() {
     let analyzer = session.analyzer();
     let x = p.var_named("x").unwrap();
     let z = p.var_named("z").unwrap();
-    let foo = p.func_named("foo").unwrap();
+    let foo_fn = p.func_named("foo").unwrap();
 
     // The paper's tuple (x, 3b, w, true): foo's exit summary for x.
     let class = session.steens().class_of(x);
@@ -98,7 +106,7 @@ fn fig5() {
         .borrow_mut()
         .exit_summary(
             session_cx(&session),
-            foo,
+            foo_fn,
             x,
             &analyzer,
             &mut AnalysisBudget::unlimited(),
@@ -106,7 +114,7 @@ fn fig5() {
         .unwrap();
     println!("  summary of foo for x:");
     for t in &tuples {
-        println!("    {}", t.display(&p, foo));
+        println!("    {}", t.display(&p, foo_fn));
     }
 
     // The paper's tuple (z, 6a, u, true): z at main's exit resolves to u.

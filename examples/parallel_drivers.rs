@@ -9,9 +9,7 @@
 //!
 //! Run with `cargo run --release --example parallel_drivers`.
 
-use bootstrap_alias::core::parallel::{
-    process_clusters_parallel, simulated_parallel_time, timed,
-};
+use bootstrap_alias::core::parallel::{process_clusters_parallel, simulated_parallel_time, timed};
 use bootstrap_alias::core::{Config, Session};
 use bootstrap_alias::workloads::presets;
 
@@ -39,9 +37,8 @@ fn main() {
     let mut serial_reports = Vec::new();
     println!("\n{:>8} {:>12} {:>14}", "threads", "wall", "timeouts");
     for threads in [1usize, 2, 4, 8] {
-        let (reports, wall) = timed(|| {
-            process_clusters_parallel(&session, cover.clusters(), threads, 5_000_000)
-        });
+        let (reports, wall) =
+            timed(|| process_clusters_parallel(&session, cover.clusters(), threads, 5_000_000));
         let timeouts = reports.iter().filter(|r| r.timed_out).count();
         println!("{threads:>8} {:>12?} {timeouts:>14}", wall);
         if threads == 1 {

@@ -25,7 +25,11 @@ fn main() {
     "#;
 
     let program = parse_program(source).expect("valid mini-C");
-    println!("parsed {} functions, {} pointers", program.func_count(), program.pointer_count());
+    println!(
+        "parsed {} functions, {} pointers",
+        program.func_count(),
+        program.pointer_count()
+    );
 
     // The session runs the cascade: Steensgaard partitioning, then
     // Andersen clustering on oversized partitions.

@@ -1,0 +1,123 @@
+//! Golden-file and corpus tests for the client checker suite.
+//!
+//! Three properties are pinned down:
+//!
+//! 1. On the buggy corpus ([`bootstrap_workloads::buggy`]) the checkers
+//!    find **exactly** the labeled defects — misses are false negatives,
+//!    extras are false positives.
+//! 2. On the clean synthetic presets the checkers report nothing.
+//! 3. On the mini-C fixtures under `tests/fixtures/` the rendered text
+//!    output matches the checked-in golden files byte for byte
+//!    (set `BLESS=1` to regenerate).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use bootstrap_checks::{run_checks, CheckerKind};
+use bootstrap_core::{Config, Session};
+use bootstrap_workloads::buggy::{self, BuggyConfig};
+
+/// The buggy corpus: the checkers must report exactly the labeled
+/// defects, as (checker, variable, severity) triples.
+#[test]
+fn buggy_corpus_findings_match_labels_exactly() {
+    let generated = buggy::generate(&BuggyConfig::default());
+    let session = Session::new(&generated.program, Config::default());
+    let report = run_checks(&session, &CheckerKind::ALL);
+    assert_eq!(report.timed_out_queries, 0, "queries must not time out");
+
+    let found: BTreeSet<(String, String, String)> = report
+        .findings
+        .iter()
+        .map(|f| {
+            (
+                f.checker.name().to_string(),
+                f.var.clone(),
+                f.severity.label().to_string(),
+            )
+        })
+        .collect();
+    let labeled: BTreeSet<(String, String, String)> = generated
+        .expected
+        .iter()
+        .map(|e| (e.checker.clone(), e.var.clone(), e.severity.clone()))
+        .collect();
+
+    let missed: Vec<_> = labeled.difference(&found).collect();
+    let extra: Vec<_> = found.difference(&labeled).collect();
+    assert!(
+        missed.is_empty() && extra.is_empty(),
+        "false negatives: {missed:?}\nfalse positives: {extra:?}"
+    );
+}
+
+/// A defect-free buggy-generator configuration (decoys and benign
+/// communities only) must yield zero findings.
+#[test]
+fn decoy_only_corpus_is_clean() {
+    let config = BuggyConfig {
+        null_derefs: 0,
+        branch_null_derefs: 0,
+        uafs: 0,
+        interproc_uafs: 0,
+        double_frees: 0,
+        interproc_double_frees: 0,
+        decoys: 6,
+        benign: 6,
+    };
+    let generated = buggy::generate(&config);
+    let session = Session::new(&generated.program, Config::default());
+    let report = run_checks(&session, &CheckerKind::ALL);
+    assert!(
+        report.findings.is_empty(),
+        "false positives on decoys: {:?}",
+        report.findings
+    );
+}
+
+/// The clean synthetic presets (no injected defects) must stay clean:
+/// every finding would be a false positive.
+#[test]
+fn clean_preset_has_zero_false_positives() {
+    let preset = bootstrap_workloads::presets::by_name("sock").expect("preset");
+    let program = preset.generate();
+    let session = Session::new(&program, Config::default());
+    let report = run_checks(&session, &CheckerKind::ALL);
+    assert!(
+        report.findings.is_empty(),
+        "false positives on clean preset: {:?}",
+        report.findings
+    );
+}
+
+fn golden_check(fixture: &str) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src_path = dir.join(fixture);
+    let source = std::fs::read_to_string(&src_path).expect("fixture");
+    let program = bootstrap_ir::parse_program(&source).expect("fixture parses");
+    let session = Session::new(&program, Config::default());
+    let report = run_checks(&session, &CheckerKind::ALL);
+    let rendered = bootstrap_checks::render_text(&report, Some(fixture));
+
+    let golden_path = dir.join(format!("{}.golden.txt", fixture.trim_end_matches(".c")));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|_| panic!("missing golden file {golden_path:?}; run with BLESS=1"));
+    assert_eq!(
+        rendered, golden,
+        "checker output for {fixture} diverges from golden file"
+    );
+}
+
+#[test]
+fn bugs_fixture_matches_golden() {
+    golden_check("bugs.c");
+}
+
+#[test]
+fn clean_fixture_matches_golden() {
+    golden_check("clean.c");
+}

@@ -1,0 +1,43 @@
+/* Fixture for the checker golden test: each defect is annotated with the
+ * expected diagnostic; the decoy patterns at the bottom must stay clean. */
+int *p;
+int *q;
+int *h;
+int *r;
+int a;
+int x;
+int c;
+
+void release() {
+    free(h);
+}
+
+void main() {
+    /* Unconditional null dereference. */
+    p = NULL;
+    x = *p;
+
+    /* Branch-dependent null dereference (warning). */
+    if (c) { q = &a; } else { q = NULL; }
+    x = *q;
+
+    /* Use-after-free through an alias, freed in a callee. */
+    h = malloc(sizeof(int));
+    r = h;
+    release();
+    x = *r;
+
+    /* Double free through the same alias. */
+    free(r);
+
+    /* Decoy: the NULL is killed before the dereference. */
+    p = NULL;
+    p = &a;
+    x = *p;
+
+    /* Decoy: freed, then repointed before use. */
+    h = malloc(sizeof(int));
+    free(h);
+    h = &a;
+    x = *h;
+}

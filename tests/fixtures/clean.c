@@ -1,0 +1,32 @@
+/* Fixture for the checker golden test: contains pointer activity that a
+ * flow-insensitive checker would flag, but is clean under flow- and
+ * context-sensitive analysis. Expected output: no findings. */
+int *p;
+int *q;
+int *h;
+int a;
+int b;
+int x;
+int c;
+
+int *pick() {
+    if (c) { return &a; }
+    return &b;
+}
+
+void main() {
+    /* Killed NULL. */
+    p = NULL;
+    p = &a;
+    x = *p;
+
+    /* Free then realloc before use. */
+    h = malloc(sizeof(int));
+    free(h);
+    h = malloc(sizeof(int));
+    x = *h;
+
+    /* Interprocedural but clean. */
+    q = pick();
+    x = *q;
+}

@@ -90,16 +90,12 @@ fn run_concrete(program: &Program, max_states: usize) -> Option<Vec<Store>> {
             Stmt::AddrOf { dst, obj } => {
                 next_store.insert(dst.index() as u32, CVal::Addr(obj.index() as u32));
             }
-            Stmt::Null { dst } => {
+            Stmt::Null { dst } | Stmt::Free { dst } => {
                 next_store.insert(dst.index() as u32, CVal::Null);
             }
             Stmt::Load { dst, src } => {
                 let v = match read(&state.store, *src) {
-                    CVal::Addr(o) => state
-                        .store
-                        .get(&o)
-                        .copied()
-                        .unwrap_or(CVal::Entry(o)),
+                    CVal::Addr(o) => state.store.get(&o).copied().unwrap_or(CVal::Entry(o)),
                     _ => CVal::Junk,
                 };
                 next_store.insert(dst.index() as u32, v);
@@ -163,7 +159,9 @@ fn run_concrete(program: &Program, max_states: usize) -> Option<Vec<Store>> {
         // Branches testing a plain variable follow its concrete value:
         // addresses are truthy, NULL is falsy, opaque entry values fork
         // once and stay consistent afterwards.
-        let branch_var = func.branch_cond(state.loc.stmt).filter(|_| succs.len() == 2);
+        let branch_var = func
+            .branch_cond(state.loc.stmt)
+            .filter(|_| succs.len() == 2);
         let arms: Vec<(StmtIdx, Option<(CVal, bool)>)> = match branch_var {
             Some(v) => match read(&next_store, v) {
                 CVal::Addr(_) => vec![(succs[0], None)],
@@ -225,7 +223,11 @@ fn check_program_with(program: &Program, label: &str, config: Config) {
     let exit = program.entry().unwrap().exit();
     let mut budget = AnalysisBudget::unlimited();
 
-    let pointers: HashSet<u32> = session.pointers().iter().map(|v| v.index() as u32).collect();
+    let pointers: HashSet<u32> = session
+        .pointers()
+        .iter()
+        .map(|v| v.index() as u32)
+        .collect();
 
     for store in &finals {
         // Source completeness: a concretely held address must be a
@@ -243,7 +245,9 @@ fn check_program_with(program: &Program, label: &str, config: Config) {
                     "{label}: {} concretely holds &{} at exit but sources are {:?}",
                     program.var(var).name(),
                     program.var(obj).name(),
-                    srcs.iter().map(|(s, _)| s.display(program)).collect::<Vec<_>>()
+                    srcs.iter()
+                        .map(|(s, _)| s.display(program))
+                        .collect::<Vec<_>>()
                 );
                 // Andersen must also know.
                 assert!(
@@ -280,7 +284,10 @@ fn check_program_with(program: &Program, label: &str, config: Config) {
                     program.var(qv).name()
                 );
                 assert!(
-                    session.cover().clusters_containing(pv).any(|c| c.contains(qv)),
+                    session
+                        .cover()
+                        .clusters_containing(pv)
+                        .any(|c| c.contains(qv)),
                     "{label}: cover misses aliasing pair {} / {}",
                     program.var(pv).name(),
                     program.var(qv).name()
@@ -411,10 +418,7 @@ fn context_sensitive_queries_are_sound_on_single_context() {
 #[test]
 fn interpreter_smoke_check() {
     // Trivial program: x = &a on the only path.
-    let p = bootstrap_alias::ir::parse_program(
-        "int a; int *x; void main() { x = &a; }",
-    )
-    .unwrap();
+    let p = bootstrap_alias::ir::parse_program("int a; int *x; void main() { x = &a; }").unwrap();
     let finals = run_concrete(&p, 10_000).unwrap();
     assert_eq!(finals.len(), 1);
     let x = p.var_named("x").unwrap().index() as u32;

@@ -4,9 +4,7 @@
 //! for cluster members as an engine run over the *whole* pointer
 //! population (whose `St_P` is the entire program).
 
-use bootstrap_alias::core::{
-    AnalysisBudget, ClusterEngine, Config, EngineCx, NoOracle, Session,
-};
+use bootstrap_alias::core::{AnalysisBudget, ClusterEngine, Config, EngineCx, NoOracle, Session};
 use bootstrap_alias::ir::{parse_program, Program, VarId};
 use bootstrap_alias::workloads::{generator, BigPartition, GenConfig};
 
