@@ -365,10 +365,13 @@ impl Solver {
             }
             let d = std::mem::take(&mut self.delta[n]);
             // Derive new copy edges from loads/stores through n — only for
-            // the objects that newly arrived.
+            // the objects that newly arrived. The lists are *moved* out and
+            // restored, not cloned: `add_copy` only touches edges, points-to
+            // sets and deltas, never the load/store index, so taking them is
+            // borrow-safe and costs nothing per pop.
             if !self.loads[n].is_empty() || !self.stores[n].is_empty() {
-                let loads = self.loads[n].clone();
-                let stores = self.stores[n].clone();
+                let loads = std::mem::take(&mut self.loads[n]);
+                let stores = std::mem::take(&mut self.stores[n]);
                 for o in d.iter() {
                     for &l in &loads {
                         self.add_copy(o, l);
@@ -377,10 +380,18 @@ impl Solver {
                         self.add_copy(s, o);
                     }
                 }
+                self.loads[n] = loads;
+                self.stores[n] = stores;
             }
-            // Propagate the delta (not the full set) along copy edges.
-            let targets = self.edges[n].clone();
-            for t in targets {
+            // Propagate the delta (not the full set) along copy edges. Same
+            // move-and-restore trick: the adjacency list of n (which the
+            // derive loop above may have just extended) would otherwise be
+            // cloned on every pop — on dense whole-program graphs that clone
+            // dominated the solve and put the delta path behind the naive
+            // one. Nothing in the loop mutates `edges`; brand-new edges from
+            // `add_copy` already carried the full source set.
+            let targets = std::mem::take(&mut self.edges[n]);
+            for &t in &targets {
                 let t = self.rep(t);
                 if t as usize == n {
                     continue;
@@ -391,6 +402,7 @@ impl Solver {
                     self.enqueue(t);
                 }
             }
+            self.edges[n] = targets;
         }
     }
 

@@ -29,7 +29,9 @@ mod report;
 
 use std::collections::{HashMap, HashSet};
 
-use bootstrap_core::{Analyzer, Cond, FsciCacheStats, Outcome, Session, Source};
+use bootstrap_core::{
+    Analyzer, Cond, FsciCacheStats, InternerStats, Outcome, PhaseSnapshot, Session, Source,
+};
 use bootstrap_ir::{Loc, Program, Stmt, VarId, VarKind};
 
 pub use order::reachable_after;
@@ -139,6 +141,11 @@ pub struct CheckReport {
     pub stats: Vec<CheckerStats>,
     /// Shared FSCI cache counters at the end of the run.
     pub cache: FsciCacheStats,
+    /// Session interner counters at the end of the run (interned
+    /// conditions / dead sets plus memo hit rates).
+    pub interner: InternerStats,
+    /// Per-phase wall time and step counters accumulated by the session.
+    pub phases: PhaseSnapshot,
     /// Site queries that exhausted their step budget (their sites are
     /// skipped — a source of missed defects, never of false positives).
     pub timed_out_queries: usize,
@@ -438,6 +445,8 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
         findings,
         stats,
         cache: session.fsci_cache_stats(),
+        interner: session.interner_stats(),
+        phases: session.phase_stats(),
         timed_out_queries: rs.timeouts,
     }
 }

@@ -91,6 +91,31 @@ pub fn render_json(report: &CheckReport, file: Option<&str>) -> String {
         report.cache.hits, report.cache.misses, report.cache.entries
     ));
     out.push_str(&format!(
+        concat!(
+            "  \"interner\": {{\"conds\": {}, \"deads\": {}, \"memo_entries\": {}, ",
+            "\"hits\": {}, \"misses\": {}}},\n"
+        ),
+        report.interner.conds,
+        report.interner.deads,
+        report.interner.memo_entries,
+        report.interner.hits,
+        report.interner.misses
+    ));
+    out.push_str("  \"phases\": [");
+    for (i, (phase, stats)) in report.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"phase\": \"{}\", \"wall_secs\": {:.6}, \"steps\": {}, \"invocations\": {}}}",
+            phase.name(),
+            stats.wall.as_secs_f64(),
+            stats.steps,
+            stats.invocations
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
         "  \"timed_out_queries\": {}\n}}\n",
         report.timed_out_queries
     ));

@@ -245,6 +245,8 @@ fn cmd_check(program: &Program, opts: &Opts) -> Result<CliOutput, CliError> {
                 );
             }
             let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
+            let _ = writeln!(out, "{}", interner_line(report.interner));
+            phase_lines(&mut out, report.phases);
             if report.timed_out_queries > 0 {
                 let _ = writeln!(out, "timed-out queries: {}", report.timed_out_queries);
             }
@@ -269,6 +271,32 @@ fn cache_line(stats: bootstrap_core::FsciCacheStats) -> String {
         "fsci cache: {} hits / {} misses ({} entries, {rate:.1}% hit rate)",
         stats.hits, stats.misses, stats.entries
     )
+}
+
+fn interner_line(stats: bootstrap_core::InternerStats) -> String {
+    let total = stats.hits + stats.misses;
+    let rate = if total == 0 {
+        0.0
+    } else {
+        100.0 * stats.hits as f64 / total as f64
+    };
+    format!(
+        "interner: {} conds, {} dead sets, {} memo entries ({} hits, {rate:.1}% hit rate)",
+        stats.conds, stats.deads, stats.memo_entries, stats.hits
+    )
+}
+
+fn phase_lines(out: &mut String, snapshot: bootstrap_core::PhaseSnapshot) {
+    for (phase, stats) in snapshot.iter() {
+        let _ = writeln!(
+            out,
+            "phase {:<13} {:?} ({} runs, {} steps)",
+            format!("{}:", phase.name()),
+            stats.wall,
+            stats.invocations,
+            stats.steps
+        );
+    }
 }
 
 fn config_of(opts: &Opts) -> Config {
@@ -479,6 +507,8 @@ fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
         report.timed_out_queries
     );
     let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
+    let _ = writeln!(out, "{}", interner_line(session.interner_stats()));
+    phase_lines(&mut out, session.phase_stats());
     Ok(out)
 }
 
@@ -568,6 +598,10 @@ mod tests {
         assert!(out.contains("bootstrapped cover:"));
         assert!(out.contains("fsci cache:"), "{out}");
         assert!(out.contains("checker queries:"), "{out}");
+        assert!(out.contains("interner:"), "{out}");
+        for phase in ["steensgaard", "andersen", "relevant", "fscs"] {
+            assert!(out.contains(&format!("phase {phase}:")), "{out}");
+        }
     }
 
     const BUGGY: &str = "
@@ -587,6 +621,8 @@ mod tests {
         assert_eq!(out.exit_code, 1);
         assert!(out.text.contains("error[null-deref]"), "{}", out.text);
         assert!(out.text.contains("fsci cache:"), "{}", out.text);
+        assert!(out.text.contains("interner:"), "{}", out.text);
+        assert!(out.text.contains("phase fscs:"), "{}", out.text);
     }
 
     #[test]
@@ -618,6 +654,12 @@ mod tests {
             out.text
         );
         assert!(out.text.contains("\"fsci_cache\""), "{}", out.text);
+        assert!(out.text.contains("\"interner\""), "{}", out.text);
+        assert!(
+            out.text.contains("\"phase\": \"steensgaard\""),
+            "{}",
+            out.text
+        );
         let e = run_args_full(&["check", &f, "--format", "yaml"]).unwrap_err();
         assert!(e.to_string().contains("unknown format"));
     }

@@ -22,8 +22,9 @@ use bootstrap_ir::{FuncId, Loc, Stmt, VarId};
 use crate::budget::{AnalysisBudget, Outcome};
 use crate::constraint::Cond;
 use crate::cover::Cluster;
-use crate::engine::{ClusterEngine, EngineCx, PtsOracle};
+use crate::engine::{ClusterEngine, EngineCx, EngineOptions, PtsOracle};
 use crate::parallel::ClusterReport;
+use crate::profile::Phase;
 use crate::session::Session;
 use crate::summary::{Source, Value};
 
@@ -101,6 +102,27 @@ impl<'s> Analyzer<'s> {
         self.session.engine_cx()
     }
 
+    /// Builds an engine over the session's shared interning arena,
+    /// recording the Algorithm 1 setup cost as the relevant phase.
+    fn build_engine(&self, members: Vec<VarId>) -> ClusterEngine {
+        let t0 = std::time::Instant::now();
+        let config = self.session.config();
+        let engine = ClusterEngine::with_engine_options(
+            self.cx(),
+            members,
+            EngineOptions {
+                cond_cap: config.cond_cap,
+                path_sensitive: config.path_sensitive,
+                uninterned: false,
+                arena: Some(Arc::clone(self.session.interner())),
+            },
+        );
+        self.session
+            .profile()
+            .record(Phase::Relevant, t0.elapsed(), 0);
+        engine
+    }
+
     /// The (lazily created) engine for the Steensgaard alias partition
     /// with key `key` (see
     /// [`bootstrap_analyses::SteensgaardResult::partition_key`]).
@@ -114,12 +136,7 @@ impl<'s> Analyzer<'s> {
             // partition; analyze them as their own location class.
             members = self.session.steens().members(key).to_vec();
         }
-        let engine = Rc::new(RefCell::new(ClusterEngine::with_options(
-            self.cx(),
-            members,
-            self.session.config().cond_cap,
-            self.session.config().path_sensitive,
-        )));
+        let engine = Rc::new(RefCell::new(self.build_engine(members)));
         self.engines.borrow_mut().insert(key, Rc::clone(&engine));
         engine
     }
@@ -143,12 +160,7 @@ impl<'s> Analyzer<'s> {
         let result = match engine.try_borrow_mut() {
             Ok(mut e) => self.sources_with_engine(&mut e, p, loc, budget),
             Err(_) => {
-                let mut fresh = ClusterEngine::with_options(
-                    self.cx(),
-                    vec![p],
-                    self.session.config().cond_cap,
-                    self.session.config().path_sensitive,
-                );
+                let mut fresh = self.build_engine(vec![p]);
                 self.sources_with_engine(&mut fresh, p, loc, budget)
             }
         };
@@ -203,12 +215,9 @@ impl<'s> Analyzer<'s> {
     pub fn process_cluster(&self, cluster: &Cluster, mut budget: AnalysisBudget) -> ClusterReport {
         let t0 = std::time::Instant::now();
         let cx = self.cx();
-        let mut engine = ClusterEngine::with_options(
-            cx,
-            cluster.members.clone(),
-            self.session.config().cond_cap,
-            self.session.config().path_sensitive,
-        );
+        let mut engine = self.build_engine(cluster.members.clone());
+        let fscs_start = std::time::Instant::now();
+        let steps_before = engine.steps();
         let mut timed_out = matches!(
             engine.compute_all_summaries(cx, self, &mut budget),
             Outcome::TimedOut
@@ -227,6 +236,11 @@ impl<'s> Analyzer<'s> {
                 }
             }
         }
+        self.session.profile().record(
+            Phase::Fscs,
+            fscs_start.elapsed(),
+            engine.steps() - steps_before,
+        );
         ClusterReport {
             cluster_id: cluster.id,
             size: cluster.members.len(),

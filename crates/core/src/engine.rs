@@ -20,14 +20,24 @@
 //! * Summaries are memoized per `(function, target)` pair and recomputed
 //!   when a consulted summary grows, rather than phased per strongly
 //!   connected component; the fixpoint is the same.
+//!
+//! The hot loop is hash-consed: conditions and dead-variable sets live in
+//! an [`Interner`] arena, so worklist items are `Copy` tuples of ids and
+//! the processed set hashes integers. The pre-interning walk survives
+//! verbatim behind [`EngineOptions::uninterned`] as a differential oracle
+//! (mirroring the Andersen solver's `naive` flag) and as the baseline the
+//! FSCS bench compares against.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use bootstrap_analyses::SteensgaardResult;
 use bootstrap_ir::{CallGraph, CallTarget, FuncId, Loc, Program, Stmt, StmtIdx, VarId};
 
 use crate::budget::{AnalysisBudget, Outcome};
 use crate::constraint::{Atom, Cond};
+use crate::fxhash::FxHashSet;
+use crate::intern::{CondId, DeadId, DeadVars, Interner};
 use crate::relevant::{
     modifying_functions, relevant_statements_indexed, RelevantIndex, RelevantSet,
 };
@@ -66,6 +76,34 @@ pub struct EngineCx<'a> {
     pub index: &'a RelevantIndex,
 }
 
+/// Construction options for a [`ClusterEngine`].
+#[derive(Clone)]
+pub struct EngineOptions {
+    /// Maximum atoms per constraint conjunction before widening.
+    pub cond_cap: usize,
+    /// Track branch literals along walks (paper §3, "Path Sensitivity").
+    pub path_sensitive: bool,
+    /// Run the pre-interning walk (structural `Cond`/dead-set worklist
+    /// items, no memo tables) — the differential oracle and bench baseline,
+    /// mirroring `SolverOptions::naive` on the Andersen side.
+    pub uninterned: bool,
+    /// Share this arena (typically the session's) instead of creating a
+    /// private one. Ignored — a private arena is used — if its widening cap
+    /// differs from `cond_cap`.
+    pub arena: Option<Arc<Interner>>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            cond_cap: 8,
+            path_sensitive: false,
+            uninterned: false,
+            arena: None,
+        }
+    }
+}
+
 /// The per-cluster analysis engine.
 ///
 /// # Examples
@@ -101,6 +139,11 @@ pub struct ClusterEngine {
     cond_cap: usize,
     /// Track branch literals along walks (paper §3, "Path Sensitivity").
     path_sensitive: bool,
+    /// Run the structural (pre-interning) walk instead of the id walk.
+    uninterned: bool,
+    /// Hash-consing arena for conditions and dead sets (shared with the
+    /// session's other engines, or private).
+    arena: Arc<Interner>,
     /// Per-function, per-statement *forced* branch literals: literals that
     /// every entry-to-statement path establishes (a forward must-dataflow;
     /// computed lazily in path-sensitive mode). Conjoined onto terminals,
@@ -111,46 +154,12 @@ pub struct ClusterEngine {
     steps: u64,
 }
 
-/// Branch variables whose definition the backward walk has crossed: path
-/// literals on them refer to an *older* value than the query point sees,
-/// so the walk must stop collecting them (crossing a call kills all
-/// globals — the callee may write them).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
-struct DeadVars {
-    vars: Vec<VarId>,
-    globals: bool,
-}
-
-impl DeadVars {
-    fn is_dead(&self, v: VarId, program: &Program) -> bool {
-        (self.globals && program.var(v).kind().owner().is_none())
-            || self.vars.binary_search(&v).is_ok()
-    }
-
-    #[must_use]
-    fn kill(&self, v: VarId) -> DeadVars {
-        match self.vars.binary_search(&v) {
-            Ok(_) => self.clone(),
-            Err(pos) => {
-                let mut d = self.clone();
-                d.vars.insert(pos, v);
-                d
-            }
-        }
-    }
-
-    #[must_use]
-    fn kill_globals(&self) -> DeadVars {
-        let mut d = self.clone();
-        d.globals = true;
-        d
-    }
-}
-
-/// One backward-walk result before interprocedural resolution.
+/// One backward-walk result before interprocedural resolution. Conditions
+/// are interned ids in both walk modes (the uninterned oracle interns at
+/// this boundary) so the fixpoint and the summary store are shared.
 #[derive(Debug)]
 struct WalkOut {
-    results: Vec<(Value, Cond)>,
+    results: Vec<(Value, CondId)>,
     missing: Vec<SummaryKey>,
     consulted: Vec<SummaryKey>,
 }
@@ -160,7 +169,14 @@ impl ClusterEngine {
     /// statements and closes the modifying-function set over the call
     /// graph.
     pub fn new(cx: EngineCx<'_>, members: Vec<VarId>, cond_cap: usize) -> Self {
-        Self::with_options(cx, members, cond_cap, false)
+        Self::with_engine_options(
+            cx,
+            members,
+            EngineOptions {
+                cond_cap,
+                ..EngineOptions::default()
+            },
+        )
     }
 
     /// Like [`ClusterEngine::new`], optionally enabling the path-sensitive
@@ -173,16 +189,40 @@ impl ClusterEngine {
         cond_cap: usize,
         path_sensitive: bool,
     ) -> Self {
+        Self::with_engine_options(
+            cx,
+            members,
+            EngineOptions {
+                cond_cap,
+                path_sensitive,
+                ..EngineOptions::default()
+            },
+        )
+    }
+
+    /// Builds the engine with full [`EngineOptions`] control (shared arena,
+    /// the uninterned oracle walk).
+    pub fn with_engine_options(
+        cx: EngineCx<'_>,
+        members: Vec<VarId>,
+        options: EngineOptions,
+    ) -> Self {
         let relevant = relevant_statements_indexed(cx.program, cx.steens, cx.index, &members);
         let modifying = modifying_functions(cx.program, cx.cg, &relevant);
+        let arena = match &options.arena {
+            Some(shared) if shared.cap() == options.cond_cap => Arc::clone(shared),
+            _ => Arc::new(Interner::new(options.cond_cap)),
+        };
         Self {
             members,
             relevant,
             modifying,
             summaries: SummaryStore::new(),
             deps: HashMap::new(),
-            cond_cap,
-            path_sensitive,
+            cond_cap: options.cond_cap,
+            path_sensitive: options.path_sensitive,
+            uninterned: options.uninterned,
+            arena,
             reach_conds: HashMap::new(),
             steps: 0,
         }
@@ -267,6 +307,32 @@ impl ClusterEngine {
         Some(out)
     }
 
+    /// The interned counterpart of [`ClusterEngine::with_reach_cond`]:
+    /// conjunctions go through the arena's memo tables.
+    fn with_reach_cond_id(
+        &mut self,
+        cx: EngineCx<'_>,
+        f: FuncId,
+        m: StmtIdx,
+        cond: CondId,
+        dead: &DeadVars,
+    ) -> Option<CondId> {
+        if !self.path_sensitive {
+            return Some(cond);
+        }
+        let atoms = self.reach_conds_for(cx, f)[m as usize].clone();
+        let mut out = cond;
+        for a in atoms {
+            if let Some(v) = a.branch_var() {
+                if dead.is_dead(v, cx.program) {
+                    continue;
+                }
+            }
+            out = self.arena.and_atom(out, a)?;
+        }
+        Some(out)
+    }
+
     /// The cluster members.
     pub fn members(&self) -> &[VarId] {
         &self.members
@@ -287,9 +353,34 @@ impl ClusterEngine {
         &self.summaries
     }
 
+    /// The hash-consing arena this engine interns into.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.arena
+    }
+
     /// Engine steps performed so far (instrumentation).
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// All computed summaries with conditions resolved to structural form,
+    /// sorted — id-free, so snapshots from engines with different arenas
+    /// (e.g. interned vs uninterned oracle) compare directly.
+    pub fn summary_snapshot(&self) -> Vec<(SummaryKey, Vec<(Value, Cond)>)> {
+        let mut entries: Vec<(SummaryKey, Vec<(Value, Cond)>)> = self
+            .summaries
+            .iter()
+            .map(|(key, tuples)| {
+                let mut resolved: Vec<(Value, Cond)> = tuples
+                    .iter()
+                    .map(|(v, c)| (*v, (*self.arena.resolve(*c)).clone()))
+                    .collect();
+                resolved.sort();
+                (*key, resolved)
+            })
+            .collect();
+        entries.sort_by_key(|(key, _)| *key);
+        entries
     }
 
     /// The values `p` may hold just before `loc`, each with its constraint
@@ -313,7 +404,15 @@ impl ClusterEngine {
                 Outcome::TimedOut => return Outcome::TimedOut,
             };
             if out.missing.is_empty() {
-                return Outcome::Done(dedup(out.results));
+                // Resolve ids at the public boundary and dedup structurally:
+                // the output is identical whichever walk mode produced it
+                // (and independent of arena id assignment order).
+                let resolved: Vec<(Value, Cond)> = out
+                    .results
+                    .into_iter()
+                    .map(|(v, c)| (v, (*self.arena.resolve(c)).clone()))
+                    .collect();
+                return Outcome::Done(dedup(resolved));
             }
             let missing = out.missing.clone();
             if let Outcome::TimedOut = self.compute_summaries(cx, missing, oracle, budget) {
@@ -338,15 +437,20 @@ impl ClusterEngine {
                 return Outcome::TimedOut;
             }
         }
-        let tuples = self
+        let mut resolved: Vec<(Value, Cond)> = self
             .summaries
             .get(&key)
             .unwrap_or(&[])
             .iter()
+            .map(|(value, cond)| (*value, (*self.arena.resolve(*cond)).clone()))
+            .collect();
+        resolved.sort();
+        let tuples = resolved
+            .into_iter()
             .map(|(value, cond)| SummaryTuple {
                 target,
-                value: *value,
-                cond: cond.clone(),
+                value,
+                cond,
             })
             .collect();
         Outcome::Done(tuples)
@@ -365,7 +469,10 @@ impl ClusterEngine {
         // baseline runs this with *all* pointers as members, where
         // materializing the full key set upfront would dwarf memory long
         // before the budget expires.
-        let funcs: Vec<FuncId> = self.relevant.funcs().collect();
+        let mut funcs: Vec<FuncId> = self.relevant.funcs().collect();
+        // The relevant-function set hashes nondeterministically; fix the
+        // visit order so runs (and budget-bounded prefixes) are repeatable.
+        funcs.sort_unstable();
         for f in funcs {
             for i in 0..self.members.len() {
                 if !budget.tick() {
@@ -418,14 +525,19 @@ impl ClusterEngine {
                 let results = if self.path_sensitive {
                     out.results
                         .into_iter()
-                        .map(|(v, c)| (v, c.drop_branch_atoms()))
+                        .map(|(v, c)| (v, self.arena.drop_branch(c)))
                         .collect()
                 } else {
                     out.results
                 };
-                if self.summaries.put(key, dedup(results)) {
+                if self.summaries.put(key, self.dedup_ids(results)) {
                     if let Some(dependents) = self.deps.get(&key) {
-                        for &d in dependents {
+                        // Requeue in sorted order: the dependent set hashes
+                        // nondeterministically and the order decides which
+                        // work a bounded budget reaches.
+                        let mut dependents: Vec<SummaryKey> = dependents.iter().copied().collect();
+                        dependents.sort_unstable();
+                        for d in dependents {
                             if queued.insert(d) {
                                 dirty.push_back(d);
                             }
@@ -450,8 +562,27 @@ impl ClusterEngine {
     }
 
     /// One backward walk inside `f`, starting just before `before` and
-    /// tracking `target`.
+    /// tracking `target` — dispatching on the configured walk mode.
     fn walk(
+        &mut self,
+        cx: EngineCx<'_>,
+        f: FuncId,
+        before: StmtIdx,
+        target: VarId,
+        oracle: &dyn PtsOracle,
+        budget: &mut AnalysisBudget,
+    ) -> Outcome<WalkOut> {
+        if self.uninterned {
+            self.walk_uninterned(cx, f, before, target, oracle, budget)
+        } else {
+            self.walk_interned(cx, f, before, target, oracle, budget)
+        }
+    }
+
+    /// The hash-consed walk: worklist items are `Copy` id tuples, the
+    /// processed set hashes four integers, and every condition operation is
+    /// a memoized arena call.
+    fn walk_interned(
         &mut self,
         cx: EngineCx<'_>,
         f: FuncId,
@@ -466,10 +597,233 @@ impl ClusterEngine {
             missing: Vec::new(),
             consulted: Vec::new(),
         };
+        let mut queue: Vec<(StmtIdx, VarId, CondId, DeadId)> = Vec::new();
+        let mut processed: FxHashSet<(StmtIdx, VarId, CondId, DeadId)> = FxHashSet::default();
+        if before == 0 {
+            out.results.push((Value::Ptr(target), CondId::TOP));
+            return Outcome::Done(out);
+        }
+        for &m in func.preds(before) {
+            queue.push((m, target, CondId::TOP, DeadId::EMPTY));
+        }
+        while let Some((m, x, cond, dead)) = queue.pop() {
+            if !budget.tick() {
+                return Outcome::TimedOut;
+            }
+            self.steps += 1;
+            if !processed.insert((m, x, cond, dead)) {
+                continue;
+            }
+            let loc = Loc::new(f, m);
+            // Literals above a crossed definition of their variable refer
+            // to the old value: extend the dead set with m's kills before
+            // attaching anything from m or above. Dead sets only matter in
+            // path-sensitive mode; resolve the (updated) set once per item.
+            let (dead, dead_set) = if self.path_sensitive {
+                let dead = match func.stmt(m) {
+                    Stmt::Call(_) => self.arena.kill_globals(dead),
+                    stmt => match stmt.direct_def() {
+                        Some(d) => self.arena.kill(dead, d),
+                        None => dead,
+                    },
+                };
+                let resolved = self.arena.resolve_dead(dead);
+                (dead, Some(resolved))
+            } else {
+                (dead, None)
+            };
+            // Rewrite the tracked value through the statement at m
+            // (Algorithm 4), producing continuation and/or terminal steps.
+            let mut continues: Vec<(VarId, CondId)> = Vec::new();
+            match func.stmt(m) {
+                Stmt::Copy { dst, src } => {
+                    if *dst == x && self.relevant.contains_stmt(loc) {
+                        continues.push((*src, cond));
+                    } else {
+                        continues.push((x, cond));
+                    }
+                }
+                Stmt::AddrOf { dst, obj } => {
+                    if *dst == x && self.relevant.contains_stmt(loc) {
+                        let obj = *obj;
+                        if let Some(c) = self.reach_cond_of(cx, f, m, cond, dead_set.as_deref()) {
+                            out.results.push((Value::Addr(obj), c));
+                        }
+                    } else {
+                        continues.push((x, cond));
+                    }
+                }
+                // A `free` nulls its operand, so for the backward value walk
+                // it behaves exactly like an explicit NULL assignment.
+                Stmt::Null { dst } | Stmt::Free { dst } => {
+                    if *dst == x && self.relevant.contains_stmt(loc) {
+                        if let Some(c) = self.reach_cond_of(cx, f, m, cond, dead_set.as_deref()) {
+                            out.results.push((Value::Null, c));
+                        }
+                    } else {
+                        continues.push((x, cond));
+                    }
+                }
+                Stmt::Load { dst, src } => {
+                    if *dst == x && self.relevant.contains_stmt(loc) {
+                        // Expand *src into candidate carriers.
+                        for o in self.candidates(cx, *src, loc, oracle) {
+                            let atom = Atom::PointsTo {
+                                loc,
+                                ptr: *src,
+                                obj: o,
+                            };
+                            if let Some(c2) = self.arena.and_atom(cond, atom) {
+                                continues.push((o, c2));
+                            }
+                        }
+                    } else {
+                        continues.push((x, cond));
+                    }
+                }
+                Stmt::Store { dst, src } => {
+                    if self.relevant.contains_stmt(loc)
+                        && self.candidates(cx, *dst, loc, oracle).contains(&x)
+                    {
+                        let hit = Atom::PointsTo {
+                            loc,
+                            ptr: *dst,
+                            obj: x,
+                        };
+                        if let Some(c2) = self.arena.and_atom(cond, hit) {
+                            continues.push((*src, c2));
+                        }
+                        if let Some(c2) = self.arena.and_atom(cond, hit.negated()) {
+                            continues.push((x, c2));
+                        }
+                    } else {
+                        continues.push((x, cond));
+                    }
+                }
+                Stmt::Call(call) => match call.target {
+                    CallTarget::Direct(g) if self.modifying.contains(&g) => {
+                        let key = (g, x);
+                        match self.summaries.get(&key) {
+                            None => out.missing.push(key),
+                            Some(tuples) => {
+                                out.consulted.push(key);
+                                let tuples: Vec<(Value, CondId)> = tuples.to_vec();
+                                for (value, c2) in tuples {
+                                    let Some(cc) = self.arena.and_cond(cond, c2) else {
+                                        continue;
+                                    };
+                                    match value {
+                                        Value::Ptr(w) => continues.push((w, cc)),
+                                        Value::Addr(o) => {
+                                            if let Some(c) = self.reach_cond_of(
+                                                cx,
+                                                f,
+                                                m,
+                                                cc,
+                                                dead_set.as_deref(),
+                                            ) {
+                                                out.results.push((Value::Addr(o), c));
+                                            }
+                                        }
+                                        Value::Null => {
+                                            if let Some(c) = self.reach_cond_of(
+                                                cx,
+                                                f,
+                                                m,
+                                                cc,
+                                                dead_set.as_deref(),
+                                            ) {
+                                                out.results.push((Value::Null, c));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Non-modifying or unresolved callees cannot affect the
+                    // cluster: step over.
+                    _ => continues.push((x, cond)),
+                },
+                Stmt::Return | Stmt::Skip => continues.push((x, cond)),
+            }
+            for (x2, c2) in continues {
+                if m == 0 {
+                    out.results.push((Value::Ptr(x2), c2));
+                } else {
+                    for &m2 in func.preds(m) {
+                        let c3 = if self.path_sensitive {
+                            match self.edge_literal(cx, func, m2, m) {
+                                // Skip stale literals (their variable was
+                                // redefined below); conjoin live ones and
+                                // prune contradictory paths.
+                                Some(atom)
+                                    if !dead_set
+                                        .as_deref()
+                                        .expect("path-sensitive dead set")
+                                        .is_dead(
+                                            atom.branch_var().expect("edge literal"),
+                                            cx.program,
+                                        ) =>
+                                {
+                                    match self.arena.and_atom(c2, atom) {
+                                        Some(c) => c,
+                                        None => continue,
+                                    }
+                                }
+                                _ => c2,
+                            }
+                        } else {
+                            c2
+                        };
+                        queue.push((m2, x2, c3, dead));
+                    }
+                }
+            }
+        }
+        Outcome::Done(out)
+    }
+
+    /// [`ClusterEngine::with_reach_cond_id`] with an already-resolved dead
+    /// set (`None` outside path-sensitive mode).
+    fn reach_cond_of(
+        &mut self,
+        cx: EngineCx<'_>,
+        f: FuncId,
+        m: StmtIdx,
+        cond: CondId,
+        dead_set: Option<&DeadVars>,
+    ) -> Option<CondId> {
+        match dead_set {
+            Some(dead) => self.with_reach_cond_id(cx, f, m, cond, dead),
+            None => Some(cond),
+        }
+    }
+
+    /// The pre-interning walk, kept verbatim as the differential oracle:
+    /// structural `Cond`/`DeadVars` worklist items, deep-cloned on every
+    /// push and processed-set probe, no memo tables. Results are interned
+    /// only at the boundary so everything downstream is shared.
+    fn walk_uninterned(
+        &mut self,
+        cx: EngineCx<'_>,
+        f: FuncId,
+        before: StmtIdx,
+        target: VarId,
+        oracle: &dyn PtsOracle,
+        budget: &mut AnalysisBudget,
+    ) -> Outcome<WalkOut> {
+        let func = cx.program.func(f);
+        let mut results: Vec<(Value, Cond)> = Vec::new();
+        let mut out = WalkOut {
+            results: Vec::new(),
+            missing: Vec::new(),
+            consulted: Vec::new(),
+        };
         let mut queue: Vec<(StmtIdx, VarId, Cond, DeadVars)> = Vec::new();
         let mut processed: HashSet<(StmtIdx, VarId, Cond, DeadVars)> = HashSet::new();
         if before == 0 {
-            out.results.push((Value::Ptr(target), Cond::top()));
+            out.results.push((Value::Ptr(target), CondId::TOP));
             return Outcome::Done(out);
         }
         for &m in func.preds(before) {
@@ -512,7 +866,7 @@ impl ClusterEngine {
                 Stmt::AddrOf { dst, obj } => {
                     if *dst == x && self.relevant.contains_stmt(loc) {
                         if let Some(c) = self.with_reach_cond(cx, f, m, &cond, &dead) {
-                            out.results.push((Value::Addr(*obj), c));
+                            results.push((Value::Addr(*obj), c));
                         }
                     } else {
                         continues.push((x, cond.clone()));
@@ -523,7 +877,7 @@ impl ClusterEngine {
                 Stmt::Null { dst } | Stmt::Free { dst } => {
                     if *dst == x && self.relevant.contains_stmt(loc) {
                         if let Some(c) = self.with_reach_cond(cx, f, m, &cond, &dead) {
-                            out.results.push((Value::Null, c));
+                            results.push((Value::Null, c));
                         }
                     } else {
                         continues.push((x, cond.clone()));
@@ -572,7 +926,10 @@ impl ClusterEngine {
                             None => out.missing.push(key),
                             Some(tuples) => {
                                 out.consulted.push(key);
-                                let tuples: Vec<(Value, Cond)> = tuples.to_vec();
+                                let tuples: Vec<(Value, Cond)> = tuples
+                                    .iter()
+                                    .map(|(v, c)| (*v, (*self.arena.resolve(*c)).clone()))
+                                    .collect();
                                 for (value, c2) in tuples {
                                     let Some(cc) = cond.and_cond(&c2, self.cond_cap) else {
                                         continue;
@@ -583,14 +940,14 @@ impl ClusterEngine {
                                             if let Some(c) =
                                                 self.with_reach_cond(cx, f, m, &cc, &dead)
                                             {
-                                                out.results.push((Value::Addr(o), c));
+                                                results.push((Value::Addr(o), c));
                                             }
                                         }
                                         Value::Null => {
                                             if let Some(c) =
                                                 self.with_reach_cond(cx, f, m, &cc, &dead)
                                             {
-                                                out.results.push((Value::Null, c));
+                                                results.push((Value::Null, c));
                                             }
                                         }
                                     }
@@ -606,7 +963,7 @@ impl ClusterEngine {
             }
             for (x2, c2) in continues {
                 if m == 0 {
-                    out.results.push((Value::Ptr(x2), c2));
+                    results.push((Value::Ptr(x2), c2));
                 } else {
                     for &m2 in func.preds(m) {
                         let c3 = if self.path_sensitive {
@@ -635,6 +992,10 @@ impl ClusterEngine {
                 }
             }
         }
+        out.results = results
+            .into_iter()
+            .map(|(v, c)| (v, self.arena.cond(&c)))
+            .collect();
         Outcome::Done(out)
     }
 
@@ -687,6 +1048,21 @@ impl ClusterEngine {
             Some(c) => cx.steens.members(c).to_vec(),
             None => Vec::new(),
         }
+    }
+
+    /// Id-space dedup with unconditional-subsumption, mirroring [`dedup`]:
+    /// interning is canonical, so sorting by id and dropping duplicates
+    /// removes exactly the structural duplicates.
+    fn dedup_ids(&self, mut results: Vec<(Value, CondId)>) -> Vec<(Value, CondId)> {
+        results.sort();
+        results.dedup();
+        let unconditional: HashSet<Value> = results
+            .iter()
+            .filter(|(_, c)| self.arena.cond_is_top(*c))
+            .map(|(v, _)| *v)
+            .collect();
+        results.retain(|(v, c)| self.arena.cond_is_top(*c) || !unconditional.contains(v));
+        results
     }
 }
 
@@ -1019,6 +1395,101 @@ mod tests {
         assert!(
             res.iter().any(|(v, _)| *v == Value::Addr(s.v("a"))),
             "{res:?}"
+        );
+    }
+
+    /// Both walk modes over the same cluster must produce identical
+    /// summary sets and identical local sources.
+    fn assert_walks_agree(src: &str, members: &[&str], path_sensitive: bool) {
+        let s = Setup::new(src);
+        let members: Vec<VarId> = members.iter().map(|n| s.v(n)).collect();
+        let mk = |uninterned: bool| {
+            let mut e = ClusterEngine::with_engine_options(
+                s.cx(),
+                members.clone(),
+                EngineOptions {
+                    cond_cap: 8,
+                    path_sensitive,
+                    uninterned,
+                    arena: None,
+                },
+            );
+            e.compute_all_summaries(s.cx(), &NoOracle, &mut AnalysisBudget::unlimited())
+                .unwrap();
+            e
+        };
+        let interned = mk(false);
+        let oracle = mk(true);
+        assert_eq!(
+            interned.summary_snapshot(),
+            oracle.summary_snapshot(),
+            "walk modes disagree (path_sensitive={path_sensitive})"
+        );
+    }
+
+    #[test]
+    fn interned_walk_matches_uninterned_oracle() {
+        let src = "int *a; int *b; int *c; int **x; int **y;
+             void main() { b = c; x = &a; y = &b; *x = b; }";
+        assert_walks_agree(src, &["a", "b", "c"], false);
+        let rec = "int a; int b; int *x; int c;
+             void rec() { if (c) { x = &a; rec(); } else { x = &b; } }
+             void main() { rec(); }";
+        assert_walks_agree(rec, &["x"], false);
+        assert_walks_agree(rec, &["x"], true);
+        let calls = "int **x; int **u; int **w; int **z;
+             int *a; int *b; int *c; int *d;
+             void foo() { *x = d; a = b; x = w; }
+             void main() { x = &c; w = u; foo(); z = x; *z = b; }";
+        assert_walks_agree(calls, &["x", "u", "w", "z"], false);
+        assert_walks_agree(calls, &["x", "u", "w", "z"], true);
+    }
+
+    #[test]
+    fn shared_arena_is_adopted_and_mismatched_cap_rejected() {
+        let s = Setup::new("int a; int *x; void main() { x = &a; }");
+        let shared = Arc::new(Interner::new(8));
+        let e = ClusterEngine::with_engine_options(
+            s.cx(),
+            vec![s.v("x")],
+            EngineOptions {
+                cond_cap: 8,
+                arena: Some(Arc::clone(&shared)),
+                ..EngineOptions::default()
+            },
+        );
+        assert!(Arc::ptr_eq(e.interner(), &shared));
+        // A cap mismatch falls back to a private arena (memo results would
+        // otherwise widen at the wrong cap).
+        let e2 = ClusterEngine::with_engine_options(
+            s.cx(),
+            vec![s.v("x")],
+            EngineOptions {
+                cond_cap: 4,
+                arena: Some(Arc::clone(&shared)),
+                ..EngineOptions::default()
+            },
+        );
+        assert!(!Arc::ptr_eq(e2.interner(), &shared));
+        assert_eq!(e2.interner().cap(), 4);
+    }
+
+    #[test]
+    fn engine_reports_interner_activity() {
+        let s = Setup::new(
+            "int a; int *x; int *y; int **z;
+             void main() { x = &a; z = &x; y = *z; }",
+        );
+        let members = vec![s.v("x"), s.v("y")];
+        let mut engine = ClusterEngine::new(s.cx(), members, 8);
+        engine
+            .compute_all_summaries(s.cx(), &NoOracle, &mut AnalysisBudget::unlimited())
+            .unwrap();
+        let stats = engine.interner().stats();
+        assert!(stats.conds >= 1, "top is always interned: {stats:?}");
+        assert!(
+            stats.hits + stats.misses > 0,
+            "loads intern constraints: {stats:?}"
         );
     }
 }

@@ -1,0 +1,119 @@
+//! A multiply-rotate hasher for the arena's hot integer-keyed tables.
+//!
+//! The interner's memo maps and the engine's processed set are probed on
+//! every walk step with tiny keys (`u32` ids, id pairs, `Copy` worklist
+//! tuples). The standard library's SipHash is DoS-resistant but costs more
+//! than the lookups it guards here; all keys are analysis-internal (never
+//! attacker-chosen), so a non-cryptographic mixer is safe and markedly
+//! faster. Same construction as the compiler's FxHasher: rotate, xor,
+//! multiply by a golden-ratio-derived odd constant.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier taken from the 64-bit golden ratio constant (odd, so the
+/// multiplication is a bijection on `u64`).
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The hasher state: one `u64` folded word by word.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_ne_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_ne_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+pub(crate) type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_hash_equal_and_mix() {
+        let hash_of = |parts: &[u64]| {
+            let mut h = FxHasher::default();
+            for &p in parts {
+                h.write_u64(p);
+            }
+            h.finish()
+        };
+        assert_eq!(hash_of(&[1, 2]), hash_of(&[1, 2]));
+        assert_ne!(hash_of(&[1, 2]), hash_of(&[2, 1]), "order must matter");
+        // Nearby small keys should not collide (the common id pattern).
+        let hashes: HashSet<u64> = (0u64..1024).map(|i| hash_of(&[i])).collect();
+        assert_eq!(hashes.len(), 1024);
+    }
+
+    #[test]
+    fn byte_stream_matches_itself_across_chunking() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..100u32 {
+            m.insert((i, i + 1), i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(41, 42)), Some(&41));
+    }
+}

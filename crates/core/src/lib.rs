@@ -43,7 +43,10 @@ pub mod constraint;
 pub mod cover;
 pub mod engine;
 pub mod fsci_cache;
+mod fxhash;
+pub mod intern;
 pub mod parallel;
+pub mod profile;
 pub mod relevant;
 pub mod session;
 pub mod summary;
@@ -52,9 +55,11 @@ pub use analyzer::{Analyzer, QueryError};
 pub use budget::{AnalysisBudget, Outcome};
 pub use constraint::Cond;
 pub use cover::{AliasCover, Cluster, ClusterOrigin};
-pub use engine::{ClusterEngine, EngineCx, NoOracle, PtsOracle};
+pub use engine::{ClusterEngine, EngineCx, EngineOptions, NoOracle, PtsOracle};
 pub use fsci_cache::FsciCacheStats;
+pub use intern::{CondId, DeadId, Interner, InternerStats};
 pub use parallel::ClusterReport;
+pub use profile::{Phase, PhaseSnapshot, PhaseStats};
 pub use relevant::{relevant_statements, RelevantSet};
 pub use session::{CascadeTimings, Config, MiddleStage, Session};
 pub use summary::{Source, SummaryTuple, Value};

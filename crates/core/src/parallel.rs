@@ -216,6 +216,31 @@ mod tests {
     }
 
     #[test]
+    fn lpt_order_breaks_size_ties_by_cluster_index() {
+        use crate::cover::ClusterOrigin;
+        use bootstrap_ir::VarId;
+        let mk = |id: usize, n: usize| {
+            Cluster::new(
+                id,
+                ClusterOrigin::WholeProgram,
+                (0..n).map(VarId::new).collect(),
+            )
+        };
+        // All equal sizes: the order must be exactly the cluster indices,
+        // so parallel runs schedule (and report) reproducibly.
+        let equal = vec![mk(0, 3), mk(1, 3), mk(2, 3), mk(3, 3)];
+        assert_eq!(lpt_order(&equal), vec![0, 1, 2, 3]);
+        // Mixed: ties broken by index within each size band, and the
+        // result is identical across repeated invocations.
+        let mixed = vec![mk(0, 5), mk(1, 9), mk(2, 5), mk(3, 9), mk(4, 5)];
+        let first = lpt_order(&mixed);
+        assert_eq!(first, vec![1, 3, 0, 2, 4]);
+        for _ in 0..10 {
+            assert_eq!(lpt_order(&mixed), first);
+        }
+    }
+
+    #[test]
     fn parallel_workers_publish_to_shared_fsci_cache() {
         // Multi-level pointers force the engine to consult the FSCI oracle
         // while processing clusters; clean results land in the session's

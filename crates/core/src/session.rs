@@ -14,6 +14,7 @@
 //! the caches.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bootstrap_analyses::{andersen, oneflow, steensgaard, SteensgaardResult};
@@ -25,6 +26,8 @@ use crate::constraint::Cond;
 use crate::cover::{AliasCover, Cluster, ClusterOrigin};
 use crate::engine::EngineCx;
 use crate::fsci_cache::{FsciCacheStats, SharedFsciCache};
+use crate::intern::{Interner, InternerStats};
+use crate::profile::{Phase, PhaseProfile, PhaseSnapshot};
 use crate::relevant::{relevant_statements_indexed, RelevantIndex};
 use crate::summary::Source;
 
@@ -115,6 +118,12 @@ pub struct Session<'p> {
     /// session stays logically immutable: the cache is a memo table over a
     /// deterministic function of the program).
     fsci_cache: SharedFsciCache,
+    /// The hash-consing arena every engine of this session interns into —
+    /// shared across LPT workers like the FSCI cache, so conditions and
+    /// memoized conjunctions computed by one cluster are reused by all.
+    interner: Arc<Interner>,
+    /// Per-phase wall/step counters (see [`Session::phase_stats`]).
+    profile: PhaseProfile,
 }
 
 impl<'p> Session<'p> {
@@ -147,6 +156,10 @@ impl<'p> Session<'p> {
         let cover = build_cover(program, &steens, &index, &config, &alias_partitions);
         let clustering_time = t1.elapsed();
 
+        let interner = Arc::new(Interner::new(config.cond_cap));
+        let profile = PhaseProfile::new();
+        profile.record(Phase::Steensgaard, steensgaard_time, 0);
+        profile.record(Phase::Andersen, clustering_time, 0);
         Self {
             program,
             config,
@@ -162,6 +175,8 @@ impl<'p> Session<'p> {
                 clustering: clustering_time,
             },
             fsci_cache: SharedFsciCache::new(),
+            interner,
+            profile,
         }
     }
 
@@ -228,7 +243,11 @@ impl<'p> Session<'p> {
         loc: Loc,
     ) -> Outcome<Vec<(Source, Cond)>> {
         let mut budget = self.config.query_budget();
-        match az.sources(p, loc, &mut budget) {
+        let t0 = Instant::now();
+        let out = az.sources(p, loc, &mut budget);
+        self.profile
+            .record(Phase::Fscs, t0.elapsed(), budget.steps_used());
+        match out {
             Outcome::Done(sources) => Outcome::Done(az.satisfiable_sources(sources)),
             Outcome::TimedOut => Outcome::TimedOut,
         }
@@ -242,6 +261,30 @@ impl<'p> Session<'p> {
     /// Hit/miss/entry counters of the shared FSCI points-to cache.
     pub fn fsci_cache_stats(&self) -> FsciCacheStats {
         self.fsci_cache.stats()
+    }
+
+    /// The session-wide hash-consing arena.
+    pub(crate) fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// The session-wide phase profile (engines record into it).
+    pub(crate) fn profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// Entry/hit/miss counters of the shared condition interner; hits are
+    /// structural clones and conjunction recomputations avoided.
+    pub fn interner_stats(&self) -> InternerStats {
+        self.interner.stats()
+    }
+
+    /// Accumulated per-phase wall time, steps, and invocation counts for
+    /// the cascade (Steensgaard, Andersen refinement, relevant slicing,
+    /// FSCS summarization). Phase costs grow as analyzers run; the
+    /// Steensgaard and Andersen rows are recorded once at construction.
+    pub fn phase_stats(&self) -> PhaseSnapshot {
+        self.profile.snapshot()
     }
 
     pub(crate) fn engine_cx(&self) -> EngineCx<'_> {

@@ -20,6 +20,7 @@ use std::fmt;
 use bootstrap_ir::{FuncId, Program, VarId};
 
 use crate::constraint::Cond;
+use crate::intern::CondId;
 
 /// The value side of a summary tuple.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -103,9 +104,15 @@ impl SummaryTuple {
 pub type SummaryKey = (FuncId, VarId);
 
 /// A store of function-exit summaries for one cluster.
+///
+/// Conditions are stored as interned [`CondId`]s: interning is canonical
+/// within an arena, so the id-level equality used by [`SummaryStore::put`]
+/// to detect fixpoint changes coincides with structural equality. Display
+/// and cross-arena comparison resolve through the engine's
+/// [`crate::intern::Interner`] (see `ClusterEngine::summary_snapshot`).
 #[derive(Clone, Debug, Default)]
 pub struct SummaryStore {
-    entries: HashMap<SummaryKey, Vec<(Value, Cond)>>,
+    entries: HashMap<SummaryKey, Vec<(Value, CondId)>>,
 }
 
 impl SummaryStore {
@@ -115,7 +122,7 @@ impl SummaryStore {
     }
 
     /// The tuples for `key`, if computed.
-    pub fn get(&self, key: &SummaryKey) -> Option<&[(Value, Cond)]> {
+    pub fn get(&self, key: &SummaryKey) -> Option<&[(Value, CondId)]> {
         self.entries.get(key).map(Vec::as_slice)
     }
 
@@ -127,7 +134,7 @@ impl SummaryStore {
 
     /// Inserts or replaces the tuples for `key`; returns `true` if the set
     /// changed.
-    pub fn put(&mut self, key: SummaryKey, mut tuples: Vec<(Value, Cond)>) -> bool {
+    pub fn put(&mut self, key: SummaryKey, mut tuples: Vec<(Value, CondId)>) -> bool {
         tuples.sort();
         tuples.dedup();
         match self.entries.get(&key) {
@@ -162,7 +169,7 @@ impl SummaryStore {
     }
 
     /// Iterates over all entries.
-    pub fn iter(&self) -> impl Iterator<Item = (&SummaryKey, &Vec<(Value, Cond)>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&SummaryKey, &Vec<(Value, CondId)>)> {
         self.entries.iter()
     }
 }
@@ -201,16 +208,16 @@ mod tests {
         assert!(s.put(
             key,
             vec![
-                (Value::Ptr(v(1)), Cond::top()),
-                (Value::Ptr(v(1)), Cond::top())
+                (Value::Ptr(v(1)), CondId::TOP),
+                (Value::Ptr(v(1)), CondId::TOP)
             ]
         ));
         assert_eq!(s.get(&key).unwrap().len(), 1, "duplicates removed");
         assert!(
-            !s.put(key, vec![(Value::Ptr(v(1)), Cond::top())]),
+            !s.put(key, vec![(Value::Ptr(v(1)), CondId::TOP)]),
             "same set"
         );
-        assert!(s.put(key, vec![(Value::Null, Cond::top())]), "changed set");
+        assert!(s.put(key, vec![(Value::Null, CondId::TOP)]), "changed set");
         assert_eq!(s.tuple_count(), 1);
         assert_eq!(s.entry_count(), 1);
     }

@@ -3,8 +3,11 @@
 //! analysis on random programs.
 
 use bootstrap_core::constraint::{Atom, Cond};
-use bootstrap_core::{AnalysisBudget, Config, Session};
-use bootstrap_ir::{FuncId, Loc, ProgramBuilder, VarId};
+use bootstrap_core::relevant::RelevantIndex;
+use bootstrap_core::{
+    AnalysisBudget, ClusterEngine, Config, EngineCx, EngineOptions, NoOracle, Session,
+};
+use bootstrap_ir::{CallGraph, FuncId, Loc, ProgramBuilder, VarId};
 use proptest::prelude::*;
 
 fn atom_strategy() -> impl Strategy<Value = Atom> {
@@ -200,5 +203,55 @@ proptest! {
             let s2 = az2.sources(p, exit, &mut b2).unwrap();
             prop_assert_eq!(s1, s2);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The hash-consed walk is a pure representation change: over random
+    /// programs, the interned engine and the pre-interning oracle walk
+    /// (`EngineOptions::uninterned`, mirroring `SolverOptions::naive`)
+    /// compute identical summary sets and identical local sources, in both
+    /// path-insensitive and path-sensitive modes.
+    #[test]
+    fn interned_engine_matches_uninterned_oracle(
+        ops in prop::collection::vec((0u8..6, 0u8..6, 0u8..6), 1..25),
+        ps in 0u8..2,
+    ) {
+        let path_sensitive = ps == 1;
+        let program = build_program(&ops);
+        let steens = bootstrap_analyses::steensgaard::analyze(&program);
+        let cg = CallGraph::build(&program);
+        let index = RelevantIndex::build(&program, &steens);
+        let cx = EngineCx { program: &program, steens: &steens, cg: &cg, index: &index };
+        let members: Vec<VarId> = program
+            .var_ids()
+            .filter(|v| program.var(*v).is_pointer())
+            .collect();
+        let run = |uninterned: bool| {
+            let mut engine = ClusterEngine::with_engine_options(
+                cx,
+                members.clone(),
+                EngineOptions { cond_cap: 8, path_sensitive, uninterned, arena: None },
+            );
+            engine
+                .compute_all_summaries(cx, &NoOracle, &mut AnalysisBudget::unlimited())
+                .unwrap();
+            let exit = program.entry().unwrap().exit();
+            let sources: Vec<_> = members
+                .iter()
+                .map(|&p| {
+                    engine
+                        .local_sources(cx, p, exit, &NoOracle, &mut AnalysisBudget::unlimited())
+                        .unwrap()
+                })
+                .collect();
+            (engine.summary_snapshot(), sources)
+        };
+        let (interned_summaries, interned_sources) = run(false);
+        let (oracle_summaries, oracle_sources) = run(true);
+        prop_assert_eq!(interned_summaries, oracle_summaries, "summary sets diverge");
+        prop_assert_eq!(interned_sources, oracle_sources, "local sources diverge");
     }
 }
