@@ -702,7 +702,7 @@ mod tests {
             .iter()
             .filter(|s| matches!(s, Stmt::AddrOf { dst, .. } if *dst == p.var_named("x").unwrap()))
             .collect();
-        let r = analyze_stmts(p.var_count(), stmts.into_iter());
+        let r = analyze_stmts(p.var_count(), stmts);
         assert_eq!(r.points_to(p.var_named("x").unwrap()).len(), 1);
         assert!(r.points_to(p.var_named("y").unwrap()).is_empty());
     }

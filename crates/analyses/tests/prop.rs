@@ -52,7 +52,7 @@ proptest! {
         let mut uf = UnionFind::new(64);
         // Model: representative = smallest member, recomputed transitively.
         let mut model: Vec<u32> = (0..64).collect();
-        fn root(model: &Vec<u32>, mut x: u32) -> u32 {
+        fn root(model: &[u32], mut x: u32) -> u32 {
             while model[x as usize] != x { x = model[x as usize]; }
             x
         }

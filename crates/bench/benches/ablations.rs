@@ -146,6 +146,7 @@ fn main() {
             "collapse",
             bootstrap_analyses::andersen::SolverOptions {
                 collapse_cycles: true,
+                ..Default::default()
             },
         ),
     ] {

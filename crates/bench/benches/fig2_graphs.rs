@@ -11,7 +11,7 @@ fn main() {
     let program = figures::parse_figure(figures::FIG2);
     let v = |n: &str| program.var_named(n).unwrap();
 
-    println!("Figure 2 reproduction — {}", "p=&a; q=&b; r=&c; q=p; q=r");
+    println!("Figure 2 reproduction — p=&a; q=&b; r=&c; q=p; q=r");
     println!();
     println!("Steensgaard points-to graph (nodes are equivalence classes):");
     let st = steensgaard::analyze(&program);

@@ -80,6 +80,55 @@ fn realloc_after_free_is_clean() {
 }
 
 #[test]
+fn reassignment_after_free_is_clean() {
+    // `free(p); p = q; *p`: the dereference sees q's (live) object, not
+    // the freed one — no use-after-free once p is reassigned.
+    let r = check(
+        "int *p; int *q; int x;
+         void main() { p = malloc(); q = malloc(); free(p); p = q; x = *p; }",
+    );
+    assert!(r.findings.is_empty(), "unexpected: {:?}", r.findings);
+}
+
+#[test]
+fn reassignment_after_free_on_both_branches_is_clean() {
+    // Both arms free p and then reassign it before the join: the deref
+    // below the conditional can only see the live replacement targets.
+    let r = check(
+        "int *p; int *q; int *r; int c; int x;
+         void main() {
+           p = malloc(); q = malloc(); r = malloc();
+           if (c) { free(p); p = q; } else { free(p); p = r; }
+           x = *p;
+         }",
+    );
+    assert!(r.findings.is_empty(), "unexpected: {:?}", r.findings);
+}
+
+#[test]
+fn branch_without_reassignment_still_flags_alias_uaf() {
+    // Positive control for the two tests above: q keeps aliasing the
+    // object the true arm frees, so dereferencing q after the join is a
+    // (branch-dependent) use-after-free — the reassignment of p must not
+    // mask it.
+    let r = check(
+        "int *p; int *q; int c; int x;
+         void main() {
+           p = malloc(); q = p;
+           if (c) { free(p); p = malloc(); }
+           x = *q;
+         }",
+    );
+    let uaf: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.checker == CheckerKind::UseAfterFree)
+        .collect();
+    assert_eq!(uaf.len(), 1, "findings: {:?}", r.findings);
+    assert_eq!(uaf[0].var, "q");
+}
+
+#[test]
 fn flags_double_free_through_alias() {
     let r = check(
         "int *h; int *q;

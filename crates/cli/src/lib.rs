@@ -10,6 +10,7 @@
 //! bootstrap-alias check       <file.c> [--only null-deref,uaf,double-free] [--format text|json]
 //! bootstrap-alias dot         <file.c> (--cfg FUNC | --callgraph)
 //! bootstrap-alias stats       <file.c>
+//! bootstrap-alias fuzz        [--seed N] [--iters N] [--corpus DIR]
 //! ```
 //!
 //! Query locations default to the exit of `main`; `--at FUNC` queries at
@@ -19,6 +20,10 @@
 //! `check` runs the flow- and context-sensitive client checkers
 //! ([`bootstrap_checks`]) and exits with status 1 when defects are found,
 //! 2 on usage/analysis errors, 0 when clean.
+//!
+//! `fuzz` takes no input file: it runs the differential fuzzing campaign
+//! ([`bootstrap_fuzz`]) over random Mini-C programs and exits with status
+//! 1 when any cross-engine invariant is violated.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,6 +66,8 @@ commands:
   check        run the client checkers (null-deref, use-after-free, double-free)
   dot          emit Graphviz (--cfg FUNC | --callgraph)
   stats        print program and cascade statistics
+  fuzz         differential fuzzing campaign (no input file;
+               [--seed N] [--iters N] [--corpus DIR])
 
 options:
   --at FUNC          query at the exit of FUNC (default: main)
@@ -183,6 +190,10 @@ pub fn run_full(args: &[String]) -> Result<CliOutput, CliError> {
             exit_code: 0,
         });
     }
+    // `fuzz` takes no input file; intercept it before positional parsing.
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return cmd_fuzz(&args[1..]);
+    }
     let opts = parse_args(args)?;
     let source = std::fs::read_to_string(&opts.file)
         .map_err(|e| CliError(format!("cannot read {}: {e}", opts.file)))?;
@@ -205,6 +216,55 @@ pub fn run_full(args: &[String]) -> Result<CliOutput, CliError> {
         other => err(format!("unknown command `{other}`\n{USAGE}")),
     }?;
     Ok(CliOutput { text, exit_code: 0 })
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<CliOutput, CliError> {
+    let mut config = bootstrap_fuzz::FuzzConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                let raw = take(args, i, "--seed")?;
+                config.seed = raw
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid seed `{raw}`")))?;
+            }
+            "--iters" => {
+                i += 1;
+                let raw = take(args, i, "--iters")?;
+                config.iters = raw
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid iteration count `{raw}`")))?;
+            }
+            "--corpus" => {
+                i += 1;
+                config.corpus_dir = Some(std::path::PathBuf::from(take(args, i, "--corpus")?));
+            }
+            other => return err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let report = bootstrap_fuzz::run_fuzz(&config);
+    let mut text = String::new();
+    for v in &report.violations {
+        let _ = writeln!(
+            text,
+            "violation[{}] at seed {} iteration {}: {}\nminimized reproducer:\n{}",
+            v.kind, config.seed, v.iteration, v.detail, v.source
+        );
+    }
+    let _ = writeln!(
+        text,
+        "fuzz: {} iterations, seed {}: {} violation(s)",
+        report.iters,
+        config.seed,
+        report.violations.len()
+    );
+    Ok(CliOutput {
+        text,
+        exit_code: i32::from(!report.violations.is_empty()),
+    })
 }
 
 fn cmd_check(program: &Program, opts: &Opts) -> Result<CliOutput, CliError> {
@@ -541,6 +601,26 @@ mod tests {
     }
 
     #[test]
+    fn lex_errors_carry_file_and_line_from_every_command() {
+        // Unterminated comment, unterminated string, and a non-ASCII byte
+        // must surface as `file: ... line:col ...` errors — never a panic —
+        // regardless of the subcommand that parsed the file.
+        let cases = [
+            ("lex_comment", "int a;\n/* oops", "2:1"),
+            ("lex_string", "int a;\nchar *s() { return \"oops; }", "2:20"),
+            ("lex_nonascii", "int caf\u{e9};", "1:8"),
+        ];
+        for (name, src, pos) in cases {
+            let f = write_temp(name, src);
+            for cmd in ["partitions", "clusters", "check", "stats"] {
+                let e = run_args(&[cmd, &f]).unwrap_err().to_string();
+                assert!(e.starts_with(&f), "{cmd}: {e}");
+                assert!(e.contains(pos), "{cmd}: expected {pos} in: {e}");
+            }
+        }
+    }
+
+    #[test]
     fn partitions_lists_groups() {
         let f = write_temp("partitions", DEMO);
         let out = run_args(&["partitions", &f]).unwrap();
@@ -701,5 +781,42 @@ mod tests {
         assert!(insensitive.contains("= true"));
         let sensitive = run_args(&["may-alias", &f, "--pair", "x,y", "--path-sensitive"]).unwrap();
         assert!(sensitive.contains("= false"), "{sensitive}");
+    }
+
+    #[test]
+    fn fuzz_smoke_run_is_clean() {
+        let out = run_args_full(&["fuzz", "--seed", "3", "--iters", "5"]).unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.text);
+        assert!(out.text.contains("5 iterations, seed 3"), "{}", out.text);
+        assert!(out.text.contains("0 violation(s)"), "{}", out.text);
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_flags() {
+        let e = run_args(&["fuzz", "--seed", "banana"]).unwrap_err();
+        assert!(e.to_string().contains("invalid seed"));
+        let e = run_args(&["fuzz", "--bogus"]).unwrap_err();
+        assert!(e.to_string().contains("unknown option"));
+    }
+
+    #[test]
+    fn every_command_survives_the_fuzz_corpus() {
+        // Replaying the committed reproducers through the user-facing
+        // commands must never panic: a CliError (diagnostic + exit 2) is
+        // the only acceptable failure mode for malformed entries.
+        let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../fuzz/corpus");
+        let mut entries: Vec<_> = std::fs::read_dir(&corpus)
+            .expect("fuzz corpus exists")
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "c"))
+            .collect();
+        entries.sort();
+        assert!(!entries.is_empty());
+        for path in entries {
+            let f = path.to_string_lossy().into_owned();
+            for cmd in ["partitions", "clusters", "check", "stats"] {
+                let _ = run_args_full(&[cmd, &f]);
+            }
+        }
     }
 }

@@ -94,6 +94,15 @@ impl AnalysisBudget {
         true
     }
 
+    /// Marks the budget exhausted immediately, regardless of steps or
+    /// wall-clock remaining. Used when a resource other than time runs out
+    /// mid-analysis (e.g. the interning arena's id capacity): discarding
+    /// the partial result as [`Outcome::TimedOut`] is the same sound
+    /// degradation as a step-budget expiry.
+    pub fn exhaust(&mut self) {
+        self.exhausted = true;
+    }
+
     /// Steps consumed so far.
     pub fn steps_used(&self) -> u64 {
         self.steps
@@ -188,6 +197,15 @@ mod tests {
             }
         }
         assert!(!ok);
+    }
+
+    #[test]
+    fn exhaust_fails_all_subsequent_ticks() {
+        let mut b = AnalysisBudget::unlimited();
+        assert!(b.tick());
+        b.exhaust();
+        assert!(b.exhausted());
+        assert!(!b.tick());
     }
 
     #[test]

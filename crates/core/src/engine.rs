@@ -37,11 +37,28 @@ use bootstrap_ir::{CallGraph, CallTarget, FuncId, Loc, Program, Stmt, StmtIdx, V
 use crate::budget::{AnalysisBudget, Outcome};
 use crate::constraint::{Atom, Cond};
 use crate::fxhash::FxHashSet;
-use crate::intern::{CondId, DeadId, DeadVars, Interner};
+use crate::intern::{ArenaFull, CondId, DeadId, DeadVars, Interner};
 use crate::relevant::{
     modifying_functions, relevant_statements_indexed, RelevantIndex, RelevantSet,
 };
 use crate::summary::{SummaryKey, SummaryStore, SummaryTuple, Value};
+
+/// Unwraps an arena operation inside a budgeted walk. A full arena
+/// ([`crate::intern::ArenaFull`]) cannot be recovered from mid-walk —
+/// dropping the item would under-approximate a may-analysis — so the
+/// budget is marked exhausted and the walk reports [`Outcome::TimedOut`],
+/// the same sound discard a step-budget expiry produces.
+macro_rules! arena_try {
+    ($budget:expr, $op:expr) => {
+        match $op {
+            Ok(v) => v,
+            Err(_) => {
+                $budget.exhaust();
+                return Outcome::TimedOut;
+            }
+        }
+    };
+}
 
 /// Supplies flow-sensitive, context-insensitive points-to sets for pointers
 /// resolved in earlier dovetail phases (higher in the Steensgaard
@@ -308,7 +325,8 @@ impl ClusterEngine {
     }
 
     /// The interned counterpart of [`ClusterEngine::with_reach_cond`]:
-    /// conjunctions go through the arena's memo tables.
+    /// conjunctions go through the arena's memo tables. `Ok(None)` means
+    /// the combination is infeasible; `Err` propagates a full arena.
     fn with_reach_cond_id(
         &mut self,
         cx: EngineCx<'_>,
@@ -316,9 +334,9 @@ impl ClusterEngine {
         m: StmtIdx,
         cond: CondId,
         dead: &DeadVars,
-    ) -> Option<CondId> {
+    ) -> Result<Option<CondId>, ArenaFull> {
         if !self.path_sensitive {
-            return Some(cond);
+            return Ok(Some(cond));
         }
         let atoms = self.reach_conds_for(cx, f)[m as usize].clone();
         let mut out = cond;
@@ -328,9 +346,12 @@ impl ClusterEngine {
                     continue;
                 }
             }
-            out = self.arena.and_atom(out, a)?;
+            match self.arena.and_atom(out, a)? {
+                Some(c) => out = c,
+                None => return Ok(None),
+            }
         }
-        Some(out)
+        Ok(Some(out))
     }
 
     /// The cluster members.
@@ -523,10 +544,11 @@ impl ClusterEngine {
                 // the callee's local path literals would be meaningless (or
                 // worse, wrongly correlated across frames): strip them.
                 let results = if self.path_sensitive {
-                    out.results
-                        .into_iter()
-                        .map(|(v, c)| (v, self.arena.drop_branch(c)))
-                        .collect()
+                    let mut stripped = Vec::with_capacity(out.results.len());
+                    for (v, c) in out.results {
+                        stripped.push((v, arena_try!(budget, self.arena.drop_branch(c))));
+                    }
+                    stripped
                 } else {
                     out.results
                 };
@@ -621,9 +643,9 @@ impl ClusterEngine {
             // path-sensitive mode; resolve the (updated) set once per item.
             let (dead, dead_set) = if self.path_sensitive {
                 let dead = match func.stmt(m) {
-                    Stmt::Call(_) => self.arena.kill_globals(dead),
+                    Stmt::Call(_) => arena_try!(budget, self.arena.kill_globals(dead)),
                     stmt => match stmt.direct_def() {
-                        Some(d) => self.arena.kill(dead, d),
+                        Some(d) => arena_try!(budget, self.arena.kill(dead, d)),
                         None => dead,
                     },
                 };
@@ -646,7 +668,11 @@ impl ClusterEngine {
                 Stmt::AddrOf { dst, obj } => {
                     if *dst == x && self.relevant.contains_stmt(loc) {
                         let obj = *obj;
-                        if let Some(c) = self.reach_cond_of(cx, f, m, cond, dead_set.as_deref()) {
+                        let reach = arena_try!(
+                            budget,
+                            self.reach_cond_of(cx, f, m, cond, dead_set.as_deref())
+                        );
+                        if let Some(c) = reach {
                             out.results.push((Value::Addr(obj), c));
                         }
                     } else {
@@ -657,7 +683,11 @@ impl ClusterEngine {
                 // it behaves exactly like an explicit NULL assignment.
                 Stmt::Null { dst } | Stmt::Free { dst } => {
                     if *dst == x && self.relevant.contains_stmt(loc) {
-                        if let Some(c) = self.reach_cond_of(cx, f, m, cond, dead_set.as_deref()) {
+                        let reach = arena_try!(
+                            budget,
+                            self.reach_cond_of(cx, f, m, cond, dead_set.as_deref())
+                        );
+                        if let Some(c) = reach {
                             out.results.push((Value::Null, c));
                         }
                     } else {
@@ -673,7 +703,7 @@ impl ClusterEngine {
                                 ptr: *src,
                                 obj: o,
                             };
-                            if let Some(c2) = self.arena.and_atom(cond, atom) {
+                            if let Some(c2) = arena_try!(budget, self.arena.and_atom(cond, atom)) {
                                 continues.push((o, c2));
                             }
                         }
@@ -690,10 +720,12 @@ impl ClusterEngine {
                             ptr: *dst,
                             obj: x,
                         };
-                        if let Some(c2) = self.arena.and_atom(cond, hit) {
+                        if let Some(c2) = arena_try!(budget, self.arena.and_atom(cond, hit)) {
                             continues.push((*src, c2));
                         }
-                        if let Some(c2) = self.arena.and_atom(cond, hit.negated()) {
+                        if let Some(c2) =
+                            arena_try!(budget, self.arena.and_atom(cond, hit.negated()))
+                        {
                             continues.push((x, c2));
                         }
                     } else {
@@ -709,30 +741,48 @@ impl ClusterEngine {
                                 out.consulted.push(key);
                                 let tuples: Vec<(Value, CondId)> = tuples.to_vec();
                                 for (value, c2) in tuples {
-                                    let Some(cc) = self.arena.and_cond(cond, c2) else {
+                                    // Summaries grow during the recursion
+                                    // fixpoint; charge the budget per tuple
+                                    // so one worklist pop cannot do
+                                    // unbounded work.
+                                    if !budget.tick() {
+                                        return Outcome::TimedOut;
+                                    }
+                                    self.steps += 1;
+                                    let Some(cc) =
+                                        arena_try!(budget, self.arena.and_cond(cond, c2))
+                                    else {
                                         continue;
                                     };
                                     match value {
                                         Value::Ptr(w) => continues.push((w, cc)),
                                         Value::Addr(o) => {
-                                            if let Some(c) = self.reach_cond_of(
-                                                cx,
-                                                f,
-                                                m,
-                                                cc,
-                                                dead_set.as_deref(),
-                                            ) {
+                                            let reach = arena_try!(
+                                                budget,
+                                                self.reach_cond_of(
+                                                    cx,
+                                                    f,
+                                                    m,
+                                                    cc,
+                                                    dead_set.as_deref()
+                                                )
+                                            );
+                                            if let Some(c) = reach {
                                                 out.results.push((Value::Addr(o), c));
                                             }
                                         }
                                         Value::Null => {
-                                            if let Some(c) = self.reach_cond_of(
-                                                cx,
-                                                f,
-                                                m,
-                                                cc,
-                                                dead_set.as_deref(),
-                                            ) {
+                                            let reach = arena_try!(
+                                                budget,
+                                                self.reach_cond_of(
+                                                    cx,
+                                                    f,
+                                                    m,
+                                                    cc,
+                                                    dead_set.as_deref()
+                                                )
+                                            );
+                                            if let Some(c) = reach {
                                                 out.results.push((Value::Null, c));
                                             }
                                         }
@@ -766,7 +816,7 @@ impl ClusterEngine {
                                             cx.program,
                                         ) =>
                                 {
-                                    match self.arena.and_atom(c2, atom) {
+                                    match arena_try!(budget, self.arena.and_atom(c2, atom)) {
                                         Some(c) => c,
                                         None => continue,
                                     }
@@ -793,10 +843,10 @@ impl ClusterEngine {
         m: StmtIdx,
         cond: CondId,
         dead_set: Option<&DeadVars>,
-    ) -> Option<CondId> {
+    ) -> Result<Option<CondId>, ArenaFull> {
         match dead_set {
             Some(dead) => self.with_reach_cond_id(cx, f, m, cond, dead),
-            None => Some(cond),
+            None => Ok(Some(cond)),
         }
     }
 
@@ -931,6 +981,13 @@ impl ClusterEngine {
                                     .map(|(v, c)| (*v, (*self.arena.resolve(*c)).clone()))
                                     .collect();
                                 for (value, c2) in tuples {
+                                    // Mirror the interned walk: one tick per
+                                    // consumed summary tuple, so both modes
+                                    // stay in step parity and bounded.
+                                    if !budget.tick() {
+                                        return Outcome::TimedOut;
+                                    }
+                                    self.steps += 1;
                                     let Some(cc) = cond.and_cond(&c2, self.cond_cap) else {
                                         continue;
                                     };
@@ -992,10 +1049,13 @@ impl ClusterEngine {
                 }
             }
         }
-        out.results = results
-            .into_iter()
-            .map(|(v, c)| (v, self.arena.cond(&c)))
-            .collect();
+        out.results = {
+            let mut interned = Vec::with_capacity(results.len());
+            for (v, c) in results {
+                interned.push((v, arena_try!(budget, self.arena.cond(&c))));
+            }
+            interned
+        };
         Outcome::Done(out)
     }
 
@@ -1472,6 +1532,30 @@ mod tests {
         );
         assert!(!Arc::ptr_eq(e2.interner(), &shared));
         assert_eq!(e2.interner().cap(), 4);
+    }
+
+    #[test]
+    fn arena_capacity_exhaustion_times_out_instead_of_panicking() {
+        let s = Setup::new(
+            "int a; int *x; int *y; int **z;
+             void main() { x = &a; z = &x; y = *z; }",
+        );
+        // Slot 0 (⊤) uses the only id: the first points-to constraint the
+        // load expansion interns hits the cap.
+        let tiny = Arc::new(Interner::with_max_ids(8, 1));
+        let mut engine = ClusterEngine::with_engine_options(
+            s.cx(),
+            vec![s.v("x"), s.v("y")],
+            EngineOptions {
+                cond_cap: 8,
+                arena: Some(tiny),
+                ..EngineOptions::default()
+            },
+        );
+        let mut budget = AnalysisBudget::unlimited();
+        let r = engine.local_sources(s.cx(), s.v("y"), s.exit_of("main"), &NoOracle, &mut budget);
+        assert_eq!(r, Outcome::TimedOut);
+        assert!(budget.exhausted(), "arena overflow exhausts the budget");
     }
 
     #[test]

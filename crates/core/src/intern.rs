@@ -29,6 +29,25 @@ use parking_lot::RwLock;
 use crate::constraint::{Atom, Cond};
 use crate::fxhash::FxHashMap;
 
+/// The arena ran out of ids: interning one more distinct value would
+/// exceed the table's id capacity (at most `u32::MAX` values, or the lower
+/// limit set via [`Interner::with_max_ids`]).
+///
+/// Allocating arena operations return this instead of silently wrapping
+/// ids — a wrapped id would alias slot 0 (⊤ / the empty dead set) and
+/// make the engine unsound. Callers treat it like budget exhaustion: the
+/// partial analysis is discarded as `Outcome::TimedOut`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaFull;
+
+impl std::fmt::Display for ArenaFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("interning arena is full: id capacity exhausted")
+    }
+}
+
+impl std::error::Error for ArenaFull {}
+
 /// Interned id of a [`Cond`]: equal ids ⟺ structurally equal conditions
 /// within one arena.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -94,27 +113,34 @@ impl DeadVars {
 struct Table<T> {
     items: Vec<Arc<T>>,
     ids: FxHashMap<Arc<T>, u32>,
+    /// Distinct values this table may hold; interning past it is an
+    /// [`ArenaFull`] error rather than an id wrap.
+    max_ids: u32,
 }
 
 impl<T: Eq + std::hash::Hash> Table<T> {
-    fn with_zero(zero: T) -> Self {
+    fn with_zero(zero: T, max_ids: u32) -> Self {
         let mut t = Table {
             items: Vec::new(),
             ids: FxHashMap::default(),
+            max_ids,
         };
-        t.intern(zero);
+        t.intern(zero).expect("capacity admits the zero slot");
         t
     }
 
-    fn intern(&mut self, value: T) -> u32 {
+    fn intern(&mut self, value: T) -> Result<u32, ArenaFull> {
         if let Some(&id) = self.ids.get(&value) {
-            return id;
+            return Ok(id);
+        }
+        if self.items.len() >= self.max_ids as usize {
+            return Err(ArenaFull);
         }
         let id = self.items.len() as u32;
         let value = Arc::new(value);
         self.items.push(Arc::clone(&value));
         self.ids.insert(value, id);
-        id
+        Ok(id)
     }
 
     fn get(&self, id: u32) -> Arc<T> {
@@ -162,10 +188,25 @@ pub struct Interner {
 impl Interner {
     /// An arena whose memoized conjunctions widen at `cap` atoms.
     pub fn new(cap: usize) -> Self {
+        Self::with_max_ids(cap, u32::MAX)
+    }
+
+    /// Like [`Interner::new`] but holding at most `max_ids` distinct
+    /// conditions (and dead sets); interning past that returns
+    /// [`ArenaFull`]. The production arenas use the full `u32` id space —
+    /// this constructor exists so tests can exercise the capacity path
+    /// without interning four billion values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_ids` is zero (slot 0 is reserved for ⊤ / the empty
+    /// dead set in every arena).
+    pub fn with_max_ids(cap: usize, max_ids: u32) -> Self {
+        assert!(max_ids >= 1, "slot 0 is reserved");
         Self {
             cap,
-            conds: RwLock::new(Table::with_zero(Cond::top())),
-            deads: RwLock::new(Table::with_zero(DeadVars::default())),
+            conds: RwLock::new(Table::with_zero(Cond::top(), max_ids)),
+            deads: RwLock::new(Table::with_zero(DeadVars::default(), max_ids)),
             and_atom: RwLock::new(FxHashMap::default()),
             and_cond: RwLock::new(FxHashMap::default()),
             drop_branch: RwLock::new(FxHashMap::default()),
@@ -205,21 +246,21 @@ impl Interner {
     }
 
     /// Interns `cond`, returning its canonical id.
-    pub(crate) fn cond(&self, cond: &Cond) -> CondId {
+    pub(crate) fn cond(&self, cond: &Cond) -> Result<CondId, ArenaFull> {
         if cond.is_top() && !cond.is_widened() {
-            return CondId::TOP;
+            return Ok(CondId::TOP);
         }
         if let Some(&id) = self.conds.read().ids.get(cond) {
-            return CondId(id);
+            return Ok(CondId(id));
         }
-        CondId(self.conds.write().intern(cond.clone()))
+        Ok(CondId(self.conds.write().intern(cond.clone())?))
     }
 
-    fn intern_cond(&self, cond: Cond) -> CondId {
+    fn intern_cond(&self, cond: Cond) -> Result<CondId, ArenaFull> {
         if cond.is_top() && !cond.is_widened() {
-            return CondId::TOP;
+            return Ok(CondId::TOP);
         }
-        CondId(self.conds.write().intern(cond))
+        Ok(CondId(self.conds.write().intern(cond)?))
     }
 
     /// The condition behind `id`.
@@ -234,14 +275,14 @@ impl Interner {
     }
 
     /// Interns a dead-variable set.
-    pub(crate) fn dead(&self, dead: &DeadVars) -> DeadId {
+    pub(crate) fn dead(&self, dead: &DeadVars) -> Result<DeadId, ArenaFull> {
         if dead.vars.is_empty() && !dead.globals {
-            return DeadId::EMPTY;
+            return Ok(DeadId::EMPTY);
         }
         if let Some(&id) = self.deads.read().ids.get(dead) {
-            return DeadId(id);
+            return Ok(DeadId(id));
         }
-        DeadId(self.deads.write().intern(dead.clone()))
+        Ok(DeadId(self.deads.write().intern(dead.clone())?))
     }
 
     /// The dead set behind `id`.
@@ -249,66 +290,68 @@ impl Interner {
         self.deads.read().get(id.0)
     }
 
-    /// Memoized [`Cond::and`] under the arena cap; `None` on contradiction.
-    pub(crate) fn and_atom(&self, c: CondId, atom: Atom) -> Option<CondId> {
+    /// Memoized [`Cond::and`] under the arena cap; `Ok(None)` on
+    /// contradiction. A full arena is an error, never memoized — retrying
+    /// against a larger arena would succeed.
+    pub(crate) fn and_atom(&self, c: CondId, atom: Atom) -> Result<Option<CondId>, ArenaFull> {
         let key = (c.0, atom);
         if let Some(&r) = self.and_atom.read().get(&key) {
             self.hit();
-            return r;
+            return Ok(r);
         }
         self.miss();
-        let r = self
-            .resolve(c)
-            .and(atom, self.cap)
-            .map(|nc| self.intern_cond(nc));
+        let r = match self.resolve(c).and(atom, self.cap) {
+            Some(nc) => Some(self.intern_cond(nc)?),
+            None => None,
+        };
         self.and_atom.write().insert(key, r);
-        r
+        Ok(r)
     }
 
-    /// Memoized [`Cond::and_cond`] under the arena cap; `None` on
+    /// Memoized [`Cond::and_cond`] under the arena cap; `Ok(None)` on
     /// contradiction.
-    pub(crate) fn and_cond(&self, a: CondId, b: CondId) -> Option<CondId> {
+    pub(crate) fn and_cond(&self, a: CondId, b: CondId) -> Result<Option<CondId>, ArenaFull> {
         if a.is_top() {
-            return Some(b);
+            return Ok(Some(b));
         }
         if b.is_top() {
-            return Some(a);
+            return Ok(Some(a));
         }
         let key = (a.0, b.0);
         if let Some(&r) = self.and_cond.read().get(&key) {
             self.hit();
-            return r;
+            return Ok(r);
         }
         self.miss();
-        let r = self
-            .resolve(a)
-            .and_cond(&self.resolve(b), self.cap)
-            .map(|nc| self.intern_cond(nc));
+        let r = match self.resolve(a).and_cond(&self.resolve(b), self.cap) {
+            Some(nc) => Some(self.intern_cond(nc)?),
+            None => None,
+        };
         self.and_cond.write().insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Memoized [`Cond::drop_branch_atoms`].
-    pub(crate) fn drop_branch(&self, c: CondId) -> CondId {
+    pub(crate) fn drop_branch(&self, c: CondId) -> Result<CondId, ArenaFull> {
         if c.is_top() {
-            return c;
+            return Ok(c);
         }
         if let Some(&r) = self.drop_branch.read().get(&c.0) {
             self.hit();
-            return r;
+            return Ok(r);
         }
         self.miss();
-        let r = self.intern_cond(self.resolve(c).drop_branch_atoms());
+        let r = self.intern_cond(self.resolve(c).drop_branch_atoms())?;
         self.drop_branch.write().insert(c.0, r);
-        r
+        Ok(r)
     }
 
     /// Memoized `DeadVars::kill`.
-    pub(crate) fn kill(&self, d: DeadId, v: VarId) -> DeadId {
+    pub(crate) fn kill(&self, d: DeadId, v: VarId) -> Result<DeadId, ArenaFull> {
         let key = (d.0, v.index() as u32);
         if let Some(&r) = self.kills.read().get(&key) {
             self.hit();
-            return r;
+            return Ok(r);
         }
         self.miss();
         let cur = self.resolve_dead(d);
@@ -316,27 +359,27 @@ impl Interner {
         // the same id without cloning or re-hashing the whole set.
         let r = match cur.vars.binary_search(&v) {
             Ok(_) => d,
-            Err(_) => self.dead(&cur.kill(v)),
+            Err(_) => self.dead(&cur.kill(v))?,
         };
         self.kills.write().insert(key, r);
-        r
+        Ok(r)
     }
 
     /// Memoized `DeadVars::kill_globals`.
-    pub(crate) fn kill_globals(&self, d: DeadId) -> DeadId {
+    pub(crate) fn kill_globals(&self, d: DeadId) -> Result<DeadId, ArenaFull> {
         if let Some(&r) = self.kill_globals.read().get(&d.0) {
             self.hit();
-            return r;
+            return Ok(r);
         }
         self.miss();
         let cur = self.resolve_dead(d);
         let r = if cur.globals {
             d
         } else {
-            self.dead(&cur.kill_globals())
+            self.dead(&cur.kill_globals())?
         };
         self.kill_globals.write().insert(d.0, r);
-        r
+        Ok(r)
     }
 }
 
@@ -362,8 +405,8 @@ mod tests {
     #[test]
     fn top_and_empty_are_slot_zero() {
         let arena = Interner::new(8);
-        assert_eq!(arena.cond(&Cond::top()), CondId::TOP);
-        assert_eq!(arena.dead(&DeadVars::default()), DeadId::EMPTY);
+        assert_eq!(arena.cond(&Cond::top()), Ok(CondId::TOP));
+        assert_eq!(arena.dead(&DeadVars::default()), Ok(DeadId::EMPTY));
         assert!(arena.cond_is_top(CondId::TOP));
         assert!(arena.resolve(CondId::TOP).is_top());
     }
@@ -373,8 +416,8 @@ mod tests {
         let arena = Interner::new(8);
         let c1 = Cond::top().and(pt(1, 0, 1), 8).unwrap();
         let c2 = Cond::top().and(pt(1, 0, 1), 8).unwrap();
-        let id1 = arena.cond(&c1);
-        let id2 = arena.cond(&c2);
+        let id1 = arena.cond(&c1).unwrap();
+        let id2 = arena.cond(&c2).unwrap();
         assert_eq!(id1, id2);
         assert_ne!(id1, CondId::TOP);
         assert_eq!(*arena.resolve(id1), c1);
@@ -383,15 +426,15 @@ mod tests {
     #[test]
     fn and_atom_matches_structural_and_memoizes() {
         let arena = Interner::new(8);
-        let base = arena.and_atom(CondId::TOP, pt(1, 0, 1)).unwrap();
+        let base = arena.and_atom(CondId::TOP, pt(1, 0, 1)).unwrap().unwrap();
         // Same op again: a memo hit, same id.
-        let again = arena.and_atom(CondId::TOP, pt(1, 0, 1)).unwrap();
+        let again = arena.and_atom(CondId::TOP, pt(1, 0, 1)).unwrap().unwrap();
         assert_eq!(base, again);
         let stats = arena.stats();
         assert!(stats.hits >= 1, "second and_atom should hit: {stats:?}");
         // Contradiction is memoized as None.
-        assert_eq!(arena.and_atom(base, pt(1, 0, 1).negated()), None);
-        assert_eq!(arena.and_atom(base, pt(1, 0, 1).negated()), None);
+        assert_eq!(arena.and_atom(base, pt(1, 0, 1).negated()), Ok(None));
+        assert_eq!(arena.and_atom(base, pt(1, 0, 1).negated()), Ok(None));
         // Structural agreement with Cond::and.
         let structural = Cond::top().and(pt(1, 0, 1), 8).unwrap();
         assert_eq!(*arena.resolve(base), structural);
@@ -400,11 +443,11 @@ mod tests {
     #[test]
     fn and_cond_top_short_circuits() {
         let arena = Interner::new(8);
-        let c = arena.and_atom(CondId::TOP, pt(2, 1, 2)).unwrap();
-        assert_eq!(arena.and_cond(CondId::TOP, c), Some(c));
-        assert_eq!(arena.and_cond(c, CondId::TOP), Some(c));
-        let d = arena.and_atom(CondId::TOP, pt(3, 1, 2)).unwrap();
-        let both = arena.and_cond(c, d).unwrap();
+        let c = arena.and_atom(CondId::TOP, pt(2, 1, 2)).unwrap().unwrap();
+        assert_eq!(arena.and_cond(CondId::TOP, c), Ok(Some(c)));
+        assert_eq!(arena.and_cond(c, CondId::TOP), Ok(Some(c)));
+        let d = arena.and_atom(CondId::TOP, pt(3, 1, 2)).unwrap().unwrap();
+        let both = arena.and_cond(c, d).unwrap().unwrap();
         assert_eq!(arena.resolve(both).atoms().len(), 2);
     }
 
@@ -415,6 +458,7 @@ mod tests {
         for i in 0..5 {
             c = arena
                 .and_atom(c, pt(i, i as usize, i as usize + 1))
+                .unwrap()
                 .unwrap();
         }
         let resolved = arena.resolve(c);
@@ -427,26 +471,60 @@ mod tests {
     fn drop_branch_strips_literals() {
         let arena = Interner::new(8);
         let lit = Atom::BranchTrue { var: VarId::new(3) };
-        let c = arena.and_atom(CondId::TOP, lit).unwrap();
-        let mixed = arena.and_atom(c, pt(1, 0, 1)).unwrap();
-        let stripped = arena.drop_branch(mixed);
+        let c = arena.and_atom(CondId::TOP, lit).unwrap().unwrap();
+        let mixed = arena.and_atom(c, pt(1, 0, 1)).unwrap().unwrap();
+        let stripped = arena.drop_branch(mixed).unwrap();
         assert_eq!(arena.resolve(stripped).atoms(), &[pt(1, 0, 1)]);
         // Pure-literal conds strip to top.
-        assert!(arena.cond_is_top(arena.drop_branch(c)));
+        assert!(arena.cond_is_top(arena.drop_branch(c).unwrap()));
     }
 
     #[test]
     fn kill_builds_canonical_dead_sets() {
         let arena = Interner::new(8);
-        let a = arena.kill(DeadId::EMPTY, VarId::new(2));
-        let b = arena.kill(a, VarId::new(1));
-        let c = arena.kill(arena.kill(DeadId::EMPTY, VarId::new(2)), VarId::new(1));
+        let a = arena.kill(DeadId::EMPTY, VarId::new(2)).unwrap();
+        let b = arena.kill(a, VarId::new(1)).unwrap();
+        let c = arena
+            .kill(
+                arena.kill(DeadId::EMPTY, VarId::new(2)).unwrap(),
+                VarId::new(1),
+            )
+            .unwrap();
         assert_eq!(b, c, "insertion order does not matter");
         // Killing an already-dead var is the identity.
-        assert_eq!(arena.kill(b, VarId::new(2)), b);
-        let g = arena.kill_globals(b);
+        assert_eq!(arena.kill(b, VarId::new(2)), Ok(b));
+        let g = arena.kill_globals(b).unwrap();
         assert!(arena.resolve_dead(g).globals);
-        assert_eq!(arena.kill_globals(b), g);
+        assert_eq!(arena.kill_globals(b), Ok(g));
+    }
+
+    #[test]
+    fn arena_overflow_returns_capacity_error() {
+        // Capacity 3: slot 0 is ⊤, leaving room for two distinct conds.
+        let arena = Interner::with_max_ids(8, 3);
+        let a = arena.and_atom(CondId::TOP, pt(1, 0, 1)).unwrap().unwrap();
+        let b = arena.and_atom(CondId::TOP, pt(2, 0, 2)).unwrap().unwrap();
+        assert_ne!(a, b);
+        // Re-interning existing values still succeeds at capacity.
+        assert_eq!(arena.and_atom(CondId::TOP, pt(1, 0, 1)), Ok(Some(a)));
+        let c1 = Cond::top().and(pt(1, 0, 1), 8).unwrap();
+        assert_eq!(arena.cond(&c1), Ok(a));
+        // A third distinct cond overflows: an error, not a wrapped id.
+        assert_eq!(arena.and_atom(CondId::TOP, pt(3, 0, 3)), Err(ArenaFull));
+        assert_eq!(arena.and_atom(a, pt(2, 0, 2)), Err(ArenaFull));
+        // The dead-set table is capped independently: ids 1 and 2 fit,
+        // the third distinct set errors.
+        let d1 = arena.kill(DeadId::EMPTY, VarId::new(1)).unwrap();
+        let d2 = arena.kill(d1, VarId::new(2)).unwrap();
+        assert_ne!(d1, d2);
+        assert_eq!(arena.kill(d1, VarId::new(3)), Err(ArenaFull));
+        // Overflow is not memoized: the same op against a roomier arena
+        // succeeds.
+        let roomy = Interner::new(8);
+        assert!(roomy.and_atom(CondId::TOP, pt(3, 0, 3)).is_ok());
+        // Stats still reflect only the successful interns.
+        assert_eq!(arena.stats().conds, 3);
+        assert_eq!(arena.stats().deads, 3);
     }
 
     #[test]
@@ -457,8 +535,14 @@ mod tests {
                 let arena = &arena;
                 scope.spawn(move || {
                     for i in 0..32 {
-                        let id = arena.and_atom(CondId::TOP, pt(i, t, i as usize)).unwrap();
-                        assert_eq!(arena.and_atom(CondId::TOP, pt(i, t, i as usize)), Some(id));
+                        let id = arena
+                            .and_atom(CondId::TOP, pt(i, t, i as usize))
+                            .unwrap()
+                            .unwrap();
+                        assert_eq!(
+                            arena.and_atom(CondId::TOP, pt(i, t, i as usize)),
+                            Ok(Some(id))
+                        );
                     }
                 });
             }

@@ -57,7 +57,7 @@ pub use constraint::Cond;
 pub use cover::{AliasCover, Cluster, ClusterOrigin};
 pub use engine::{ClusterEngine, EngineCx, EngineOptions, NoOracle, PtsOracle};
 pub use fsci_cache::FsciCacheStats;
-pub use intern::{CondId, DeadId, Interner, InternerStats};
+pub use intern::{ArenaFull, CondId, DeadId, Interner, InternerStats};
 pub use parallel::ClusterReport;
 pub use profile::{Phase, PhaseSnapshot, PhaseStats};
 pub use relevant::{relevant_statements, RelevantSet};

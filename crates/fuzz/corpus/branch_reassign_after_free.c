@@ -1,0 +1,12 @@
+int *p;
+int *q;
+int *r;
+int c;
+int x;
+void main() {
+  p = malloc();
+  q = malloc();
+  r = malloc();
+  if (c) { free(p); p = q; } else { free(p); p = r; }
+  x = *p;
+}

@@ -1,0 +1,6 @@
+int g;
+void main() {
+  int *a, *b;
+  a = &g;
+  b = a;
+}

@@ -1,0 +1,10 @@
+int *p;
+int *q;
+int x;
+void main() {
+  p = malloc();
+  q = malloc();
+  free(p);
+  p = q;
+  x = *p;
+}

@@ -1,0 +1,53 @@
+int g0_0;
+int g0_1;
+int *g1_0;
+int *g1_1;
+int **g2_0;
+int **g2_1;
+int c0;
+int c1;
+void f0() {
+  int s0;
+  g1_1 = &g0_1;
+  if (c1) { g1_1 = g1_0; } else { g1_0 = &c0; }
+  g1_0 = g1_0;
+  g1_0 = &c0;
+  *g2_0 = g1_0;
+  if (c1) { g2_1 = g2_0; } else { *g2_0 = g1_1; }
+  while (c0) { c0 = c0 - 1; g2_0 = &g1_0; }
+  g2_0 = &g1_1;
+  while (c1) { c1 = c1 - 1; g1_1 = g1_1; }
+  *g2_1 = g1_0;
+  if (c1) { g2_0 = &g1_0; } else { g2_1 = g2_1; }
+  g1_1 = *g2_1;
+}
+void f1() {
+  int *t1_0, *t1_1;
+  int s1;
+  t1_0 = &g0_1;
+  t1_1 = g1_1;
+  if (c0) { g1_1 = NULL; } else { g2_0 = &g1_0; }
+  f1();
+  g2_0 = &t1_1;
+  t1_0 = t1_1;
+  f0();
+  g2_1 = &g1_1;
+  f0();
+  while (c0) { c0 = c0 - 1; *g2_0 = g1_1; }
+  if (c0) { g2_1 = malloc(); } else { c1 = *g1_0; }
+  c1 = *g1_1;
+}
+void main() {
+  f1();
+  g1_0 = &g0_0;
+  g1_0 = *g2_0;
+  if (c1) { c0 = c0 + 1; } else { g1_0 = g1_1; }
+  g2_0 = g2_1;
+  g2_0 = malloc();
+  f0();
+  free(g1_0);
+  if (c0) { g1_0 = *g2_1; } else { c0 = c0 + 1; }
+  *g2_0 = g1_1;
+  if (c0) { free(g2_0); } else { g1_1 = NULL; }
+  *g1_1 = g0_1;
+}

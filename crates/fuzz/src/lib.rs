@@ -1,0 +1,622 @@
+//! Differential and metamorphic fuzzing for the bootstrapped cascade.
+//!
+//! The harness generates random Mini-C programs (via
+//! [`bootstrap_workloads::minic`]), runs every engine configuration the
+//! workspace ships — naive vs difference-propagation Andersen, interned vs
+//! uninterned FSCS walks, sequential vs LPT-parallel cluster processing —
+//! and asserts the soundness lattice that makes bootstrapping correct:
+//!
+//! * naive and delta Andersen compute *identical* points-to sets;
+//! * Andersen points-to sets refine (are contained in) the Steensgaard
+//!   pointee classes, and Andersen may-alias never crosses a Steensgaard
+//!   partition;
+//! * FSCS must-alias implies FSCS may-alias implies Andersen may-alias
+//!   implies one shared Steensgaard partition;
+//! * FSCS value sources and FSCI points-to facts stay inside the
+//!   Steensgaard candidate sets the walks are seeded from;
+//! * interned and uninterned walks produce identical summary snapshots;
+//! * cluster reports are identical across thread counts (modulo wall
+//!   time), and site queries / checker reports are identical across fresh
+//!   sessions and across `andersen_threshold` settings.
+//!
+//! Any violation (or panic) is shrunk by a ddmin-style reducer that
+//! removes whole functions, statements and globals while the failure
+//! reproduces; minimized reproducers land in `corpus/` and are replayed
+//! by `cargo test`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use bootstrap_analyses::andersen::{self, SolverOptions};
+use bootstrap_analyses::steensgaard;
+use bootstrap_checks::{run_checks, CheckReport, CheckerKind};
+use bootstrap_core::parallel::{process_clusters, process_clusters_parallel};
+use bootstrap_core::{
+    AnalysisBudget, ClusterEngine, ClusterReport, Config, EngineCx, EngineOptions, NoOracle,
+    Outcome, Session, Source,
+};
+use bootstrap_ir::{Program, VarId};
+use bootstrap_workloads::minic::{self, MiniCConfig, MiniCProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Cap on pointers queried per program point (site queries are the
+/// expensive part; the lattice checks stay O(cap²)).
+const QUERY_CAP: usize = 16;
+/// Per-cluster step budget for summary computation and cluster reports.
+const STEPS_PER_CLUSTER: u64 = 50_000;
+
+/// Session configuration with trimmed step budgets. Generated programs
+/// are tiny; the defaults (millions of steps) only matter on adversarial
+/// reproducers like `corpus/recursive_summary_blowup.c`, where burning
+/// the full budget per query makes replay crawl. Every invariant is
+/// budget-parametric: both sides of each differential get the same
+/// budgets, and timeout parity is itself asserted.
+fn base_config() -> Config {
+    Config {
+        oracle_step_budget: 50_000,
+        query_step_budget: 100_000,
+        ..Config::default()
+    }
+}
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Base seed; each iteration derives its own generator seed from it.
+    pub seed: u64,
+    /// Number of random programs to generate and check.
+    pub iters: u64,
+    /// When set, minimized reproducers are written here as `.c` files.
+    pub corpus_dir: Option<PathBuf>,
+    /// Shrink failing programs with the ddmin reducer before reporting.
+    pub reduce: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            iters: 200,
+            corpus_dir: None,
+            reduce: true,
+        }
+    }
+}
+
+/// One invariant violation, carrying the (minimized) reproducer.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Iteration index that produced the failing program.
+    pub iteration: u64,
+    /// Stable violation class (e.g. `"panic"`, `"walks-disagree"`).
+    pub kind: &'static str,
+    /// Human-readable description of what diverged.
+    pub detail: String,
+    /// Minimized Mini-C source reproducing the violation.
+    pub source: String,
+}
+
+/// The result of a fuzzing run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iters: u64,
+    /// All violations found (empty on a clean run).
+    pub violations: Vec<Violation>,
+}
+
+/// One invariant violation detected while checking a single program.
+#[derive(Clone, Debug)]
+pub struct InvariantViolation {
+    /// Stable violation class.
+    pub kind: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+fn viol(kind: &'static str, detail: String) -> Result<(), InvariantViolation> {
+    Err(InvariantViolation { kind, detail })
+}
+
+/// Derives the generator knobs for one iteration. Deterministic in
+/// `(seed, iter)` so any failure is reproducible from the CLI flags.
+pub fn config_for(seed: u64, iter: u64) -> MiniCConfig {
+    let mut rng =
+        StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(iter));
+    MiniCConfig {
+        seed: rng.next_u64(),
+        max_ptr_depth: 1 + rng.gen_range(0..3usize),
+        globals_per_level: 2 + rng.gen_range(0..4usize),
+        n_funcs: 1 + rng.gen_range(0..4usize),
+        stmts_per_func: 3 + rng.gen_range(0..10usize),
+        addr_taken_locals: rng.gen_bool(0.7),
+        recursion: rng.gen_bool(0.5),
+        free_null_decoys: rng.gen_bool(0.7),
+        control_flow: rng.gen_bool(0.8),
+        multi_decls: rng.gen_bool(0.5),
+    }
+}
+
+/// Sorted `Debug` rendering — the common denominator for comparing
+/// result collections whose element types lack `Ord`.
+fn sorted_dbg<T: std::fmt::Debug>(items: &[T]) -> Vec<String> {
+    let mut v: Vec<String> = items.iter().map(|x| format!("{x:?}")).collect();
+    v.sort();
+    v
+}
+
+/// The thread-count-independent part of a [`ClusterReport`].
+fn report_key(r: &ClusterReport) -> String {
+    format!(
+        "cluster {} size {} relevant {} entries {} tuples {} timed_out {}",
+        r.cluster_id, r.size, r.relevant_stmts, r.summary_entries, r.summary_tuples, r.timed_out
+    )
+}
+
+/// The comparison key of a [`CheckReport`]: every finding field except
+/// the wall-clock phase timings.
+fn findings_key(r: &CheckReport) -> Vec<String> {
+    r.findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{:?} {:?} {} {:?} {:?} {} {:?} {}",
+                f.checker, f.severity, f.func, f.loc, f.line, f.var, f.object, f.message
+            )
+        })
+        .collect()
+}
+
+/// Parses `src` and checks every cross-engine invariant on it.
+///
+/// A parse failure is reported as a `"parse-error"` violation — generated
+/// programs must always parse, and corpus replay treats it specially for
+/// deliberately invalid entries.
+pub fn check_source(src: &str) -> Result<(), InvariantViolation> {
+    let mut program = match bootstrap_ir::parse_program(src) {
+        Ok(p) => p,
+        Err(e) => return viol("parse-error", e.to_string()),
+    };
+    steensgaard::resolve_and_devirtualize(&mut program);
+    check_program(&program)
+}
+
+/// Runs [`check_source`] under a panic guard: any panic in the cascade
+/// becomes a `"panic"` violation instead of unwinding the caller.
+pub fn check_guarded(src: &str) -> Option<InvariantViolation> {
+    match panic::catch_unwind(AssertUnwindSafe(|| check_source(src))) {
+        Ok(Ok(())) => None,
+        Ok(Err(v)) => Some(v),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Some(InvariantViolation {
+                kind: "panic",
+                detail: msg,
+            })
+        }
+    }
+}
+
+fn check_program(program: &Program) -> Result<(), InvariantViolation> {
+    let steens = steensgaard::analyze(program);
+    let naive = andersen::analyze_with(
+        program,
+        SolverOptions {
+            naive: true,
+            ..SolverOptions::default()
+        },
+    );
+    let delta = andersen::analyze_with(program, SolverOptions::default());
+
+    // Strict aliasing semantics for the lattice checks: entry garbage and
+    // NULL-sharing are deliberate over-approximations that sit *outside*
+    // the Steensgaard partition containment argument.
+    let strict = Config {
+        alias_on_entry_garbage: false,
+        alias_on_null: false,
+        ..base_config()
+    };
+    let s1 = Session::new(program, strict.clone());
+    let s2 = Session::new(program, strict);
+    let pointers: Vec<VarId> = s1.pointers().to_vec();
+
+    // --- Andersen oracle + Steensgaard containment -----------------------
+    for &v in &pointers {
+        let a = sorted_dbg(&naive.points_to_vars(v));
+        let b = sorted_dbg(&delta.points_to_vars(v));
+        if a != b {
+            return viol(
+                "andersen-naive-vs-delta",
+                format!(
+                    "pts({}) naive {:?} != delta {:?}",
+                    program.var(v).name(),
+                    a,
+                    b
+                ),
+            );
+        }
+        let class = steens.points_to_vars(v);
+        for o in delta.points_to_vars(v) {
+            if !class.contains(&o) {
+                return viol(
+                    "andersen-outside-steensgaard",
+                    format!(
+                        "Andersen pts({}) contains {} outside its Steensgaard pointee class",
+                        program.var(v).name(),
+                        program.var(o).name()
+                    ),
+                );
+            }
+        }
+    }
+    for (i, &p) in pointers.iter().enumerate() {
+        for &q in &pointers[i + 1..] {
+            if delta.may_alias(p, q) && steens.partition_key(p) != steens.partition_key(q) {
+                return viol(
+                    "andersen-alias-crosses-partition",
+                    format!(
+                        "Andersen may_alias({}, {}) across Steensgaard partitions",
+                        program.var(p).name(),
+                        program.var(q).name()
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- FSCS site queries at main's exit --------------------------------
+    if let Some(main) = program.func_named("main") {
+        let exit = program.func(main).exit();
+        let az1 = s1.analyzer();
+        let az2 = s2.analyzer();
+        let queried: Vec<VarId> = pointers.iter().copied().take(QUERY_CAP).collect();
+
+        for &p in &queried {
+            let name = program.var(p).name();
+            let r1 = s1.query_at_loc(&az1, p, exit);
+            let r2 = s2.query_at_loc(&az2, p, exit);
+            match (r1, r2) {
+                (Outcome::Done(a), Outcome::Done(b)) => {
+                    let ka = sorted_dbg(&a);
+                    let kb = sorted_dbg(&b);
+                    if ka != kb {
+                        return viol(
+                            "query-nondeterminism",
+                            format!(
+                                "sources({name}) differ across fresh sessions: {ka:?} vs {kb:?}"
+                            ),
+                        );
+                    }
+                    let class = steens.points_to_vars(p);
+                    for (source, _) in &a {
+                        if let Source::Addr(o) = source {
+                            if !class.contains(o) {
+                                return viol(
+                                    "fscs-source-outside-steensgaard",
+                                    format!(
+                                        "source &{} of {name} outside its Steensgaard pointee class",
+                                        program.var(*o).name()
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                (Outcome::TimedOut, Outcome::TimedOut) => {}
+                _ => {
+                    return viol(
+                        "query-timeout-nondeterminism",
+                        format!("sources({name}) timed out in one session but not the other"),
+                    )
+                }
+            }
+            if let Some(pts) = az1.fsci_pts(p, exit) {
+                let class = steens.points_to_vars(p);
+                for o in pts {
+                    if !class.contains(&o) {
+                        return viol(
+                            "fsci-outside-steensgaard",
+                            format!(
+                                "FSCI pts({name}) contains {} outside its Steensgaard pointee class",
+                                program.var(o).name()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // must ⇒ may ⇒ Andersen may ⇒ one Steensgaard partition.
+        for (i, &p) in queried.iter().enumerate() {
+            for &q in &queried[i + 1..] {
+                let pn = program.var(p).name();
+                let qn = program.var(q).name();
+                let may = az1.may_alias(p, q, exit);
+                let must = az1.must_alias(p, q, exit);
+                if let (Outcome::Done(true), Outcome::Done(m)) = (&must, &may) {
+                    if !m {
+                        return viol(
+                            "must-without-may",
+                            format!("must_alias({pn}, {qn}) holds but may_alias denies it"),
+                        );
+                    }
+                }
+                if let Outcome::Done(true) = may {
+                    if steens.partition_key(p) != steens.partition_key(q) {
+                        return viol(
+                            "fscs-alias-crosses-partition",
+                            format!("FSCS may_alias({pn}, {qn}) across Steensgaard partitions"),
+                        );
+                    }
+                }
+                if let Outcome::Done(true) = must {
+                    // Entry-garbage must-aliases have no Andersen image;
+                    // only check pairs Andersen assigns points-to sets to.
+                    if !delta.points_to_vars(p).is_empty()
+                        && !delta.points_to_vars(q).is_empty()
+                        && !delta.may_alias(p, q)
+                    {
+                        return viol(
+                            "must-without-andersen-may",
+                            format!("must_alias({pn}, {qn}) holds but Andersen denies may-alias"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Interned vs uninterned walks, per cluster -----------------------
+    let cx = EngineCx {
+        program,
+        steens: s1.steens(),
+        cg: s1.callgraph(),
+        index: s1.relevant_index(),
+    };
+    for cluster in s1.cover().clusters() {
+        let run = |uninterned: bool| -> Option<String> {
+            let mut eng = ClusterEngine::with_engine_options(
+                cx,
+                cluster.members.clone(),
+                EngineOptions {
+                    uninterned,
+                    ..EngineOptions::default()
+                },
+            );
+            let mut budget = AnalysisBudget::steps(STEPS_PER_CLUSTER);
+            match eng.compute_all_summaries(cx, &NoOracle, &mut budget) {
+                Outcome::Done(()) => Some(format!("{:?}", eng.summary_snapshot())),
+                Outcome::TimedOut => None,
+            }
+        };
+        if let (Some(interned), Some(uninterned)) = (run(false), run(true)) {
+            if interned != uninterned {
+                return viol(
+                    "walks-disagree",
+                    format!(
+                        "cluster {} summary snapshots differ: interned {} vs uninterned {}",
+                        cluster.id, interned, uninterned
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- Sequential vs LPT-parallel cluster processing -------------------
+    let s_seq = Session::new(program, base_config());
+    let seq: Vec<String> = process_clusters(&s_seq, s_seq.cover().clusters(), STEPS_PER_CLUSTER)
+        .iter()
+        .map(report_key)
+        .collect();
+    for threads in [2usize, 4] {
+        let s_par = Session::new(program, base_config());
+        let par: Vec<String> =
+            process_clusters_parallel(&s_par, s_par.cover().clusters(), threads, STEPS_PER_CLUSTER)
+                .iter()
+                .map(report_key)
+                .collect();
+        if seq != par {
+            return viol(
+                "parallel-divergence",
+                format!("cluster reports differ at {threads} threads: {seq:?} vs {par:?}"),
+            );
+        }
+    }
+
+    // --- Checker determinism + threshold metamorphic invariance ----------
+    let c1 = run_checks(&Session::new(program, base_config()), &CheckerKind::ALL);
+    let c2 = run_checks(&Session::new(program, base_config()), &CheckerKind::ALL);
+    let k1 = findings_key(&c1);
+    if k1 != findings_key(&c2) {
+        return viol(
+            "checker-nondeterminism",
+            format!("findings differ across fresh sessions: {k1:?}"),
+        );
+    }
+    let low = Config {
+        andersen_threshold: 1,
+        ..base_config()
+    };
+    let c3 = run_checks(&Session::new(program, low), &CheckerKind::ALL);
+    let k3 = findings_key(&c3);
+    if k1 != k3 {
+        return viol(
+            "checker-threshold-sensitivity",
+            format!("findings change with andersen_threshold: {k1:?} vs {k3:?}"),
+        );
+    }
+
+    Ok(())
+}
+
+/// Shrinks `seed_prog` while `still_fails(render)` holds, removing whole
+/// helper functions, then single statements, then single globals, to a
+/// fixpoint (ddmin at the generator's statement granularity; candidates
+/// that stop failing — including ones that no longer parse, unless the
+/// failure *is* a parse error — are rejected).
+pub fn reduce_program(
+    seed_prog: &MiniCProgram,
+    still_fails: &dyn Fn(&str) -> bool,
+) -> MiniCProgram {
+    let mut cur = seed_prog.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < cur.funcs.len() {
+            if cur.funcs[i].name == "main" {
+                i += 1;
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand.funcs.remove(i);
+            if still_fails(&cand.render()) {
+                cur = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        for fi in 0..cur.funcs.len() {
+            let mut i = 0;
+            while i < cur.funcs[fi].body.len() {
+                let mut cand = cur.clone();
+                cand.funcs[fi].body.remove(i);
+                if still_fails(&cand.render()) {
+                    cur = cand;
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let mut i = 0;
+        while i < cur.globals.len() {
+            let mut cand = cur.clone();
+            cand.globals.remove(i);
+            if still_fails(&cand.render()) {
+                cur = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    cur
+}
+
+/// Runs the full differential campaign: `iters` random programs, every
+/// violation shrunk and (optionally) written to the corpus directory.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    // Panics are expected evidence here, not test failures: silence the
+    // default hook for the duration so a campaign doesn't spray backtraces.
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let mut violations = Vec::new();
+    for iteration in 0..config.iters {
+        let prog = minic::generate(&config_for(config.seed, iteration));
+        let Some(found) = check_guarded(&prog.render()) else {
+            continue;
+        };
+        let kind = found.kind;
+        let minimized = if config.reduce {
+            reduce_program(&prog, &|src| {
+                check_guarded(src).is_some_and(|w| w.kind == kind)
+            })
+        } else {
+            prog.clone()
+        };
+        let source = minimized.render();
+        if let Some(dir) = &config.corpus_dir {
+            let _ = fs::create_dir_all(dir);
+            let name = format!("seed{}_iter{}_{}.c", config.seed, iteration, kind);
+            let _ = fs::write(dir.join(name), &source);
+        }
+        violations.push(Violation {
+            iteration,
+            kind,
+            detail: found.detail,
+            source,
+        });
+    }
+    panic::set_hook(prev);
+    FuzzReport {
+        iters: config.iters,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_for_is_deterministic_and_varied() {
+        let a = config_for(1, 0);
+        let b = config_for(1, 0);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let distinct: std::collections::HashSet<String> =
+            (0..16).map(|i| format!("{:?}", config_for(1, i))).collect();
+        assert!(distinct.len() > 8, "knobs barely vary: {}", distinct.len());
+    }
+
+    #[test]
+    fn clean_program_passes_all_invariants() {
+        let src = "int g; int *p; int *q; int x;
+             void main() { p = &g; q = p; x = *q; }";
+        assert!(check_source(src).is_ok());
+    }
+
+    #[test]
+    fn parse_failure_is_reported_not_panicked() {
+        let v = check_guarded("int broken(").expect("must fail");
+        assert_eq!(v.kind, "parse-error");
+    }
+
+    #[test]
+    fn reducer_shrinks_to_the_failing_line() {
+        // A synthetic predicate: "fails" iff the program still mentions
+        // the magic variable — the reducer must strip everything else.
+        let prog = minic::generate(&MiniCConfig::default());
+        let fails = |src: &str| src.contains("g0_0");
+        if !fails(&prog.render()) {
+            return; // this seed never mentions it; nothing to shrink
+        }
+        let small = reduce_program(&prog, &fails);
+        assert!(small.render().contains("g0_0"));
+        let before = prog.render().lines().count();
+        let after = small.render().lines().count();
+        assert!(after <= before, "reducer grew the program");
+        // Everything except main and the touched global should be gone.
+        assert_eq!(small.funcs.len(), 1, "helpers not removed: {:?}", small);
+    }
+
+    #[test]
+    fn short_campaign_on_fixed_seed_is_clean() {
+        let report = run_fuzz(&FuzzConfig {
+            seed: 7,
+            iters: 10,
+            corpus_dir: None,
+            reduce: true,
+        });
+        assert_eq!(report.iters, 10);
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:?}",
+            report
+                .violations
+                .iter()
+                .map(|v| (v.kind, &v.detail, &v.source))
+                .collect::<Vec<_>>()
+        );
+    }
+}

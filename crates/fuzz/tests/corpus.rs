@@ -1,0 +1,35 @@
+//! Replays every committed corpus entry through the full invariant
+//! checker. Entries named `invalid_*.c` are deliberately malformed and
+//! only have to fail *cleanly* (a parse-error diagnostic, never a panic);
+//! everything else must satisfy every cross-engine invariant.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn corpus_entries_replay_clean() {
+    let mut entries: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "c"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    for path in entries {
+        let name = path
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
+        let src = fs::read_to_string(&path).expect("readable corpus entry");
+        match bootstrap_fuzz::check_guarded(&src) {
+            None => {}
+            Some(v) if v.kind == "parse-error" && name.starts_with("invalid_") => {}
+            Some(v) => panic!("corpus entry {name}: {} — {}", v.kind, v.detail),
+        }
+    }
+}

@@ -9,6 +9,8 @@ pub enum Tok {
     Ident(String),
     /// An integer literal.
     Num(i64),
+    /// A string literal (contents, without the quotes).
+    Str(String),
     /// `(`
     LParen,
     /// `)`
@@ -55,6 +57,7 @@ impl fmt::Display for Tok {
         match self {
             Tok::Ident(s) => write!(f, "identifier `{s}`"),
             Tok::Num(n) => write!(f, "number `{n}`"),
+            Tok::Str(s) => write!(f, "string literal \"{s}\""),
             Tok::LParen => write!(f, "`(`"),
             Tok::RParen => write!(f, "`)`"),
             Tok::LBrace => write!(f, "`{{`"),
@@ -222,6 +225,39 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 });
                 col += (i - start) as u32;
             }
+            b'"' => {
+                let (sl, sc) = (line, col);
+                i += 1;
+                col += 1;
+                let start = i;
+                loop {
+                    if i >= bytes.len() || bytes[i] == b'\n' {
+                        return Err(LexError {
+                            msg: "unterminated string literal".into(),
+                            line: sl,
+                            col: sc,
+                        });
+                    }
+                    if bytes[i] == b'"' {
+                        break;
+                    }
+                    // Skip the character after a backslash so an escaped
+                    // quote does not terminate the literal.
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                        i += 1;
+                        col += 1;
+                    }
+                    i += 1;
+                    col += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Str(String::from_utf8_lossy(&bytes[start..i]).into_owned()),
+                    line: sl,
+                    col: sc,
+                });
+                i += 1; // closing quote
+                col += 1;
+            }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
@@ -235,11 +271,14 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 col += (i - start) as u32;
             }
             other => {
-                return Err(LexError {
-                    msg: format!("unexpected character `{}`", other as char),
-                    line,
-                    col,
-                });
+                // Decode the real character (the input is valid UTF-8)
+                // instead of casting the lead byte, which would mangle
+                // non-ASCII input in the diagnostic.
+                let msg = match src.get(i..).and_then(|s| s.chars().next()) {
+                    Some(c) if !c.is_control() => format!("unexpected character `{c}`"),
+                    _ => format!("unexpected byte 0x{other:02x}"),
+                };
+                return Err(LexError { msg, line, col });
             }
         }
     }
@@ -314,6 +353,36 @@ mod tests {
     fn rejects_unknown_character() {
         let err = tokenize("a # b").unwrap_err();
         assert!(err.to_string().contains('#'));
+    }
+
+    #[test]
+    fn lexes_string_literals() {
+        assert_eq!(
+            kinds(r#"x = "hi \"there\"";"#),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Str(r#"hi \"there\""#.into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = tokenize("x = \"oops;\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated string"), "{err}");
+        assert_eq!((err.line, err.col), (1, 5));
+        let err = tokenize("x = \"eof").unwrap_err();
+        assert!(err.to_string().contains("unterminated string"), "{err}");
+    }
+
+    #[test]
+    fn non_ascii_is_reported_cleanly() {
+        let err = tokenize("int caf\u{e9};").unwrap_err();
+        assert!(err.to_string().contains('\u{e9}'), "{err}");
+        assert_eq!(err.line, 1);
     }
 
     #[test]

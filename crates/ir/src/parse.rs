@@ -41,15 +41,29 @@ impl From<LexError> for ParseError {
 /// Returns a [`ParseError`] with position information on malformed input.
 pub fn parse(src: &str) -> Result<Ast, ParseError> {
     let toks = tokenize(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut ast = p.program()?;
     ast.source_lines = src.lines().count();
     Ok(ast)
 }
 
+/// Maximum statement/expression nesting depth. The parser recurses once
+/// per nesting level, so without a cap a pathological input like ten
+/// thousand `(`s overflows the stack — an abort no caller can catch. Each
+/// level costs several (large, unoptimized) frames, so the cap must leave
+/// ample headroom even on a 2 MiB test-thread stack in debug builds.
+const MAX_NESTING_DEPTH: usize = 96;
+
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    /// Current statement/expression nesting depth (see
+    /// [`MAX_NESTING_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -91,6 +105,21 @@ impl Parser {
         } else {
             self.err(format!("expected {tok}, found {}", self.peek()))
         }
+    }
+
+    /// Runs `f` one nesting level deeper, erroring out (instead of
+    /// overflowing the stack) past [`MAX_NESTING_DEPTH`].
+    fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_NESTING_DEPTH} levels"));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
@@ -335,6 +364,10 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.nested(Self::stmt_at_depth)
+    }
+
+    fn stmt_at_depth(&mut self) -> Result<Stmt, ParseError> {
         match self.peek().clone() {
             Tok::LBrace => Ok(Stmt::Block(self.block()?)),
             Tok::Semi => {
@@ -387,17 +420,20 @@ impl Parser {
             }
             _ if self.is_type_start() => {
                 let base = self.base_type()?;
-                let decls = self.declarator_list(base)?;
+                let mut decls = self.declarator_list(base)?;
                 self.expect(Tok::Semi)?;
+                // A single declarator lowers to one Decl; `int *a, *b;`
+                // lowers every declarator inside one block.
                 if decls.len() == 1 {
-                    Ok(Stmt::Decl(decls.into_iter().next().expect("one decl")))
-                } else {
-                    let lines = decls.iter().map(|d| d.line).collect();
-                    Ok(Stmt::Block(Block {
-                        stmts: decls.into_iter().map(Stmt::Decl).collect(),
-                        lines,
-                    }))
+                    if let Some(decl) = decls.pop() {
+                        return Ok(Stmt::Decl(decl));
+                    }
                 }
+                let lines = decls.iter().map(|d| d.line).collect();
+                Ok(Stmt::Block(Block {
+                    stmts: decls.into_iter().map(Stmt::Decl).collect(),
+                    lines,
+                }))
             }
             _ => {
                 let lhs = self.expr()?;
@@ -471,6 +507,10 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        self.nested(Self::unary_expr_at_depth)
+    }
+
+    fn unary_expr_at_depth(&mut self) -> Result<Expr, ParseError> {
         match self.peek() {
             Tok::Star => {
                 self.bump();
@@ -542,6 +582,11 @@ impl Parser {
             Tok::Num(n) => {
                 self.bump();
                 Ok(Expr::Num(n))
+            }
+            // String literals are opaque scalars to the pointer analysis.
+            Tok::Str(_) => {
+                self.bump();
+                Ok(Expr::Num(0))
             }
             Tok::LParen => {
                 self.bump();
@@ -673,6 +718,94 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn string_literals_parse_as_opaque_scalars() {
+        let ast = parse(r#"void main() { int x; x = "hi"; printf("%d", x); }"#).unwrap();
+        assert_eq!(ast.funcs[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn multi_declarator_statement_parses() {
+        // Regression: `int *a, *b;` in statement position must lower every
+        // declarator (one block of decls), not panic.
+        let ast = parse("void main() { int *a, *b; a = b; }").unwrap();
+        let f = &ast.funcs[0];
+        assert_eq!(f.body.stmts.len(), 2);
+        let Stmt::Block(b) = &f.body.stmts[0] else {
+            panic!("expected a block of decls, got {:?}", f.body.stmts[0]);
+        };
+        assert_eq!(b.stmts.len(), 2);
+        assert!(b.stmts.iter().all(|s| matches!(s, Stmt::Decl(_))));
+    }
+
+    #[test]
+    fn multi_declarator_with_initializers() {
+        let ast = parse("int g; void main() { int *a = &g, *b = a, c; }").unwrap();
+        let Stmt::Block(b) = &ast.funcs[0].body.stmts[0] else {
+            panic!("expected a block of decls");
+        };
+        assert_eq!(b.stmts.len(), 3);
+        let inits: Vec<bool> = b
+            .stmts
+            .iter()
+            .map(|s| matches!(s, Stmt::Decl(d) if d.init.is_some()))
+            .collect();
+        assert_eq!(inits, vec![true, true, false]);
+    }
+
+    #[test]
+    fn deep_expression_nesting_errors_instead_of_overflowing() {
+        let mut src = String::from("void main() { int x; x = ");
+        for _ in 0..20_000 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..20_000 {
+            src.push(')');
+        }
+        src.push_str("; }");
+        let err = parse(&src).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn deep_statement_nesting_errors_instead_of_overflowing() {
+        let mut src = String::from("void main() ");
+        for _ in 0..20_000 {
+            src.push('{');
+        }
+        for _ in 0..20_000 {
+            src.push('}');
+        }
+        let err = parse(&src).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn deep_unary_chain_errors_instead_of_overflowing() {
+        let mut src = String::from("int *p; void main() { int x; x = ");
+        for _ in 0..20_000 {
+            src.push('!');
+        }
+        src.push_str("p; }");
+        let err = parse(&src).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let mut src = String::from("void main() { int x; x = ");
+        for _ in 0..64 {
+            src.push('(');
+        }
+        src.push('1');
+        for _ in 0..64 {
+            src.push(')');
+        }
+        src.push_str("; }");
+        assert!(parse(&src).is_ok());
     }
 
     #[test]

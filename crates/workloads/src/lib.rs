@@ -28,8 +28,10 @@
 pub mod buggy;
 pub mod figures;
 pub mod generator;
+pub mod minic;
 pub mod presets;
 
 pub use buggy::{BuggyConfig, BuggyProgram, ExpectedDefect};
 pub use generator::{generate, BigPartition, GenConfig};
+pub use minic::{MiniCConfig, MiniCFunc, MiniCProgram};
 pub use presets::{PaperRow, Preset};
