@@ -86,6 +86,7 @@ fn time_engine(
                 path_sensitive,
                 uninterned,
                 arena: None,
+                fault: None,
             },
         );
         let mut budget = AnalysisBudget::steps(BUDGET_STEPS);

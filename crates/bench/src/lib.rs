@@ -109,7 +109,7 @@ pub fn run_row(preset: &Preset, profile: Profile) -> RowResult {
             bootstrap_core::AnalysisBudget::steps_and_wall(u64::MAX, profile.baseline_cap()),
         )
     });
-    let unclustered = (!baseline_report.timed_out).then_some(baseline_wall);
+    let unclustered = baseline_report.degraded.is_none().then_some(baseline_wall);
     drop(analyzer);
 
     // Columns 7-9: FSCS on Steensgaard partitions.

@@ -30,7 +30,8 @@ mod report;
 use std::collections::{HashMap, HashSet};
 
 use bootstrap_core::{
-    Analyzer, Cond, FsciCacheStats, InternerStats, Outcome, PhaseSnapshot, Session, Source,
+    Analyzer, Cond, DegradeReason, FsciCacheStats, InternerStats, PhaseSnapshot, Precision,
+    Session, Source,
 };
 use bootstrap_ir::{Loc, Program, Stmt, VarId, VarKind};
 
@@ -116,6 +117,12 @@ pub struct Finding {
     pub object: Option<String>,
     /// Human-readable description.
     pub message: String,
+    /// Confidence tier: the coarsest precision ladder tier consulted for
+    /// any site resolution this finding is built from. [`Precision::Fscs`]
+    /// findings are full-precision; coarser tiers over-approximate, so the
+    /// finding may be a false positive of the degradation (never a missed
+    /// defect).
+    pub precision: Precision,
 }
 
 /// Per-checker work counters.
@@ -146,9 +153,36 @@ pub struct CheckReport {
     pub interner: InternerStats,
     /// Per-phase wall time and step counters accumulated by the session.
     pub phases: PhaseSnapshot,
-    /// Site queries that exhausted their step budget (their sites are
-    /// skipped — a source of missed defects, never of false positives).
-    pub timed_out_queries: usize,
+    /// Per-tier and per-reason accounting of the batch's site resolutions.
+    pub degrade: DegradeSummary,
+}
+
+/// How the precision ladder answered a checker batch's site queries: one
+/// count per tier (unique `(pointer, loc)` resolutions, memoized across
+/// checkers) plus the distinct degradation reasons observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradeSummary {
+    /// Resolutions answered at full FSCS precision.
+    pub fscs_queries: usize,
+    /// Resolutions degraded to the Andersen tier.
+    pub andersen_queries: usize,
+    /// Resolutions degraded to the Steensgaard tier.
+    pub steensgaard_queries: usize,
+    /// Distinct degradation reasons with occurrence counts, sorted by
+    /// reason.
+    pub reasons: Vec<(DegradeReason, usize)>,
+}
+
+impl DegradeSummary {
+    /// Resolutions that fell below full precision.
+    pub fn degraded_queries(&self) -> usize {
+        self.andersen_queries + self.steensgaard_queries
+    }
+
+    /// Total resolutions across all tiers.
+    pub fn total_queries(&self) -> usize {
+        self.fscs_queries + self.degraded_queries()
+    }
 }
 
 /// A dereference or free site.
@@ -158,8 +192,10 @@ struct Site {
     loc: Loc,
 }
 
-/// One resolved site: the satisfiable sources, or `None` on a timeout.
-type Resolution = Option<Vec<(Source, Cond)>>;
+/// One resolved site: the sources and the ladder tier that produced them.
+/// Every site resolves — degraded answers are consumed at lower confidence
+/// instead of being dropped.
+type Resolution = (Vec<(Source, Cond)>, Precision);
 
 /// Memoizing wrapper around [`Session::query_at_loc`]: one resolution per
 /// `(pointer, loc)` pair for the whole batch.
@@ -167,22 +203,44 @@ struct Resolver<'a, 'p> {
     session: &'a Session<'p>,
     az: Analyzer<'a>,
     resolved: HashMap<(VarId, Loc), Resolution>,
-    timeouts: usize,
+    /// Unique resolutions per tier, [`Precision::ALL`] order.
+    tiers: [usize; 3],
+    reasons: HashMap<DegradeReason, usize>,
+}
+
+fn tier_slot(p: Precision) -> usize {
+    match p {
+        Precision::Fscs => 0,
+        Precision::Andersen => 1,
+        Precision::Steensgaard => 2,
+    }
 }
 
 impl Resolver<'_, '_> {
-    fn sources(&mut self, ptr: VarId, loc: Loc) -> Option<&[(Source, Cond)]> {
+    fn sources(&mut self, ptr: VarId, loc: Loc) -> (&[(Source, Cond)], Precision) {
         if !self.resolved.contains_key(&(ptr, loc)) {
-            let resolved = match self.session.query_at_loc(&self.az, ptr, loc) {
-                Outcome::Done(sources) => Some(sources),
-                Outcome::TimedOut => {
-                    self.timeouts += 1;
-                    None
-                }
-            };
-            self.resolved.insert((ptr, loc), resolved);
+            let ans = self.session.query_at_loc(&self.az, ptr, loc);
+            self.tiers[tier_slot(ans.precision)] += 1;
+            if let Some(r) = ans.reason {
+                *self.reasons.entry(r).or_insert(0) += 1;
+            }
+            self.resolved
+                .insert((ptr, loc), (ans.sources, ans.precision));
         }
-        self.resolved[&(ptr, loc)].as_deref()
+        let (sources, precision) = &self.resolved[&(ptr, loc)];
+        (sources.as_slice(), *precision)
+    }
+
+    fn summary(&self) -> DegradeSummary {
+        let mut reasons: Vec<(DegradeReason, usize)> =
+            self.reasons.iter().map(|(&r, &c)| (r, c)).collect();
+        reasons.sort();
+        DegradeSummary {
+            fscs_queries: self.tiers[0],
+            andersen_queries: self.tiers[1],
+            steensgaard_queries: self.tiers[2],
+            reasons,
+        }
     }
 }
 
@@ -228,7 +286,8 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
         session,
         az: session.analyzer(),
         resolved: HashMap::new(),
-        timeouts: 0,
+        tiers: [0; 3],
+        reasons: HashMap::new(),
     };
     let mut stats: HashMap<CheckerKind, CheckerStats> = CheckerKind::ALL
         .iter()
@@ -261,9 +320,7 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
         for site in &deref_sites {
             bump(&mut stats, CheckerKind::NullDeref, want_null);
             bump(&mut stats, CheckerKind::UseAfterFree, want_uaf);
-            let Some(sources) = rs.sources(site.ptr, site.loc) else {
-                continue;
-            };
+            let (sources, precision) = rs.sources(site.ptr, site.loc);
             if !want_null {
                 continue;
             }
@@ -290,20 +347,19 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
                 var,
                 object: None,
                 message,
+                precision,
             });
         }
     }
 
     // Freed heap objects per free site: the heap (allocation-site) objects
     // among the FSCS sources of the freed pointer at the free statement.
-    let mut freed: Vec<(Site, Vec<VarId>)> = Vec::new();
+    let mut freed: Vec<(Site, Vec<VarId>, Precision)> = Vec::new();
     if need_free {
         for site in &free_sites {
             bump(&mut stats, CheckerKind::UseAfterFree, want_uaf);
             bump(&mut stats, CheckerKind::DoubleFree, want_df);
-            let Some(sources) = rs.sources(site.ptr, site.loc) else {
-                continue;
-            };
+            let (sources, precision) = rs.sources(site.ptr, site.loc);
             let heap: Vec<VarId> = sources
                 .iter()
                 .filter_map(|(s, _)| match s {
@@ -314,29 +370,28 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
                 })
                 .collect();
             if !heap.is_empty() {
-                freed.push((*site, heap));
+                freed.push((*site, heap, precision));
             }
         }
     }
 
     // Forward may-execute-after sets, one per interesting free site.
     let mut follow: HashMap<Loc, HashSet<Loc>> = HashMap::new();
-    for (site, _) in &freed {
+    for (site, _, _) in &freed {
         follow
             .entry(site.loc)
             .or_insert_with(|| reachable_after(session, site.loc));
     }
 
     if want_uaf {
-        for (fsite, objs) in &freed {
+        for (fsite, objs, fprec) in &freed {
             let after = &follow[&fsite.loc];
             for dsite in &deref_sites {
                 if !after.contains(&dsite.loc) {
                     continue;
                 }
-                let Some(sources) = rs.sources(dsite.ptr, dsite.loc) else {
-                    continue;
-                };
+                let (sources, dprec) = rs.sources(dsite.ptr, dsite.loc);
+                let precision = (*fprec).max(dprec);
                 let hit: Vec<VarId> = sources
                     .iter()
                     .filter_map(|(s, _)| match s {
@@ -374,6 +429,7 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
                             site_label(program, fsite.loc),
                         ),
                         object: Some(object),
+                        precision,
                     });
                 }
             }
@@ -381,9 +437,9 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
     }
 
     if want_df {
-        for (i, (f1, objs1)) in freed.iter().enumerate() {
+        for (i, (f1, objs1, prec1)) in freed.iter().enumerate() {
             let after = &follow[&f1.loc];
-            for (j, (f2, objs2)) in freed.iter().enumerate() {
+            for (j, (f2, objs2, prec2)) in freed.iter().enumerate() {
                 // A site paired with itself is excluded: in the modeled
                 // semantics free nulls its operand, so a loop re-executing
                 // one free(p) re-frees nothing (p is NULL or reassigned).
@@ -422,6 +478,7 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
                             site_label(program, f1.loc),
                         ),
                         object: Some(object),
+                        precision: (*prec1).max(*prec2),
                     });
                 }
             }
@@ -447,7 +504,7 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
         cache: session.fsci_cache_stats(),
         interner: session.interner_stats(),
         phases: session.phase_stats(),
-        timed_out_queries: rs.timeouts,
+        degrade: rs.summary(),
     }
 }
 

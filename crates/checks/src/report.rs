@@ -1,5 +1,7 @@
 //! Diagnostic rendering: stable plain text and hand-rolled JSON.
 
+use bootstrap_core::Precision;
+
 use crate::{CheckReport, Finding};
 
 /// Renders findings as one diagnostic per line:
@@ -28,13 +30,19 @@ fn render_finding(f: &Finding, file: Option<&str>) -> String {
         },
         None => format!("{}@{}", f.func, f.loc.stmt),
     };
-    format!(
+    let mut line = format!(
         "{}[{}] {}: {}",
         f.severity.label(),
         f.checker.name(),
         pos,
         f.message
-    )
+    );
+    // Full-precision findings render exactly as before (golden-file
+    // stability); only degraded-confidence findings carry the tier tag.
+    if f.precision != Precision::Fscs {
+        line.push_str(&format!(" [confidence: {}]", f.precision.label()));
+    }
+    line
 }
 
 /// Renders the full report (findings, per-checker stats, cache counters)
@@ -63,7 +71,8 @@ pub fn render_json(report: &CheckReport, file: Option<&str>) -> String {
             Some(o) => out.push_str(&format!("\"object\": \"{}\", ", escape(o))),
             None => out.push_str("\"object\": null, "),
         }
-        out.push_str(&format!("\"message\": \"{}\"", escape(&f.message)));
+        out.push_str(&format!("\"message\": \"{}\", ", escape(&f.message)));
+        out.push_str(&format!("\"precision\": \"{}\"", f.precision.label()));
         out.push('}');
     }
     if !report.findings.is_empty() {
@@ -115,10 +124,27 @@ pub fn render_json(report: &CheckReport, file: Option<&str>) -> String {
         ));
     }
     out.push_str("\n  ],\n");
+    let d = &report.degrade;
     out.push_str(&format!(
-        "  \"timed_out_queries\": {}\n}}\n",
-        report.timed_out_queries
+        concat!(
+            "  \"degradation\": {{\"queries\": {{\"fscs\": {}, \"andersen\": {}, ",
+            "\"steensgaard\": {}}}, \"degraded_queries\": {}, \"reasons\": ["
+        ),
+        d.fscs_queries,
+        d.andersen_queries,
+        d.steensgaard_queries,
+        d.degraded_queries()
     ));
+    for (i, (reason, count)) in d.reasons.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"reason\": \"{}\", \"count\": {count}}}",
+            reason.label()
+        ));
+    }
+    out.push_str("]}\n}\n");
     out
 }
 

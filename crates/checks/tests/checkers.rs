@@ -1,7 +1,7 @@
 //! Behavioral tests for the client checkers.
 
 use bootstrap_checks::{run_checks, CheckReport, CheckerKind, Severity};
-use bootstrap_core::{Config, Session};
+use bootstrap_core::{Config, DegradeReason, Precision, Session};
 
 fn check(src: &str) -> CheckReport {
     let program = bootstrap_ir::parse_program(src).unwrap();
@@ -209,7 +209,48 @@ fn report_carries_stats_and_cache_counters() {
         .unwrap();
     assert_eq!(nd.findings, 1);
     assert!(nd.sites >= 1);
-    assert_eq!(r.timed_out_queries, 0);
+    assert_eq!(r.degrade.degraded_queries(), 0);
+    assert!(r.degrade.fscs_queries > 0);
+    assert!(r.degrade.reasons.is_empty());
+}
+
+#[test]
+fn degraded_budget_still_reports_seeded_uaf() {
+    // A step budget too small for any FSCS walk: every site resolution
+    // falls down the ladder, and the seeded use-after-free must still be
+    // reported — at degraded confidence, not dropped.
+    let src = "int *h; int *q; int x;
+         void main() { h = malloc(); q = h; free(h); x = *q; }";
+    let program = bootstrap_ir::parse_program(src).unwrap();
+    let session = Session::new(
+        &program,
+        Config {
+            query_step_budget: 1,
+            ..Config::default()
+        },
+    );
+    let r = run_checks(&session, &CheckerKind::ALL);
+    let uaf: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.checker == CheckerKind::UseAfterFree)
+        .collect();
+    assert_eq!(uaf.len(), 1, "findings: {:?}", r.findings);
+    assert_eq!(uaf[0].var, "q");
+    assert!(
+        uaf[0].precision > Precision::Fscs,
+        "expected a degraded-confidence finding, got {:?}",
+        uaf[0].precision
+    );
+    assert!(r.degrade.degraded_queries() > 0);
+    assert!(r
+        .degrade
+        .reasons
+        .iter()
+        .any(|(reason, _)| *reason == DegradeReason::BudgetSteps));
+    // The degraded tier tag reaches the text rendering.
+    let text = bootstrap_checks::render_text(&r, None);
+    assert!(text.contains("[confidence:"), "text: {text}");
 }
 
 #[test]

@@ -19,11 +19,14 @@
 //!
 //! `check` runs the flow- and context-sensitive client checkers
 //! ([`bootstrap_checks`]) and exits with status 1 when defects are found,
-//! 2 on usage/analysis errors, 0 when clean.
+//! 2 on usage/analysis errors, 0 when clean. With `--fail-on-degraded` a
+//! clean run whose queries fell below full FSCS precision exits 3, so CI
+//! can distinguish "verified clean" from "clean as far as we could see".
 //!
 //! `fuzz` takes no input file: it runs the differential fuzzing campaign
-//! ([`bootstrap_fuzz`]) over random Mini-C programs and exits with status
-//! 1 when any cross-engine invariant is violated.
+//! ([`bootstrap_fuzz`]) over random Mini-C programs (plus the
+//! fault-injection invariants with `--faults`) and exits with status 1
+//! when any cross-engine invariant is violated.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,7 +70,7 @@ commands:
   dot          emit Graphviz (--cfg FUNC | --callgraph)
   stats        print program and cascade statistics
   fuzz         differential fuzzing campaign (no input file;
-               [--seed N] [--iters N] [--corpus DIR])
+               [--seed N] [--iters N] [--corpus DIR] [--faults])
 
 options:
   --at FUNC          query at the exit of FUNC (default: main)
@@ -76,6 +79,10 @@ options:
   --vars a,b  /  --var p  /  --pair p,q   variable selectors
   --only a,b         checkers to run (null-deref, uaf, double-free)
   --format FMT       `check` output format: text (default) or json
+  --query-budget N   per-query step budget (sources, check, stats)
+  --fail-on-degraded exit 3 when `check` finds no defects but some
+                     queries fell below full FSCS precision
+  --faults           `fuzz`: also run the fault-injection invariants
 ";
 
 /// Parsed command-line options.
@@ -90,6 +97,8 @@ struct Opts {
     callgraph: bool,
     only: Option<String>,
     format: Option<String>,
+    query_budget: Option<u64>,
+    fail_on_degraded: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, CliError> {
@@ -107,6 +116,8 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
         callgraph: false,
         only: None,
         format: None,
+        query_budget: None,
+        fail_on_degraded: false,
     };
     let mut i = 2;
     while i < args.len() {
@@ -142,6 +153,15 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
                 i += 1;
                 opts.format = Some(take(args, i, "--format")?);
             }
+            "--query-budget" => {
+                i += 1;
+                let raw = take(args, i, "--query-budget")?;
+                opts.query_budget = Some(
+                    raw.parse()
+                        .map_err(|_| CliError(format!("invalid query budget `{raw}`")))?,
+                );
+            }
+            "--fail-on-degraded" => opts.fail_on_degraded = true,
             other => return err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -241,6 +261,7 @@ fn cmd_fuzz(args: &[String]) -> Result<CliOutput, CliError> {
                 i += 1;
                 config.corpus_dir = Some(std::path::PathBuf::from(take(args, i, "--corpus")?));
             }
+            "--faults" => config.faults = true,
             other => return err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -307,17 +328,40 @@ fn cmd_check(program: &Program, opts: &Opts) -> Result<CliOutput, CliError> {
             let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
             let _ = writeln!(out, "{}", interner_line(report.interner));
             phase_lines(&mut out, report.phases);
-            if report.timed_out_queries > 0 {
-                let _ = writeln!(out, "timed-out queries: {}", report.timed_out_queries);
-            }
+            degrade_lines(&mut out, &report.degrade);
             out
         }
         Some(other) => return err(format!("unknown format `{other}` (text|json)")),
     };
-    Ok(CliOutput {
-        exit_code: i32::from(!report.findings.is_empty()),
-        text,
-    })
+    let exit_code = if !report.findings.is_empty() {
+        1
+    } else if opts.fail_on_degraded && report.degrade.degraded_queries() > 0 {
+        3
+    } else {
+        0
+    };
+    Ok(CliOutput { exit_code, text })
+}
+
+fn degrade_lines(out: &mut String, d: &bootstrap_checks::DegradeSummary) {
+    let _ = writeln!(
+        out,
+        "query tiers: {} fscs, {} andersen, {} steensgaard",
+        d.fscs_queries, d.andersen_queries, d.steensgaard_queries
+    );
+    if d.degraded_queries() > 0 {
+        let reasons: Vec<String> = d
+            .reasons
+            .iter()
+            .map(|(reason, count)| format!("{} x{count}", reason.label()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "degraded queries: {} ({})",
+            d.degraded_queries(),
+            reasons.join(", ")
+        );
+    }
 }
 
 fn cache_line(stats: bootstrap_core::FsciCacheStats) -> String {
@@ -360,11 +404,15 @@ fn phase_lines(out: &mut String, snapshot: bootstrap_core::PhaseSnapshot) {
 }
 
 fn config_of(opts: &Opts) -> Config {
-    Config {
+    let mut config = Config {
         andersen_threshold: opts.threshold.unwrap_or(60),
         path_sensitive: opts.path_sensitive,
         ..Config::default()
+    };
+    if let Some(budget) = opts.query_budget {
+        config.query_step_budget = budget;
     }
+    config
 }
 
 fn lookup_var(program: &Program, name: &str) -> Result<VarId, CliError> {
@@ -477,7 +525,7 @@ fn cmd_sources(program: &Program, opts: &Opts) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Outcome::TimedOut => err("query exceeded its budget"),
+        Outcome::Degraded(reason) => err(format!("query degraded: {}", reason.label())),
     }
 }
 
@@ -500,7 +548,7 @@ fn cmd_alias(program: &Program, opts: &Opts, must: bool) -> Result<String, CliEr
             if must { "must_alias" } else { "may_alias" },
             program.func(loc.func).name()
         )),
-        Outcome::TimedOut => err("query exceeded its budget"),
+        Outcome::Degraded(reason) => err(format!("query degraded: {}", reason.label())),
     }
 }
 
@@ -563,12 +611,13 @@ fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
     let queries: usize = report.stats.iter().map(|s| s.queries).sum();
     let _ = writeln!(
         out,
-        "checker queries:      {queries} ({} timed out)",
-        report.timed_out_queries
+        "checker queries:      {queries} ({} degraded)",
+        report.degrade.degraded_queries()
     );
     let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
     let _ = writeln!(out, "{}", interner_line(session.interner_stats()));
     phase_lines(&mut out, session.phase_stats());
+    degrade_lines(&mut out, &report.degrade);
     Ok(out)
 }
 
@@ -678,6 +727,8 @@ mod tests {
         assert!(out.contains("bootstrapped cover:"));
         assert!(out.contains("fsci cache:"), "{out}");
         assert!(out.contains("checker queries:"), "{out}");
+        assert!(out.contains("degraded)"), "{out}");
+        assert!(out.contains("query tiers:"), "{out}");
         assert!(out.contains("interner:"), "{out}");
         for phase in ["steensgaard", "andersen", "relevant", "fscs"] {
             assert!(out.contains(&format!("phase {phase}:")), "{out}");
@@ -740,8 +791,48 @@ mod tests {
             "{}",
             out.text
         );
+        assert!(out.text.contains("\"degradation\""), "{}", out.text);
+        assert!(out.text.contains("\"degraded_queries\""), "{}", out.text);
+        assert!(out.text.contains("\"precision\": \"fscs\""), "{}", out.text);
         let e = run_args_full(&["check", &f, "--format", "yaml"]).unwrap_err();
         assert!(e.to_string().contains("unknown format"));
+    }
+
+    #[test]
+    fn fail_on_degraded_distinguishes_clean_from_unverified() {
+        // One free site, no defects: under a starvation budget every query
+        // degrades, and --fail-on-degraded turns "clean as far as we could
+        // see" into exit 3 (a defect would still win with exit 1).
+        let f = write_temp(
+            "degraded",
+            "int *h; int *q;
+             void main() { h = malloc(); q = h; free(q); }",
+        );
+        let clean = run_args_full(&["check", &f, "--fail-on-degraded"]).unwrap();
+        assert_eq!(clean.exit_code, 0, "{}", clean.text);
+        let starved =
+            run_args_full(&["check", &f, "--fail-on-degraded", "--query-budget", "1"]).unwrap();
+        assert_eq!(starved.exit_code, 3, "{}", starved.text);
+        assert!(
+            starved.text.contains("degraded queries:"),
+            "{}",
+            starved.text
+        );
+        let no_flag = run_args_full(&["check", &f, "--query-budget", "1"]).unwrap();
+        assert_eq!(no_flag.exit_code, 0, "{}", no_flag.text);
+    }
+
+    #[test]
+    fn degraded_findings_keep_exit_one_and_confidence_tag() {
+        let f = write_temp(
+            "degraded_uaf",
+            "int *h; int *q; int x;
+             void main() { h = malloc(); q = h; free(h); x = *q; }",
+        );
+        let out =
+            run_args_full(&["check", &f, "--fail-on-degraded", "--query-budget", "1"]).unwrap();
+        assert_eq!(out.exit_code, 1, "{}", out.text);
+        assert!(out.text.contains("[confidence:"), "{}", out.text);
     }
 
     #[test]
@@ -788,6 +879,13 @@ mod tests {
         let out = run_args_full(&["fuzz", "--seed", "3", "--iters", "5"]).unwrap();
         assert_eq!(out.exit_code, 0, "{}", out.text);
         assert!(out.text.contains("5 iterations, seed 3"), "{}", out.text);
+        assert!(out.text.contains("0 violation(s)"), "{}", out.text);
+    }
+
+    #[test]
+    fn fuzz_faulted_smoke_run_is_clean() {
+        let out = run_args_full(&["fuzz", "--seed", "3", "--iters", "3", "--faults"]).unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.text);
         assert!(out.text.contains("0 violation(s)"), "{}", out.text);
     }
 

@@ -10,7 +10,7 @@
 //! re-entry (the cyclic case) the oracle reports "unknown" and the engine
 //! falls back to Steensgaard candidates plus Definition 8 constraints.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
@@ -22,7 +22,9 @@ use bootstrap_ir::{FuncId, Loc, Stmt, VarId};
 use crate::budget::{AnalysisBudget, Outcome};
 use crate::constraint::Cond;
 use crate::cover::Cluster;
+use crate::degrade::PanicClass;
 use crate::engine::{ClusterEngine, EngineCx, EngineOptions, PtsOracle};
+use crate::intern::Interner;
 use crate::parallel::ClusterReport;
 use crate::profile::Phase;
 use crate::session::Session;
@@ -81,15 +83,43 @@ pub struct Analyzer<'s> {
     /// same `(variable, location)` is a genuine cyclic dependency (the
     /// paper's same-depth case) and degrades to the Steensgaard fallback.
     fsci_stack: RefCell<HashSet<(VarId, Loc)>>,
+    /// The arena engines of this analyzer intern into — the session's
+    /// shared interner, or a private (typically larger) one for a
+    /// degraded-cluster retry.
+    arena: Arc<Interner>,
+    /// Set when a query panicked mid-walk on this analyzer. A panic can
+    /// leave partially-fixpointed summaries behind, so the analyzer's FSCS
+    /// answers are no longer trustworthy: [`crate::Session::query_at_loc`]
+    /// skips tier 1 on a poisoned analyzer and the cluster drivers replace
+    /// poisoned analyzers outright.
+    poisoned: Cell<Option<PanicClass>>,
 }
 
 impl<'s> Analyzer<'s> {
     pub(crate) fn new(session: &'s Session<'s>) -> Self {
+        Self::with_arena(session, Arc::clone(session.interner()))
+    }
+
+    pub(crate) fn with_arena(session: &'s Session<'s>, arena: Arc<Interner>) -> Self {
         Self {
             session,
             engines: RefCell::new(HashMap::new()),
             fsci_cache: RefCell::new(HashMap::new()),
             fsci_stack: RefCell::new(HashSet::new()),
+            arena,
+            poisoned: Cell::new(None),
+        }
+    }
+
+    /// The panic class that poisoned this analyzer, if any.
+    pub fn poison_class(&self) -> Option<PanicClass> {
+        self.poisoned.get()
+    }
+
+    /// Marks this analyzer poisoned (a panic unwound through its state).
+    pub fn poison(&self, class: PanicClass) {
+        if self.poisoned.get().is_none() {
+            self.poisoned.set(Some(class));
         }
     }
 
@@ -114,7 +144,8 @@ impl<'s> Analyzer<'s> {
                 cond_cap: config.cond_cap,
                 path_sensitive: config.path_sensitive,
                 uninterned: false,
-                arena: Some(Arc::clone(self.session.interner())),
+                arena: Some(Arc::clone(&self.arena)),
+                fault: None,
             },
         );
         self.session
@@ -150,21 +181,35 @@ impl<'s> Analyzer<'s> {
         loc: Loc,
         budget: &mut AnalysisBudget,
     ) -> Outcome<Vec<(Source, Cond)>> {
+        self.with_partition_engine(p, |az, e| az.sources_with_engine(e, p, loc, budget))
+    }
+
+    /// Runs `f` with the partition engine of `p`, falling back to a
+    /// throwaway single-pointer engine when a caller already holds that
+    /// engine (recursive FSCI resolution within one partition, or a user
+    /// driving an engine directly with the analyzer as oracle) —
+    /// Algorithm 1's closure from `{p}` still pulls in everything that
+    /// affects `p`. A degraded run can leave partially-fixpointed
+    /// summaries in the engine, which a later walk would consult as if
+    /// converged — an unsound under-approximation — so the engine is
+    /// dropped from the cache on any non-`Done` outcome.
+    fn with_partition_engine<T>(
+        &self,
+        p: VarId,
+        f: impl FnOnce(&Self, &mut ClusterEngine) -> Outcome<T>,
+    ) -> Outcome<T> {
         let class = self.session.steens().partition_key(p);
         let engine = self.partition_engine(class);
-        // A caller may already hold this partition's engine (recursive FSCI
-        // resolution within one partition, or a user driving an engine
-        // directly with the analyzer as oracle); fall back to a throwaway
-        // single-pointer engine rather than panicking — Algorithm 1's
-        // closure from {p} still pulls in everything that affects p.
-        let result = match engine.try_borrow_mut() {
-            Ok(mut e) => self.sources_with_engine(&mut e, p, loc, budget),
-            Err(_) => {
-                let mut fresh = self.build_engine(vec![p]);
-                self.sources_with_engine(&mut fresh, p, loc, budget)
+        if let Ok(mut e) = engine.try_borrow_mut() {
+            let out = f(self, &mut e);
+            drop(e);
+            if !out.is_done() {
+                self.engines.borrow_mut().remove(&class);
             }
-        };
-        result
+            return out;
+        }
+        let mut fresh = self.build_engine(vec![p]);
+        f(self, &mut fresh)
     }
 
     /// The Algorithm 3 climb with an explicit engine — used both by
@@ -185,7 +230,7 @@ impl<'s> Analyzer<'s> {
 
         let local = match engine.local_sources(self.cx(), p, loc, self, budget) {
             Outcome::Done(v) => v,
-            Outcome::TimedOut => return Outcome::TimedOut,
+            Outcome::Degraded(r) => return Outcome::Degraded(r),
         };
         absorb(local, loc.func, &mut results, &mut queue, &mut seen);
 
@@ -198,7 +243,7 @@ impl<'s> Analyzer<'s> {
             for &cs in callers {
                 let vals = match engine.local_sources(self.cx(), q, cs, self, budget) {
                     Outcome::Done(v) => v,
-                    Outcome::TimedOut => return Outcome::TimedOut,
+                    Outcome::Degraded(r) => return Outcome::Degraded(r),
                 };
                 absorb(vals, cs.func, &mut results, &mut queue, &mut seen);
             }
@@ -218,18 +263,18 @@ impl<'s> Analyzer<'s> {
         let mut engine = self.build_engine(cluster.members.clone());
         let fscs_start = std::time::Instant::now();
         let steps_before = engine.steps();
-        let mut timed_out = matches!(
-            engine.compute_all_summaries(cx, self, &mut budget),
-            Outcome::TimedOut
-        );
-        if !timed_out {
+        let mut degraded = match engine.compute_all_summaries(cx, self, &mut budget) {
+            Outcome::Done(()) => None,
+            Outcome::Degraded(r) => Some(r),
+        };
+        if degraded.is_none() {
             if let Some(entry) = self.session.program().entry() {
                 let exit = entry.exit();
                 for &m in &cluster.members {
                     match self.sources_with_engine(&mut engine, m, exit, &mut budget) {
                         Outcome::Done(_) => {}
-                        Outcome::TimedOut => {
-                            timed_out = true;
+                        Outcome::Degraded(r) => {
+                            degraded = Some(r);
                             break;
                         }
                     }
@@ -248,7 +293,7 @@ impl<'s> Analyzer<'s> {
             summary_entries: engine.summaries().entry_count(),
             summary_tuples: engine.summaries().tuple_count(),
             duration: t0.elapsed(),
-            timed_out,
+            degraded,
         }
     }
 
@@ -270,23 +315,27 @@ impl<'s> Analyzer<'s> {
         budget: &mut AnalysisBudget,
     ) -> Result<Outcome<Vec<(Source, Cond)>>, QueryError> {
         self.validate_context(loc, context)?;
-        let class = self.session.steens().partition_key(p);
-        let engine = self.partition_engine(class);
+        Ok(self.with_partition_engine(p, |az, e| {
+            az.sources_in_context_with_engine(e, p, loc, context, budget)
+        }))
+    }
+
+    /// The context-restricted climb with an explicit engine.
+    fn sources_in_context_with_engine(
+        &self,
+        engine: &mut ClusterEngine,
+        p: VarId,
+        loc: Loc,
+        context: &[Loc],
+        budget: &mut AnalysisBudget,
+    ) -> Outcome<Vec<(Source, Cond)>> {
         let mut results: Vec<(Source, Cond)> = Vec::new();
 
         // Frontier of variables tracked at the entry of the current frame.
         let mut frontier: HashSet<VarId> = HashSet::new();
-        let local = {
-            let mut e = match engine.try_borrow_mut() {
-                Ok(e) => e,
-                Err(_) => {
-                    return Ok(Outcome::TimedOut);
-                }
-            };
-            match e.local_sources(self.cx(), p, loc, self, budget) {
-                Outcome::Done(v) => v,
-                Outcome::TimedOut => return Ok(Outcome::TimedOut),
-            }
+        let local = match engine.local_sources(self.cx(), p, loc, self, budget) {
+            Outcome::Done(v) => v,
+            Outcome::Degraded(r) => return Outcome::Degraded(r),
         };
         for (val, cond) in local {
             match val {
@@ -304,15 +353,9 @@ impl<'s> Analyzer<'s> {
             }
             let mut next: HashSet<VarId> = HashSet::new();
             for q in frontier {
-                let vals = {
-                    let mut e = match engine.try_borrow_mut() {
-                        Ok(e) => e,
-                        Err(_) => return Ok(Outcome::TimedOut),
-                    };
-                    match e.local_sources(self.cx(), q, cs, self, budget) {
-                        Outcome::Done(v) => v,
-                        Outcome::TimedOut => return Ok(Outcome::TimedOut),
-                    }
+                let vals = match engine.local_sources(self.cx(), q, cs, self, budget) {
+                    Outcome::Done(v) => v,
+                    Outcome::Degraded(r) => return Outcome::Degraded(r),
                 };
                 for (val, cond) in vals {
                     match val {
@@ -331,7 +374,7 @@ impl<'s> Analyzer<'s> {
         }
         results.sort();
         results.dedup();
-        Ok(Outcome::Done(results))
+        Outcome::Done(results)
     }
 
     fn validate_context(&self, loc: Loc, context: &[Loc]) -> Result<(), QueryError> {
@@ -386,11 +429,11 @@ impl<'s> Analyzer<'s> {
         }
         let sp = match self.sources(p, loc, &mut budget) {
             Outcome::Done(v) => self.satisfiable_sources(v),
-            Outcome::TimedOut => return Outcome::TimedOut,
+            Outcome::Degraded(r) => return Outcome::Degraded(r),
         };
         let sq = match self.sources(q, loc, &mut budget) {
             Outcome::Done(v) => self.satisfiable_sources(v),
-            Outcome::TimedOut => return Outcome::TimedOut,
+            Outcome::Degraded(r) => return Outcome::Degraded(r),
         };
         Outcome::Done(self.sources_alias(&sp, &sq))
     }
@@ -413,11 +456,11 @@ impl<'s> Analyzer<'s> {
         }
         let sp = match self.sources_in_context(p, loc, context, &mut budget)? {
             Outcome::Done(v) => self.satisfiable_sources(v),
-            Outcome::TimedOut => return Ok(Outcome::TimedOut),
+            Outcome::Degraded(r) => return Ok(Outcome::Degraded(r)),
         };
         let sq = match self.sources_in_context(q, loc, context, &mut budget)? {
             Outcome::Done(v) => self.satisfiable_sources(v),
-            Outcome::TimedOut => return Ok(Outcome::TimedOut),
+            Outcome::Degraded(r) => return Ok(Outcome::Degraded(r)),
         };
         Ok(Outcome::Done(self.sources_alias(&sp, &sq)))
     }
@@ -458,11 +501,11 @@ impl<'s> Analyzer<'s> {
         }
         let sp = match self.sources(p, loc, &mut budget) {
             Outcome::Done(v) => v,
-            Outcome::TimedOut => return Outcome::TimedOut,
+            Outcome::Degraded(r) => return Outcome::Degraded(r),
         };
         let sq = match self.sources(q, loc, &mut budget) {
             Outcome::Done(v) => v,
-            Outcome::TimedOut => return Outcome::TimedOut,
+            Outcome::Degraded(r) => return Outcome::Degraded(r),
         };
         let single = |s: &[(Source, Cond)]| match s {
             [(Source::Addr(o), cond)] if cond.is_top() && !cond.is_widened() => Some(*o),
@@ -561,7 +604,7 @@ impl<'s> Analyzer<'s> {
         let mut budget = self.session.config().query_budget();
         let sp = match self.sources(p, loc, &mut budget) {
             Outcome::Done(v) => self.satisfiable_sources(v),
-            Outcome::TimedOut => return Outcome::TimedOut,
+            Outcome::Degraded(r) => return Outcome::Degraded(r),
         };
         let mut candidates: Vec<VarId> = Vec::new();
         for cluster in self.session.cover().clusters_containing(p) {
@@ -576,7 +619,7 @@ impl<'s> Analyzer<'s> {
             }
             let sq = match self.sources(q, loc, &mut budget) {
                 Outcome::Done(v) => self.satisfiable_sources(v),
-                Outcome::TimedOut => return Outcome::TimedOut,
+                Outcome::Degraded(r) => return Outcome::Degraded(r),
             };
             if self.sources_alias(&sp, &sq) {
                 out.push(q);
@@ -614,7 +657,7 @@ impl<'s> Analyzer<'s> {
         // computations are memoized.
         let clean = self.fsci_stack.borrow().is_empty();
         self.fsci_stack.borrow_mut().insert((v, loc));
-        let mut budget = AnalysisBudget::steps(self.session.config().oracle_step_budget);
+        let mut budget = self.session.config().oracle_budget();
         let result = match self.sources(v, loc, &mut budget) {
             Outcome::Done(srcs) => {
                 let mut pts: Vec<VarId> = srcs
@@ -628,7 +671,7 @@ impl<'s> Analyzer<'s> {
                 pts.dedup();
                 Some(Arc::new(pts))
             }
-            Outcome::TimedOut => None,
+            Outcome::Degraded(_) => None,
         };
         self.fsci_stack.borrow_mut().remove(&(v, loc));
         if clean {
@@ -914,7 +957,7 @@ mod tests {
         let az = s.analyzer();
         let cluster = s.cover().clusters_containing(v(&p, "x")).next().unwrap();
         let report = az.process_cluster(cluster, AnalysisBudget::unlimited());
-        assert!(!report.timed_out);
+        assert!(report.degraded.is_none());
         assert!(report.relevant_stmts > 0);
         assert!(report.summary_tuples > 0);
         assert_eq!(report.size, cluster.members.len());

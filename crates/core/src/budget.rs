@@ -4,8 +4,15 @@
 //! baseline at 15 minutes (several rows report "> 15min"). Every engine
 //! entry point in this crate takes an [`AnalysisBudget`] so harnesses can
 //! reproduce those capped rows without hanging.
+//!
+//! Exhaustion is never a bare boolean: the budget records a
+//! [`DegradeReason`] saying *why* it ran out (steps, wall clock, arena
+//! capacity, injected fault), and [`AnalysisBudget::degraded`] converts
+//! that into the [`Outcome::Degraded`] the precision ladder consumes.
 
 use std::time::{Duration, Instant};
+
+use crate::degrade::{DegradeReason, FaultKind, INJECTED_PANIC_MSG};
 
 /// A step- and wall-clock budget for one analysis run.
 ///
@@ -13,6 +20,7 @@ use std::time::{Duration, Instant};
 ///
 /// ```
 /// use bootstrap_core::budget::AnalysisBudget;
+/// use bootstrap_core::degrade::DegradeReason;
 ///
 /// let mut b = AnalysisBudget::steps(100);
 /// for _ in 0..100 {
@@ -20,13 +28,15 @@ use std::time::{Duration, Instant};
 /// }
 /// assert!(!b.tick(), "101st step exceeds the budget");
 /// assert!(b.exhausted());
+/// assert_eq!(b.reason(), Some(DegradeReason::BudgetSteps));
 /// ```
 #[derive(Clone, Debug)]
 pub struct AnalysisBudget {
     max_steps: u64,
     steps: u64,
     deadline: Option<Instant>,
-    exhausted: bool,
+    reason: Option<DegradeReason>,
+    fault: Option<(FaultKind, u64)>,
 }
 
 impl AnalysisBudget {
@@ -36,7 +46,8 @@ impl AnalysisBudget {
             max_steps: u64::MAX,
             steps: 0,
             deadline: None,
-            exhausted: false,
+            reason: None,
+            fault: None,
         }
     }
 
@@ -44,19 +55,15 @@ impl AnalysisBudget {
     pub fn steps(max_steps: u64) -> Self {
         Self {
             max_steps,
-            steps: 0,
-            deadline: None,
-            exhausted: false,
+            ..Self::unlimited()
         }
     }
 
     /// A wall-clock budget starting now.
     pub fn wall(limit: Duration) -> Self {
         Self {
-            max_steps: u64::MAX,
-            steps: 0,
             deadline: Some(Instant::now() + limit),
-            exhausted: false,
+            ..Self::unlimited()
         }
     }
 
@@ -64,43 +71,87 @@ impl AnalysisBudget {
     pub fn steps_and_wall(max_steps: u64, limit: Duration) -> Self {
         Self {
             max_steps,
-            steps: 0,
             deadline: Some(Instant::now() + limit),
-            exhausted: false,
+            ..Self::unlimited()
+        }
+    }
+
+    /// Arms a deterministic fault: inject `kind` when the budget records
+    /// its `at_tick`-th step. A no-op when a fault is already armed, so
+    /// drivers can arm before handing the budget to nested engines.
+    pub fn arm_fault(&mut self, kind: FaultKind, at_tick: u64) {
+        if self.fault.is_none() {
+            self.fault = Some((kind, at_tick));
         }
     }
 
     /// Records one engine step. Returns `false` once the budget is
     /// exhausted (and from then on).
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`INJECTED_PANIC_MSG`] when an armed
+    /// [`FaultKind::Panic`] fault fires at this tick.
     #[inline]
     pub fn tick(&mut self) -> bool {
-        if self.exhausted {
+        if self.reason.is_some() {
             return false;
         }
         self.steps += 1;
+        if let Some((kind, at)) = self.fault {
+            if self.steps == at {
+                match kind {
+                    FaultKind::Panic => panic!("{INJECTED_PANIC_MSG} (tick {at})"),
+                    FaultKind::Budget => {
+                        self.reason = Some(DegradeReason::Injected);
+                        return false;
+                    }
+                    FaultKind::ArenaFull => {
+                        self.reason = Some(DegradeReason::ArenaFull);
+                        return false;
+                    }
+                }
+            }
+        }
         if self.steps > self.max_steps {
-            self.exhausted = true;
+            self.reason = Some(DegradeReason::BudgetSteps);
             return false;
         }
-        // Check the clock only occasionally; Instant::now is not free.
-        if self.steps.is_multiple_of(1024) {
-            if let Some(d) = self.deadline {
-                if Instant::now() > d {
-                    self.exhausted = true;
-                    return false;
-                }
+        // Check the clock on the first tick — a pure wall budget must not
+        // run 1023 steps past its deadline before noticing — then only
+        // occasionally; Instant::now is not free.
+        if self.steps == 1 || self.steps.is_multiple_of(1024) {
+            return self.check_deadline();
+        }
+        true
+    }
+
+    /// Like [`AnalysisBudget::tick`], but always checks the wall-clock
+    /// deadline. Used after consuming a `Call` summary, where one "step"
+    /// can stand for an arbitrarily large amount of summarised work.
+    #[inline]
+    pub fn tick_checked(&mut self) -> bool {
+        self.tick() && self.check_deadline()
+    }
+
+    #[inline]
+    fn check_deadline(&mut self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                self.reason = Some(DegradeReason::BudgetWall);
+                return false;
             }
         }
         true
     }
 
-    /// Marks the budget exhausted immediately, regardless of steps or
-    /// wall-clock remaining. Used when a resource other than time runs out
-    /// mid-analysis (e.g. the interning arena's id capacity): discarding
-    /// the partial result as [`Outcome::TimedOut`] is the same sound
-    /// degradation as a step-budget expiry.
-    pub fn exhaust(&mut self) {
-        self.exhausted = true;
+    /// Marks the budget exhausted immediately for `reason`, regardless of
+    /// steps or wall-clock remaining. Used when a resource other than time
+    /// runs out mid-analysis (e.g. the interning arena's id capacity):
+    /// discarding the partial result as [`Outcome::Degraded`] is the same
+    /// sound degradation as a step-budget expiry. The first reason wins.
+    pub fn exhaust(&mut self, reason: DegradeReason) {
+        self.reason.get_or_insert(reason);
     }
 
     /// Steps consumed so far.
@@ -110,7 +161,19 @@ impl AnalysisBudget {
 
     /// Returns `true` once the budget has been exceeded.
     pub fn exhausted(&self) -> bool {
-        self.exhausted
+        self.reason.is_some()
+    }
+
+    /// Why the budget ran out, if it has.
+    pub fn reason(&self) -> Option<DegradeReason> {
+        self.reason
+    }
+
+    /// The [`Outcome::Degraded`] for this budget's exhaustion reason
+    /// (defaults to [`DegradeReason::BudgetSteps`] if somehow consulted
+    /// before exhaustion).
+    pub fn degraded<T>(&self) -> Outcome<T> {
+        Outcome::Degraded(self.reason.unwrap_or(DegradeReason::BudgetSteps))
     }
 }
 
@@ -125,21 +188,21 @@ impl Default for AnalysisBudget {
 pub enum Outcome<T> {
     /// The computation finished within budget.
     Done(T),
-    /// The budget ran out; any partial result is discarded because a
-    /// truncated may-analysis would be unsound.
-    TimedOut,
+    /// The budget ran out for the recorded reason; any partial result is
+    /// discarded because a truncated may-analysis would be unsound.
+    Degraded(DegradeReason),
 }
 
 impl<T> Outcome<T> {
-    /// Returns the value, panicking on [`Outcome::TimedOut`].
+    /// Returns the value, panicking on [`Outcome::Degraded`].
     ///
     /// # Panics
     ///
-    /// Panics if the computation timed out.
+    /// Panics if the computation degraded.
     pub fn unwrap(self) -> T {
         match self {
             Outcome::Done(v) => v,
-            Outcome::TimedOut => panic!("analysis exceeded its budget"),
+            Outcome::Degraded(r) => panic!("analysis exceeded its budget ({r})"),
         }
     }
 
@@ -152,7 +215,15 @@ impl<T> Outcome<T> {
     pub fn ok(self) -> Option<T> {
         match self {
             Outcome::Done(v) => Some(v),
-            Outcome::TimedOut => None,
+            Outcome::Degraded(_) => None,
+        }
+    }
+
+    /// The degradation reason, if the computation fell short.
+    pub fn reason(&self) -> Option<DegradeReason> {
+        match self {
+            Outcome::Done(_) => None,
+            Outcome::Degraded(r) => Some(*r),
         }
     }
 
@@ -160,7 +231,7 @@ impl<T> Outcome<T> {
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
         match self {
             Outcome::Done(v) => Outcome::Done(f(v)),
-            Outcome::TimedOut => Outcome::TimedOut,
+            Outcome::Degraded(r) => Outcome::Degraded(r),
         }
     }
 }
@@ -176,6 +247,7 @@ mod tests {
             assert!(b.tick());
         }
         assert!(!b.exhausted());
+        assert!(b.reason().is_none());
     }
 
     #[test]
@@ -183,29 +255,81 @@ mod tests {
         let mut b = AnalysisBudget::steps(5);
         assert_eq!((0..10).filter(|_| b.tick()).count(), 5);
         assert!(b.exhausted());
+        assert_eq!(b.reason(), Some(DegradeReason::BudgetSteps));
     }
 
     #[test]
-    fn wall_budget_expires() {
+    fn wall_budget_expires_on_first_tick() {
+        // An already-elapsed pure wall budget must fail its very first
+        // tick, not coast for 1023 steps past the deadline.
         let mut b = AnalysisBudget::wall(Duration::from_millis(0));
-        // The clock is checked every 1024 ticks.
-        let mut ok = true;
-        for _ in 0..4096 {
-            ok = b.tick();
-            if !ok {
-                break;
-            }
-        }
-        assert!(!ok);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(!b.tick());
+        assert_eq!(b.reason(), Some(DegradeReason::BudgetWall));
     }
 
     #[test]
-    fn exhaust_fails_all_subsequent_ticks() {
+    fn wall_budget_expires_between_checkpoints_via_tick_checked() {
+        let mut b = AnalysisBudget::wall(Duration::from_secs(3600));
+        // Regular ticks between checkpoints don't touch the clock...
+        for _ in 0..100 {
+            assert!(b.tick());
+        }
+        // ...but a summary-consumption tick always does.
+        b.deadline = Some(Instant::now() - Duration::from_millis(1));
+        assert!(b.tick());
+        assert!(!b.tick_checked());
+        assert_eq!(b.reason(), Some(DegradeReason::BudgetWall));
+    }
+
+    #[test]
+    fn exhaust_fails_all_subsequent_ticks_and_keeps_first_reason() {
         let mut b = AnalysisBudget::unlimited();
         assert!(b.tick());
-        b.exhaust();
+        b.exhaust(DegradeReason::ArenaFull);
         assert!(b.exhausted());
         assert!(!b.tick());
+        b.exhaust(DegradeReason::BudgetSteps);
+        assert_eq!(b.reason(), Some(DegradeReason::ArenaFull));
+        assert_eq!(
+            b.degraded::<()>(),
+            Outcome::Degraded(DegradeReason::ArenaFull)
+        );
+    }
+
+    #[test]
+    fn armed_budget_fault_fires_at_exact_tick() {
+        let mut b = AnalysisBudget::steps(1000);
+        b.arm_fault(FaultKind::Budget, 3);
+        // Re-arming is a no-op: the first plan stays.
+        b.arm_fault(FaultKind::ArenaFull, 1);
+        assert!(b.tick());
+        assert!(b.tick());
+        assert!(!b.tick());
+        assert_eq!(b.reason(), Some(DegradeReason::Injected));
+    }
+
+    #[test]
+    fn armed_arena_fault_reports_arena_full() {
+        let mut b = AnalysisBudget::unlimited();
+        b.arm_fault(FaultKind::ArenaFull, 1);
+        assert!(!b.tick());
+        assert_eq!(b.reason(), Some(DegradeReason::ArenaFull));
+    }
+
+    #[test]
+    fn armed_panic_fault_panics_with_marker() {
+        let r = std::panic::catch_unwind(|| {
+            let mut b = AnalysisBudget::steps(10);
+            b.arm_fault(FaultKind::Panic, 2);
+            b.tick();
+            b.tick();
+        });
+        let payload = r.expect_err("fault must panic");
+        assert_eq!(
+            crate::degrade::classify_panic(payload.as_ref()),
+            crate::degrade::PanicClass::Injected
+        );
     }
 
     #[test]
@@ -213,14 +337,17 @@ mod tests {
         let d: Outcome<i32> = Outcome::Done(3);
         assert!(d.is_done());
         assert_eq!(d.clone().ok(), Some(3));
+        assert_eq!(d.reason(), None);
         assert_eq!(d.map(|x| x + 1).unwrap(), 4);
-        let t: Outcome<i32> = Outcome::TimedOut;
+        let t: Outcome<i32> = Outcome::Degraded(DegradeReason::BudgetSteps);
         assert_eq!(t.ok(), None);
+        let t: Outcome<i32> = Outcome::Degraded(DegradeReason::BudgetWall);
+        assert_eq!(t.reason(), Some(DegradeReason::BudgetWall));
     }
 
     #[test]
     #[should_panic(expected = "exceeded its budget")]
-    fn outcome_unwrap_panics_on_timeout() {
-        Outcome::<()>::TimedOut.unwrap();
+    fn outcome_unwrap_panics_on_degradation() {
+        Outcome::<()>::Degraded(DegradeReason::BudgetSteps).unwrap();
     }
 }

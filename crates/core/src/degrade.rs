@@ -1,0 +1,349 @@
+//! Degradation taxonomy, precision tiers, and deterministic fault injection.
+//!
+//! The bootstrapping cascade keeps a *sound* coarse answer available at
+//! every tier (Steensgaard ⊇ Andersen ⊇ FSCS), so an engine that runs out
+//! of budget, exhausts its interning arena, or panics never has to fail a
+//! query outright: it degrades to the next-coarser tier and records *why*.
+//! This module is the shared vocabulary for that layer:
+//!
+//! - [`DegradeReason`] — why a computation fell short of full precision;
+//! - [`Precision`] — which tier of the ladder actually answered;
+//! - [`FaultPlan`] — a seeded, deterministic fault injector used by the
+//!   fuzz harness and CI to prove the isolation properties hold.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::constraint::Cond;
+use crate::summary::Source;
+
+/// Panic message used by [`FaultKind::Panic`] injection, recognised by
+/// [`classify_panic`] so injected panics are distinguishable from organic
+/// ones in reports and fuzz invariants.
+pub const INJECTED_PANIC_MSG: &str = "fault injection: deliberate panic";
+
+/// Why an analysis degraded below full FSCS precision.
+///
+/// Ordered roughly by "how surprising": budget expiries are expected
+/// operational events, arena exhaustion is a capacity event, panics are
+/// defects (isolated, not propagated), and injected faults come from a
+/// [`FaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradeReason {
+    /// The step budget ran out.
+    BudgetSteps,
+    /// The wall-clock deadline passed.
+    BudgetWall,
+    /// The interning arena hit its id capacity.
+    ArenaFull,
+    /// The cluster's worker panicked; the panic was caught and classified.
+    Panicked {
+        /// What kind of panic was caught.
+        class: PanicClass,
+    },
+    /// A deterministic [`FaultPlan`] fired (budget-exhaustion flavour).
+    Injected,
+}
+
+impl DegradeReason {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeReason::BudgetSteps => "budget-steps",
+            DegradeReason::BudgetWall => "budget-wall",
+            DegradeReason::ArenaFull => "arena-full",
+            DegradeReason::Panicked {
+                class: PanicClass::Injected,
+            } => "panicked-injected",
+            DegradeReason::Panicked {
+                class: PanicClass::WorkerLost,
+            } => "panicked-worker-lost",
+            DegradeReason::Panicked {
+                class: PanicClass::Other,
+            } => "panicked",
+            DegradeReason::Injected => "injected",
+        }
+    }
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classification of a caught panic payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PanicClass {
+    /// The panic message matches [`INJECTED_PANIC_MSG`].
+    Injected,
+    /// No panic was caught: the worker thread vanished without delivering
+    /// its report (used by the parallel driver's per-slot accounting).
+    WorkerLost,
+    /// Any other panic (assertion failure, arithmetic overflow, ...).
+    Other,
+}
+
+/// Classifies a panic payload from [`std::panic::catch_unwind`].
+pub fn classify_panic(payload: &(dyn Any + Send)) -> PanicClass {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+    match msg {
+        Some(m) if m.contains(INJECTED_PANIC_MSG) => PanicClass::Injected,
+        _ => PanicClass::Other,
+    }
+}
+
+/// Which tier of the precision ladder answered a query.
+///
+/// The ordering is precision-descending: `Fscs < Andersen < Steensgaard`,
+/// so `max` over a set of consulted tiers yields the *coarsest* one — the
+/// confidence tier of a finding built from several resolutions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Precision {
+    /// Flow- and context-sensitive summary walk (full precision).
+    Fscs,
+    /// Flow-insensitive Andersen points-to over the cluster's relevant
+    /// slice, unioned across the alias partition.
+    Andersen,
+    /// The Steensgaard pointee partition (coarsest sound tier).
+    Steensgaard,
+}
+
+impl Precision {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Fscs => "fscs",
+            Precision::Andersen => "andersen",
+            Precision::Steensgaard => "steensgaard",
+        }
+    }
+
+    /// All tiers, precision-descending.
+    pub const ALL: [Precision; 3] = [Precision::Fscs, Precision::Andersen, Precision::Steensgaard];
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A source query answer from the precision ladder: always present, always
+/// sound, tagged with the tier that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LadderAnswer {
+    /// The (over-approximate) value sources, with their path conditions.
+    /// Coarser tiers report [`Cond::top`] conditions.
+    pub sources: Vec<(Source, Cond)>,
+    /// The tier that produced `sources`.
+    pub precision: Precision,
+    /// Why the ladder fell below [`Precision::Fscs`] (`None` at full
+    /// precision).
+    pub reason: Option<DegradeReason>,
+}
+
+impl LadderAnswer {
+    /// A full-precision answer.
+    pub fn fscs(sources: Vec<(Source, Cond)>) -> Self {
+        Self {
+            sources,
+            precision: Precision::Fscs,
+            reason: None,
+        }
+    }
+
+    /// `true` when the answer came from a coarser tier than FSCS.
+    pub fn is_degraded(&self) -> bool {
+        self.precision != Precision::Fscs
+    }
+}
+
+/// What kind of fault a [`FaultPlan`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic with [`INJECTED_PANIC_MSG`] at the chosen tick.
+    Panic,
+    /// Exhaust the budget ([`DegradeReason::Injected`]) at the chosen tick.
+    Budget,
+    /// Simulate arena-id exhaustion ([`DegradeReason::ArenaFull`]).
+    ArenaFull,
+}
+
+impl FaultKind {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Budget => "budget",
+            FaultKind::ArenaFull => "arena-full",
+        }
+    }
+
+    /// All fault kinds.
+    pub const ALL: [FaultKind; 3] = [FaultKind::Panic, FaultKind::Budget, FaultKind::ArenaFull];
+}
+
+/// Which engine phase a [`FaultPlan`] targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultPhase {
+    /// Per-cluster summary fixpoint (the cluster drivers).
+    Summaries,
+    /// A top-level source/alias query.
+    Query,
+    /// An FSCI oracle (dovetailed points-to) computation.
+    Oracle,
+}
+
+impl FaultPhase {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPhase::Summaries => "summaries",
+            FaultPhase::Query => "query",
+            FaultPhase::Oracle => "oracle",
+        }
+    }
+
+    /// Parses a phase name as printed by [`FaultPhase::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "summaries" => Some(FaultPhase::Summaries),
+            "query" => Some(FaultPhase::Query),
+            "oracle" => Some(FaultPhase::Oracle),
+            _ => None,
+        }
+    }
+
+    /// All phases.
+    pub const ALL: [FaultPhase; 3] = [FaultPhase::Summaries, FaultPhase::Query, FaultPhase::Oracle];
+}
+
+/// A seeded, deterministic fault: inject `kind` at the `at_tick`-th budget
+/// tick of the named `phase` (optionally only in one cluster).
+///
+/// Determinism matters: the same plan against the same program must fire at
+/// the same point on every run and on every retry, so fuzz invariants can
+/// compare faulted runs against clean ones tick-for-tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Phase whose budget carries the fault.
+    pub phase: FaultPhase,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Fire when the phase's budget records this tick (1-based).
+    pub at_tick: u64,
+    /// Restrict a [`FaultPhase::Summaries`] fault to one cluster slot;
+    /// `None` hits every cluster.
+    pub cluster: Option<usize>,
+}
+
+impl FaultPlan {
+    /// Derives a plan from a seed (splitmix64 over the seed bits), for
+    /// fuzz campaigns that want one deterministic fault per iteration.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        };
+        let phase = FaultPhase::ALL[(next() % 3) as usize];
+        let kind = FaultKind::ALL[(next() % 3) as usize];
+        let at_tick = 1 + next() % 64;
+        Self {
+            phase,
+            kind,
+            at_tick,
+            cluster: None,
+        }
+    }
+
+    /// `true` when this plan applies to the given phase and cluster slot
+    /// (`cluster = None` in the argument means "not cluster work").
+    pub fn applies_to(&self, phase: FaultPhase, cluster: Option<usize>) -> bool {
+        self.phase == phase && self.cluster.is_none_or(|want| cluster == Some(want))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(DegradeReason::BudgetSteps.label(), "budget-steps");
+        assert_eq!(DegradeReason::BudgetWall.label(), "budget-wall");
+        assert_eq!(DegradeReason::ArenaFull.label(), "arena-full");
+        assert_eq!(
+            DegradeReason::Panicked {
+                class: PanicClass::Injected
+            }
+            .label(),
+            "panicked-injected"
+        );
+        assert_eq!(DegradeReason::Injected.to_string(), "injected");
+        assert_eq!(Precision::Fscs.label(), "fscs");
+        assert_eq!(Precision::Andersen.to_string(), "andersen");
+        assert_eq!(Precision::Steensgaard.label(), "steensgaard");
+    }
+
+    #[test]
+    fn precision_max_is_coarsest() {
+        assert_eq!(
+            Precision::Fscs.max(Precision::Andersen),
+            Precision::Andersen
+        );
+        assert_eq!(
+            Precision::ALL.into_iter().max(),
+            Some(Precision::Steensgaard)
+        );
+    }
+
+    #[test]
+    fn classify_recognises_injected_panics() {
+        // Real panic payloads box a `&str` or `String`; mirror that shape.
+        let payload: Box<dyn Any + Send> = Box::new(INJECTED_PANIC_MSG);
+        assert_eq!(classify_panic(payload.as_ref()), PanicClass::Injected);
+        let payload: Box<dyn Any + Send> = Box::new(format!("{INJECTED_PANIC_MSG} (tick 3)"));
+        assert_eq!(classify_panic(payload.as_ref()), PanicClass::Injected);
+        let payload: Box<dyn Any + Send> = Box::new("index out of bounds");
+        assert_eq!(classify_panic(payload.as_ref()), PanicClass::Other);
+        let payload: Box<dyn Any + Send> = Box::new(42_u32);
+        assert_eq!(classify_panic(payload.as_ref()), PanicClass::Other);
+    }
+
+    #[test]
+    fn fault_plan_from_seed_is_deterministic() {
+        let a = FaultPlan::from_seed(17);
+        let b = FaultPlan::from_seed(17);
+        assert_eq!(a, b);
+        assert!(a.at_tick >= 1);
+        // Seeds spread over phases and kinds.
+        let plans: Vec<FaultPlan> = (0..64).map(FaultPlan::from_seed).collect();
+        assert!(FaultPhase::ALL
+            .iter()
+            .all(|p| plans.iter().any(|pl| pl.phase == *p)));
+        assert!(FaultKind::ALL
+            .iter()
+            .all(|k| plans.iter().any(|pl| pl.kind == *k)));
+    }
+
+    #[test]
+    fn fault_plan_cluster_scoping() {
+        let mut plan = FaultPlan::from_seed(1);
+        plan.phase = FaultPhase::Summaries;
+        plan.cluster = None;
+        assert!(plan.applies_to(FaultPhase::Summaries, Some(3)));
+        assert!(!plan.applies_to(FaultPhase::Query, Some(3)));
+        plan.cluster = Some(2);
+        assert!(plan.applies_to(FaultPhase::Summaries, Some(2)));
+        assert!(!plan.applies_to(FaultPhase::Summaries, Some(3)));
+        assert!(!plan.applies_to(FaultPhase::Summaries, None));
+    }
+}

@@ -36,6 +36,7 @@ use bootstrap_ir::{CallGraph, CallTarget, FuncId, Loc, Program, Stmt, StmtIdx, V
 
 use crate::budget::{AnalysisBudget, Outcome};
 use crate::constraint::{Atom, Cond};
+use crate::degrade::{DegradeReason, FaultPhase, FaultPlan};
 use crate::fxhash::FxHashSet;
 use crate::intern::{ArenaFull, CondId, DeadId, DeadVars, Interner};
 use crate::relevant::{
@@ -46,15 +47,16 @@ use crate::summary::{SummaryKey, SummaryStore, SummaryTuple, Value};
 /// Unwraps an arena operation inside a budgeted walk. A full arena
 /// ([`crate::intern::ArenaFull`]) cannot be recovered from mid-walk —
 /// dropping the item would under-approximate a may-analysis — so the
-/// budget is marked exhausted and the walk reports [`Outcome::TimedOut`],
-/// the same sound discard a step-budget expiry produces.
+/// budget is marked exhausted with [`DegradeReason::ArenaFull`] and the
+/// walk reports [`Outcome::Degraded`], the same sound discard a
+/// step-budget expiry produces.
 macro_rules! arena_try {
     ($budget:expr, $op:expr) => {
         match $op {
             Ok(v) => v,
             Err(_) => {
-                $budget.exhaust();
-                return Outcome::TimedOut;
+                $budget.exhaust(DegradeReason::ArenaFull);
+                return $budget.degraded();
             }
         }
     };
@@ -108,6 +110,11 @@ pub struct EngineOptions {
     /// private one. Ignored — a private arena is used — if its widening cap
     /// differs from `cond_cap`.
     pub arena: Option<Arc<Interner>>,
+    /// Deterministic fault injection: an unscoped
+    /// [`FaultPhase::Summaries`] plan arms the summary-fixpoint budget
+    /// (cluster-scoped plans are armed by the cluster drivers, which know
+    /// their slot ids).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for EngineOptions {
@@ -117,6 +124,7 @@ impl Default for EngineOptions {
             path_sensitive: false,
             uninterned: false,
             arena: None,
+            fault: None,
         }
     }
 }
@@ -161,6 +169,8 @@ pub struct ClusterEngine {
     /// Hash-consing arena for conditions and dead sets (shared with the
     /// session's other engines, or private).
     arena: Arc<Interner>,
+    /// Unscoped summary-phase fault plan (see [`EngineOptions::fault`]).
+    fault: Option<FaultPlan>,
     /// Per-function, per-statement *forced* branch literals: literals that
     /// every entry-to-statement path establishes (a forward must-dataflow;
     /// computed lazily in path-sensitive mode). Conjoined onto terminals,
@@ -240,6 +250,7 @@ impl ClusterEngine {
             path_sensitive: options.path_sensitive,
             uninterned: options.uninterned,
             arena,
+            fault: options.fault,
             reach_conds: HashMap::new(),
             steps: 0,
         }
@@ -422,7 +433,7 @@ impl ClusterEngine {
         loop {
             let out = match self.walk(cx, loc.func, loc.stmt, p, oracle, budget) {
                 Outcome::Done(o) => o,
-                Outcome::TimedOut => return Outcome::TimedOut,
+                Outcome::Degraded(r) => return Outcome::Degraded(r),
             };
             if out.missing.is_empty() {
                 // Resolve ids at the public boundary and dedup structurally:
@@ -436,8 +447,8 @@ impl ClusterEngine {
                 return Outcome::Done(dedup(resolved));
             }
             let missing = out.missing.clone();
-            if let Outcome::TimedOut = self.compute_summaries(cx, missing, oracle, budget) {
-                return Outcome::TimedOut;
+            if let Outcome::Degraded(r) = self.compute_summaries(cx, missing, oracle, budget) {
+                return Outcome::Degraded(r);
             }
         }
     }
@@ -454,8 +465,8 @@ impl ClusterEngine {
     ) -> Outcome<Vec<SummaryTuple>> {
         let key = (f, target);
         if !self.summaries.contains(&key) {
-            if let Outcome::TimedOut = self.compute_summaries(cx, vec![key], oracle, budget) {
-                return Outcome::TimedOut;
+            if let Outcome::Degraded(r) = self.compute_summaries(cx, vec![key], oracle, budget) {
+                return Outcome::Degraded(r);
             }
         }
         let mut resolved: Vec<(Value, Cond)> = self
@@ -486,6 +497,11 @@ impl ClusterEngine {
         oracle: &dyn PtsOracle,
         budget: &mut AnalysisBudget,
     ) -> Outcome<()> {
+        if let Some(plan) = self.fault {
+            if plan.applies_to(FaultPhase::Summaries, None) {
+                budget.arm_fault(plan.kind, plan.at_tick);
+            }
+        }
         // Enumerate (function, member) pairs lazily: the unclustered
         // baseline runs this with *all* pointers as members, where
         // materializing the full key set upfront would dwarf memory long
@@ -497,14 +513,15 @@ impl ClusterEngine {
         for f in funcs {
             for i in 0..self.members.len() {
                 if !budget.tick() {
-                    return Outcome::TimedOut;
+                    return budget.degraded();
                 }
                 let key = (f, self.members[i]);
                 if self.summaries.contains(&key) {
                     continue;
                 }
-                if let Outcome::TimedOut = self.compute_summaries(cx, vec![key], oracle, budget) {
-                    return Outcome::TimedOut;
+                if let Outcome::Degraded(r) = self.compute_summaries(cx, vec![key], oracle, budget)
+                {
+                    return Outcome::Degraded(r);
                 }
             }
         }
@@ -534,7 +551,7 @@ impl ClusterEngine {
             let exit = cx.program.func(f).exit().stmt;
             let out = match self.walk(cx, f, exit, target, oracle, budget) {
                 Outcome::Done(o) => o,
-                Outcome::TimedOut => return Outcome::TimedOut,
+                Outcome::Degraded(r) => return Outcome::Degraded(r),
             };
             for &k in &out.consulted {
                 self.deps.entry(k).or_default().insert(key);
@@ -630,7 +647,7 @@ impl ClusterEngine {
         }
         while let Some((m, x, cond, dead)) = queue.pop() {
             if !budget.tick() {
-                return Outcome::TimedOut;
+                return budget.degraded();
             }
             self.steps += 1;
             if !processed.insert((m, x, cond, dead)) {
@@ -744,9 +761,11 @@ impl ClusterEngine {
                                     // Summaries grow during the recursion
                                     // fixpoint; charge the budget per tuple
                                     // so one worklist pop cannot do
-                                    // unbounded work.
-                                    if !budget.tick() {
-                                        return Outcome::TimedOut;
+                                    // unbounded work. A consumed summary
+                                    // stands for arbitrary summarised work,
+                                    // so this tick also checks the clock.
+                                    if !budget.tick_checked() {
+                                        return budget.degraded();
                                     }
                                     self.steps += 1;
                                     let Some(cc) =
@@ -881,7 +900,7 @@ impl ClusterEngine {
         }
         while let Some((m, x, cond, dead)) = queue.pop() {
             if !budget.tick() {
-                return Outcome::TimedOut;
+                return budget.degraded();
             }
             self.steps += 1;
             if !processed.insert((m, x, cond.clone(), dead.clone())) {
@@ -983,9 +1002,10 @@ impl ClusterEngine {
                                 for (value, c2) in tuples {
                                     // Mirror the interned walk: one tick per
                                     // consumed summary tuple, so both modes
-                                    // stay in step parity and bounded.
-                                    if !budget.tick() {
-                                        return Outcome::TimedOut;
+                                    // stay in step parity and bounded (and
+                                    // the clock is checked, as interned).
+                                    if !budget.tick_checked() {
+                                        return budget.degraded();
                                     }
                                     self.steps += 1;
                                     let Some(cc) = cond.and_cond(&c2, self.cond_cap) else {
@@ -1430,7 +1450,7 @@ mod tests {
             &NoOracle,
             &mut AnalysisBudget::steps(2),
         );
-        assert_eq!(r, Outcome::TimedOut);
+        assert_eq!(r, Outcome::Degraded(DegradeReason::BudgetSteps));
     }
 
     #[test]
@@ -1471,7 +1491,7 @@ mod tests {
                     cond_cap: 8,
                     path_sensitive,
                     uninterned,
-                    arena: None,
+                    ..EngineOptions::default()
                 },
             );
             e.compute_all_summaries(s.cx(), &NoOracle, &mut AnalysisBudget::unlimited())
@@ -1535,7 +1555,7 @@ mod tests {
     }
 
     #[test]
-    fn arena_capacity_exhaustion_times_out_instead_of_panicking() {
+    fn arena_capacity_exhaustion_degrades_instead_of_panicking() {
         let s = Setup::new(
             "int a; int *x; int *y; int **z;
              void main() { x = &a; z = &x; y = *z; }",
@@ -1554,8 +1574,12 @@ mod tests {
         );
         let mut budget = AnalysisBudget::unlimited();
         let r = engine.local_sources(s.cx(), s.v("y"), s.exit_of("main"), &NoOracle, &mut budget);
-        assert_eq!(r, Outcome::TimedOut);
-        assert!(budget.exhausted(), "arena overflow exhausts the budget");
+        assert_eq!(r, Outcome::Degraded(DegradeReason::ArenaFull));
+        assert_eq!(
+            budget.reason(),
+            Some(DegradeReason::ArenaFull),
+            "arena overflow exhausts the budget"
+        );
     }
 
     #[test]

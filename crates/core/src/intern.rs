@@ -222,6 +222,13 @@ impl Interner {
         self.cap
     }
 
+    /// The id capacity this arena was built with (`u32::MAX` for
+    /// production arenas). The cluster drivers read it to retry an
+    /// arena-full cluster with a doubled-capacity arena.
+    pub fn max_ids(&self) -> u32 {
+        self.conds.read().max_ids
+    }
+
     /// A snapshot of the table sizes and hit/miss counters.
     pub fn stats(&self) -> InternerStats {
         InternerStats {

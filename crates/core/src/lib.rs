@@ -41,6 +41,7 @@ pub mod bdd;
 pub mod budget;
 pub mod constraint;
 pub mod cover;
+pub mod degrade;
 pub mod engine;
 pub mod fsci_cache;
 mod fxhash;
@@ -55,6 +56,10 @@ pub use analyzer::{Analyzer, QueryError};
 pub use budget::{AnalysisBudget, Outcome};
 pub use constraint::Cond;
 pub use cover::{AliasCover, Cluster, ClusterOrigin};
+pub use degrade::{
+    classify_panic, DegradeReason, FaultKind, FaultPhase, FaultPlan, LadderAnswer, PanicClass,
+    Precision, INJECTED_PANIC_MSG,
+};
 pub use engine::{ClusterEngine, EngineCx, EngineOptions, NoOracle, PtsOracle};
 pub use fsci_cache::FsciCacheStats;
 pub use intern::{ArenaFull, CondId, DeadId, Interner, InternerStats};

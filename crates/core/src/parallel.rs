@@ -9,10 +9,14 @@
 //! distribution (greedy binning by cumulative pointer count, reporting the
 //! maximum per-part time).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::budget::AnalysisBudget;
+use crate::analyzer::Analyzer;
 use crate::cover::Cluster;
+use crate::degrade::{classify_panic, DegradeReason, PanicClass};
+use crate::intern::Interner;
 use crate::session::Session;
 
 /// The result of analyzing one cluster.
@@ -30,22 +34,97 @@ pub struct ClusterReport {
     pub summary_tuples: usize,
     /// Wall-clock time for the cluster.
     pub duration: Duration,
-    /// Whether the budget ran out before completion.
-    pub timed_out: bool,
+    /// Why the cluster fell short of a complete FSCS result, if it did
+    /// (budget exhaustion, arena overflow, or a panic). `None` means every
+    /// summary and every member query completed.
+    pub degraded: Option<DegradeReason>,
+}
+
+impl ClusterReport {
+    /// A report for a cluster that produced no usable engine counters —
+    /// its analysis panicked or its worker vanished.
+    fn stub(cluster: &Cluster, duration: Duration, reason: DegradeReason) -> Self {
+        ClusterReport {
+            cluster_id: cluster.id,
+            size: cluster.members.len(),
+            relevant_stmts: 0,
+            summary_entries: 0,
+            summary_tuples: 0,
+            duration,
+            degraded: Some(reason),
+        }
+    }
+}
+
+/// Runs one cluster under a panic guard. Returns the report plus whether
+/// the analyzer was poisoned (the caller must replace it before reusing
+/// it: a panic can leave partially-fixpointed summaries behind).
+fn run_cluster_guarded(
+    session: &Session<'_>,
+    az: &Analyzer<'_>,
+    cluster: &Cluster,
+    steps: u64,
+) -> (ClusterReport, bool) {
+    let budget = session.config().cluster_budget(steps, cluster.id);
+    let t0 = Instant::now();
+    match catch_unwind(AssertUnwindSafe(|| az.process_cluster(cluster, budget))) {
+        Ok(report) => (report, false),
+        Err(payload) => {
+            let class = classify_panic(payload.as_ref());
+            az.poison(class);
+            let reason = DegradeReason::Panicked { class };
+            (ClusterReport::stub(cluster, t0.elapsed(), reason), true)
+        }
+    }
+}
+
+/// One retry for a panicked or arena-full cluster: a fresh analyzer over a
+/// private arena with doubled id capacity, isolated from the session's
+/// shared interner (siblings keep theirs untouched). Deterministic
+/// injected faults re-fire here, so a fault-injected cluster converges to
+/// a degraded report instead of flapping.
+fn retry_cluster(session: &Session<'_>, cluster: &Cluster, steps: u64) -> ClusterReport {
+    let arena = Arc::new(Interner::with_max_ids(
+        session.config().cond_cap,
+        session.interner().max_ids().saturating_mul(2),
+    ));
+    let az = session.analyzer_with_arena(arena);
+    run_cluster_guarded(session, &az, cluster, steps).0
+}
+
+/// Whether a degraded first attempt earns the one retry: panics and arena
+/// overflow can be cured by fresh state and a bigger arena; a blown step
+/// or wall budget cannot.
+fn retryable(degraded: Option<DegradeReason>) -> bool {
+    matches!(
+        degraded,
+        Some(DegradeReason::ArenaFull | DegradeReason::Panicked { .. })
+    )
 }
 
 /// Analyzes every cluster serially with one shared analyzer (and therefore
-/// a shared FSCI cache).
+/// a shared FSCI cache). Each cluster is panic-guarded: a panicking or
+/// arena-full cluster is retried once on a fresh analyzer with a
+/// doubled-capacity private arena, and if it still fails only that
+/// cluster's report is degraded — siblings are unaffected.
 pub fn process_clusters(
     session: &Session<'_>,
     clusters: &[Cluster],
     steps_per_cluster: u64,
 ) -> Vec<ClusterReport> {
-    let analyzer = session.analyzer();
-    clusters
-        .iter()
-        .map(|c| analyzer.process_cluster(c, AnalysisBudget::steps(steps_per_cluster)))
-        .collect()
+    let mut analyzer = session.analyzer();
+    let mut out = Vec::with_capacity(clusters.len());
+    for c in clusters {
+        let (mut report, poisoned) = run_cluster_guarded(session, &analyzer, c, steps_per_cluster);
+        if poisoned {
+            analyzer = session.analyzer();
+        }
+        if retryable(report.degraded) {
+            report = retry_cluster(session, c, steps_per_cluster);
+        }
+        out.push(report);
+    }
+    out
 }
 
 /// Largest-processing-time-first schedule: cluster indices in descending
@@ -64,6 +143,15 @@ pub fn lpt_order(clusters: &[Cluster]) -> Vec<usize> {
 /// ([`Session::fsci_cache_stats`] counts the sharing), so oracle work done
 /// for one cluster is visible to every other worker. Clusters are enqueued
 /// largest-first ([`lpt_order`]); reports still come back in cluster order.
+///
+/// Fault isolation matches the serial driver: every cluster is
+/// panic-guarded and retried once (fresh analyzer, doubled private arena)
+/// on panic or arena overflow; a worker whose analyzer was poisoned
+/// replaces it and keeps draining the queue. Every cluster slot always
+/// gets a report — if a worker vanishes without delivering one (which the
+/// panic guard should make impossible), the slot is filled with a
+/// [`DegradeReason::Panicked`] stub tagged [`PanicClass::WorkerLost`]
+/// rather than silently dropped or turned into a driver panic.
 pub fn process_clusters_parallel(
     session: &Session<'_>,
     clusters: &[Cluster],
@@ -85,13 +173,20 @@ pub fn process_clusters_parallel(
             let task_rx = task_rx.clone();
             let res_tx = res_tx.clone();
             scope.spawn(move || {
-                let analyzer = session.analyzer();
+                let mut analyzer = session.analyzer();
                 while let Ok(i) = task_rx.recv() {
-                    let report = analyzer
-                        .process_cluster(&clusters[i], AnalysisBudget::steps(steps_per_cluster));
-                    if res_tx.send((i, report)).is_err() {
-                        break;
+                    let (mut report, poisoned) =
+                        run_cluster_guarded(session, &analyzer, &clusters[i], steps_per_cluster);
+                    if poisoned {
+                        analyzer = session.analyzer();
                     }
+                    if retryable(report.degraded) {
+                        report = retry_cluster(session, &clusters[i], steps_per_cluster);
+                    }
+                    // A closed result channel means the collector is gone;
+                    // keep draining so sibling sends do not back up, but
+                    // there is no one left to report to.
+                    let _ = res_tx.send((i, report));
                 }
             });
         }
@@ -101,7 +196,18 @@ pub fn process_clusters_parallel(
             out[i] = Some(r);
         }
         out.into_iter()
-            .map(|r| r.expect("every cluster processed"))
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    ClusterReport::stub(
+                        &clusters[i],
+                        Duration::ZERO,
+                        DegradeReason::Panicked {
+                            class: PanicClass::WorkerLost,
+                        },
+                    )
+                })
+            })
             .collect()
     })
 }
@@ -174,7 +280,7 @@ mod tests {
         let clusters = s.cover().clusters().to_vec();
         let reports = process_clusters(&s, &clusters, 1_000_000);
         assert_eq!(reports.len(), clusters.len());
-        assert!(reports.iter().all(|r| !r.timed_out));
+        assert!(reports.iter().all(|r| r.degraded.is_none()));
         assert!(reports.iter().all(|r| r.size >= 1));
     }
 
@@ -190,7 +296,7 @@ mod tests {
             assert_eq!(a.cluster_id, b.cluster_id);
             assert_eq!(a.size, b.size);
             assert_eq!(a.summary_tuples, b.summary_tuples);
-            assert_eq!(a.timed_out, b.timed_out);
+            assert_eq!(a.degraded, b.degraded);
         }
     }
 
@@ -262,6 +368,92 @@ mod tests {
     }
 
     #[test]
+    fn injected_faults_degrade_only_the_target_cluster() {
+        use crate::degrade::{FaultKind, FaultPhase, FaultPlan};
+        let p = demo_program();
+        let clean_session = Session::new(&p, Config::default());
+        let clean_clusters = clean_session.cover().clusters().to_vec();
+        let clean = process_clusters(&clean_session, &clean_clusters, 1_000_000);
+        assert!(clean.iter().all(|r| r.degraded.is_none()));
+        let target = 2usize;
+        for kind in FaultKind::ALL {
+            let config = Config {
+                fault_plan: Some(FaultPlan {
+                    phase: FaultPhase::Summaries,
+                    kind,
+                    at_tick: 1,
+                    cluster: Some(target),
+                }),
+                ..Config::default()
+            };
+            let s = Session::new(&p, config);
+            let clusters = s.cover().clusters().to_vec();
+            assert_eq!(clusters.len(), clean_clusters.len());
+            for threads in [1usize, 2, 4] {
+                let reports = process_clusters_parallel(&s, &clusters, threads, 1_000_000);
+                assert_eq!(reports.len(), clean.len());
+                for (r, c) in reports.iter().zip(clean.iter()) {
+                    if r.cluster_id == target {
+                        let reason = r.degraded.unwrap_or_else(|| {
+                            panic!("faulted cluster must degrade under {kind:?}")
+                        });
+                        let expected = match kind {
+                            FaultKind::Panic => DegradeReason::Panicked {
+                                class: PanicClass::Injected,
+                            },
+                            FaultKind::Budget => DegradeReason::Injected,
+                            FaultKind::ArenaFull => DegradeReason::ArenaFull,
+                        };
+                        assert_eq!(reason, expected);
+                    } else {
+                        assert_eq!(
+                            r.degraded, c.degraded,
+                            "sibling {} affected by {kind:?} fault on {target}",
+                            r.cluster_id
+                        );
+                        assert_eq!(r.size, c.size);
+                        assert_eq!(r.relevant_stmts, c.relevant_stmts);
+                        assert_eq!(r.summary_entries, c.summary_entries);
+                        assert_eq!(r.summary_tuples, c.summary_tuples);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_arena_degrades_gracefully_with_retry() {
+        // A branch-heavy program over a 2-id arena: walks overflow the
+        // interner, the driver retries on a doubled private arena, and
+        // whatever still overflows degrades as ArenaFull — never a panic,
+        // never a lost report.
+        let p = parse_program(
+            "int a; int b; int c1; int c2; int c3; int *x; int *y;
+             void main() {
+               if (c1) { x = &a; } else { x = &b; }
+               if (c2) { y = x; } else { y = &a; }
+               if (c3) { x = y; }
+             }",
+        )
+        .unwrap();
+        let config = Config {
+            interner_max_ids: 2,
+            ..Config::default()
+        };
+        let s = Session::new(&p, config);
+        let clusters = s.cover().clusters().to_vec();
+        let reports = process_clusters(&s, &clusters, 1_000_000);
+        assert_eq!(reports.len(), clusters.len());
+        for r in &reports {
+            assert!(
+                r.degraded.is_none() || r.degraded == Some(DegradeReason::ArenaFull),
+                "unexpected degradation: {:?}",
+                r.degraded
+            );
+        }
+    }
+
+    #[test]
     fn greedy_bins_cover_all_clusters() {
         let mk = |size, ms| ClusterReport {
             cluster_id: 0,
@@ -270,7 +462,7 @@ mod tests {
             summary_entries: 0,
             summary_tuples: 0,
             duration: Duration::from_millis(ms),
-            timed_out: false,
+            degraded: None,
         };
         let reports = vec![mk(10, 5), mk(10, 5), mk(10, 5), mk(10, 5), mk(10, 5)];
         let bins = greedy_bins(&reports, 5);
@@ -293,7 +485,7 @@ mod tests {
             summary_entries: 0,
             summary_tuples: 0,
             duration: Duration::from_millis(7),
-            timed_out: false,
+            degraded: None,
         }];
         assert_eq!(simulated_parallel_time(&r, 5), Duration::from_millis(7));
     }

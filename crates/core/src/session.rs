@@ -14,16 +14,21 @@
 //! the caches.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bootstrap_analyses::{andersen, oneflow, steensgaard, SteensgaardResult};
 use bootstrap_ir::{CallGraph, FuncId, Loc, Program, Stmt, VarId};
+use parking_lot::RwLock;
 
 use crate::analyzer::Analyzer;
 use crate::budget::{AnalysisBudget, Outcome};
 use crate::constraint::Cond;
 use crate::cover::{AliasCover, Cluster, ClusterOrigin};
+use crate::degrade::{
+    classify_panic, DegradeReason, FaultPhase, FaultPlan, LadderAnswer, Precision,
+};
 use crate::engine::EngineCx;
 use crate::fsci_cache::{FsciCacheStats, SharedFsciCache};
 use crate::intern::{Interner, InternerStats};
@@ -68,6 +73,15 @@ pub struct Config {
     /// infeasible paths (the paper's path-sensitivity extension, §3).
     /// Off by default, matching the paper's path-insensitive core.
     pub path_sensitive: bool,
+    /// Deterministic fault injection (`None` in production): the plan is
+    /// armed onto the budget of its target phase, where it panics or
+    /// exhausts the budget at the chosen tick. Used by the fuzz harness
+    /// and CI to prove degradation stays sound and isolated.
+    pub fault_plan: Option<FaultPlan>,
+    /// Id capacity of the session's shared interning arena (`u32::MAX` in
+    /// production). Tests shrink it to exercise the arena-full degradation
+    /// and the drivers' doubled-capacity retry.
+    pub interner_max_ids: u32,
 }
 
 impl Default for Config {
@@ -81,14 +95,47 @@ impl Default for Config {
             query_step_budget: 5_000_000,
             middle_stage: MiddleStage::None,
             path_sensitive: false,
+            fault_plan: None,
+            interner_max_ids: u32::MAX,
         }
     }
 }
 
 impl Config {
-    /// A fresh budget for one user query.
+    /// A fresh budget for one user query, with any query-phase fault
+    /// armed.
     pub fn query_budget(&self) -> AnalysisBudget {
-        AnalysisBudget::steps(self.query_step_budget)
+        let mut b = AnalysisBudget::steps(self.query_step_budget);
+        if let Some(plan) = self.fault_plan {
+            if plan.applies_to(FaultPhase::Query, None) {
+                b.arm_fault(plan.kind, plan.at_tick);
+            }
+        }
+        b
+    }
+
+    /// A fresh budget for one oracle-initiated FSCI computation, with any
+    /// oracle-phase fault armed.
+    pub fn oracle_budget(&self) -> AnalysisBudget {
+        let mut b = AnalysisBudget::steps(self.oracle_step_budget);
+        if let Some(plan) = self.fault_plan {
+            if plan.applies_to(FaultPhase::Oracle, None) {
+                b.arm_fault(plan.kind, plan.at_tick);
+            }
+        }
+        b
+    }
+
+    /// A fresh budget for one cluster's summary fixpoint, with any
+    /// summaries-phase fault targeting this cluster slot armed.
+    pub fn cluster_budget(&self, steps: u64, cluster_id: usize) -> AnalysisBudget {
+        let mut b = AnalysisBudget::steps(steps);
+        if let Some(plan) = self.fault_plan {
+            if plan.applies_to(FaultPhase::Summaries, Some(cluster_id)) {
+                b.arm_fault(plan.kind, plan.at_tick);
+            }
+        }
+        b
     }
 }
 
@@ -124,6 +171,18 @@ pub struct Session<'p> {
     interner: Arc<Interner>,
     /// Per-phase wall/step counters (see [`Session::phase_stats`]).
     profile: PhaseProfile,
+    /// Lazily computed tier-2 fallbacks: per alias partition, an Andersen
+    /// points-to result over the partition's relevant slice. Shared across
+    /// analyzers like the FSCI cache (memo of a deterministic function).
+    andersen_tiers: RwLock<HashMap<bootstrap_analyses::ClassId, Arc<AndersenTier>>>,
+}
+
+/// Cached tier-2 artifacts for one alias partition: the slice Andersen
+/// result plus the slice's variable set `V_P` (FSCS walks never leave the
+/// slice, so `V_P` bounds their `EntryVar` terminals).
+struct AndersenTier {
+    result: andersen::AndersenResult,
+    slice_vars: Vec<VarId>,
 }
 
 impl<'p> Session<'p> {
@@ -156,7 +215,10 @@ impl<'p> Session<'p> {
         let cover = build_cover(program, &steens, &index, &config, &alias_partitions);
         let clustering_time = t1.elapsed();
 
-        let interner = Arc::new(Interner::new(config.cond_cap));
+        let interner = Arc::new(Interner::with_max_ids(
+            config.cond_cap,
+            config.interner_max_ids,
+        ));
         let profile = PhaseProfile::new();
         profile.record(Phase::Steensgaard, steensgaard_time, 0);
         profile.record(Phase::Andersen, clustering_time, 0);
@@ -177,6 +239,7 @@ impl<'p> Session<'p> {
             fsci_cache: SharedFsciCache::new(),
             interner,
             profile,
+            andersen_tiers: RwLock::new(HashMap::new()),
         }
     }
 
@@ -226,31 +289,171 @@ impl<'p> Session<'p> {
         Analyzer::new(self)
     }
 
-    /// The flow- and context-sensitive value sources of `p` just before
-    /// `loc`, filtered to constraint-satisfiable tuples.
+    /// A fresh analyzer whose engines intern into `arena` instead of the
+    /// session's shared interner. Cluster drivers use this to retry an
+    /// arena-full cluster with a doubled-capacity private arena without
+    /// disturbing sibling workers that keep the shared one.
+    pub fn analyzer_with_arena(&self, arena: Arc<Interner>) -> Analyzer<'_> {
+        Analyzer::with_arena(self, arena)
+    }
+
+    /// The value sources of `p` just before `loc`, down a precision
+    /// ladder that always answers.
     ///
     /// This is the per-statement query surface client checkers batch their
-    /// site queries through: each call gets a fresh query budget, runs
-    /// Algorithm 3 at an arbitrary program point (not just function exits),
-    /// and weeds out sources whose guarding constraints the FSCI oracle
-    /// refutes — the must-alias strong updates that suppress false
-    /// positives. Pass the same `az` for all queries of one batch so the
+    /// site queries through. Tier 1 is the flow- and context-sensitive
+    /// walk (a fresh query budget, Algorithm 3 at an arbitrary program
+    /// point, sources filtered to constraint-satisfiable tuples). If it
+    /// runs out of budget, overflows the arena, or panics, the query falls
+    /// to tier 2 — flow-insensitive Andersen points-to over the alias
+    /// partition's relevant slice — and, should even that fail, to tier 3,
+    /// the raw Steensgaard pointee partition. Each coarser tier is a sound
+    /// over-approximation of the tiers above it, so the answer is always a
+    /// superset of the true source set; [`LadderAnswer::precision`] tags
+    /// which tier answered and [`LadderAnswer::reason`] why precision was
+    /// lost. Pass the same `az` for all queries of one batch so the
     /// per-thread memo and the shared FSCI cache are reused across sites.
-    pub fn query_at_loc(
-        &self,
-        az: &Analyzer<'_>,
-        p: VarId,
-        loc: Loc,
-    ) -> Outcome<Vec<(Source, Cond)>> {
-        let mut budget = self.config.query_budget();
+    pub fn query_at_loc(&self, az: &Analyzer<'_>, p: VarId, loc: Loc) -> LadderAnswer {
+        let reason = if let Some(class) = az.poison_class() {
+            // A previous query panicked mid-walk on this analyzer: its
+            // engine and memo state are suspect, so FSCS answers from it
+            // can no longer be trusted. Degrade until it is replaced.
+            DegradeReason::Panicked { class }
+        } else {
+            let mut budget = self.config.query_budget();
+            let t0 = Instant::now();
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                az.sources(p, loc, &mut budget)
+                    .map(|s| az.satisfiable_sources(s))
+            }));
+            self.profile
+                .record(Phase::Fscs, t0.elapsed(), budget.steps_used());
+            match attempt {
+                Ok(Outcome::Done(sources)) => return LadderAnswer::fscs(sources),
+                Ok(Outcome::Degraded(r)) => r,
+                Err(payload) => {
+                    let class = classify_panic(payload.as_ref());
+                    az.poison(class);
+                    DegradeReason::Panicked { class }
+                }
+            }
+        };
+        // Tier 2. The Andersen fallback is plain fixpoint arithmetic and
+        // should never panic, but the whole point of the ladder is to not
+        // have to trust that: catch and fall through to tier 3, which is
+        // pure table lookups over results computed at session build time.
         let t0 = Instant::now();
-        let out = az.sources(p, loc, &mut budget);
-        self.profile
-            .record(Phase::Fscs, t0.elapsed(), budget.steps_used());
-        match out {
-            Outcome::Done(sources) => Outcome::Done(az.satisfiable_sources(sources)),
-            Outcome::TimedOut => Outcome::TimedOut,
+        let tier2 = catch_unwind(AssertUnwindSafe(|| self.andersen_sources(p)));
+        self.profile.record(Phase::Andersen, t0.elapsed(), 0);
+        if let Ok(sources) = tier2 {
+            return LadderAnswer {
+                sources,
+                precision: Precision::Andersen,
+                reason: Some(reason),
+            };
         }
+        LadderAnswer {
+            sources: self.steensgaard_sources(p),
+            precision: Precision::Steensgaard,
+            reason: Some(reason),
+        }
+    }
+
+    /// The variable set a degraded tier answers over: the alias partition
+    /// of `p` (every pointer that could share update sequences with it),
+    /// falling back to `p`'s value class, then to `p` alone.
+    fn tier_members(&self, p: VarId) -> Vec<VarId> {
+        let key = self.steens.partition_key(p);
+        let members = self.partition_members(key);
+        if !members.is_empty() {
+            return members.to_vec();
+        }
+        let class = self.steens.members(key);
+        if class.is_empty() {
+            vec![p]
+        } else {
+            class.to_vec()
+        }
+    }
+
+    /// Tier-2 sources: flow-insensitive Andersen points-to over the alias
+    /// partition's relevant slice, unioned across the partition.
+    ///
+    /// Soundness (superset of any tier-1 answer): every `Addr` terminal of
+    /// an FSCS walk comes from a relevant address-taking statement whose
+    /// destination is in `p`'s alias partition, and Andersen over the same
+    /// slice records exactly those assignments (plus flow-insensitive
+    /// propagation); `Null` is included unconditionally, and `EntryVar` is
+    /// included for every variable of the slice `V_P` — a walk never
+    /// leaves its relevant slice, so any entry value it can bottom out in
+    /// (including values *stored into* a queried heap object, which sit
+    /// outside the alias partition) belongs to a slice variable.
+    fn andersen_sources(&self, p: VarId) -> Vec<(Source, Cond)> {
+        let key = self.steens.partition_key(p);
+        let members = self.tier_members(p);
+        let tier = self.andersen_tier(key, &members);
+        let mut addrs: Vec<VarId> = members
+            .iter()
+            .flat_map(|&m| tier.result.points_to_vars(m))
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        let mut sources: Vec<(Source, Cond)> = addrs
+            .into_iter()
+            .map(|o| (Source::Addr(o), Cond::top()))
+            .collect();
+        sources.push((Source::Null, Cond::top()));
+        sources.extend(members.iter().map(|&m| (Source::EntryVar(m), Cond::top())));
+        sources.extend(
+            tier.slice_vars
+                .iter()
+                .map(|&v| (Source::EntryVar(v), Cond::top())),
+        );
+        sources.sort();
+        sources.dedup();
+        sources
+    }
+
+    /// Tier-3 sources: the Steensgaard pointee partition of `p` (the
+    /// coarsest sound tier — pure lookups into session-build results).
+    /// With no slice at hand, `EntryVar` coverage widens to every program
+    /// variable.
+    fn steensgaard_sources(&self, p: VarId) -> Vec<(Source, Cond)> {
+        let mut sources: Vec<(Source, Cond)> = self
+            .steens
+            .points_to_vars(p)
+            .iter()
+            .map(|&o| (Source::Addr(o), Cond::top()))
+            .collect();
+        sources.push((Source::Null, Cond::top()));
+        sources.extend(
+            self.program
+                .var_ids()
+                .map(|v| (Source::EntryVar(v), Cond::top())),
+        );
+        sources.sort();
+        sources.dedup();
+        sources
+    }
+
+    /// The cached tier-2 Andersen result for one alias partition.
+    fn andersen_tier(
+        &self,
+        key: bootstrap_analyses::ClassId,
+        members: &[VarId],
+    ) -> Arc<AndersenTier> {
+        if let Some(r) = self.andersen_tiers.read().get(&key) {
+            return Arc::clone(r);
+        }
+        let t0 = Instant::now();
+        let rel = relevant_statements_indexed(self.program, &self.steens, &self.index, members);
+        let stmts: Vec<&Stmt> = rel.stmts().map(|loc| self.program.stmt_at(loc)).collect();
+        let an = Arc::new(AndersenTier {
+            result: andersen::analyze_stmts(self.program.var_count(), stmts),
+            slice_vars: rel.vars().collect(),
+        });
+        self.profile.record(Phase::Andersen, t0.elapsed(), 0);
+        Arc::clone(self.andersen_tiers.write().entry(key).or_insert(an))
     }
 
     /// The session-wide FSCI cache (clean top-level results only).

@@ -233,7 +233,7 @@ proptest! {
             let mut engine = ClusterEngine::with_engine_options(
                 cx,
                 members.clone(),
-                EngineOptions { cond_cap: 8, path_sensitive, uninterned, arena: None },
+                EngineOptions { cond_cap: 8, path_sensitive, uninterned, arena: None, fault: None },
             );
             engine
                 .compute_all_summaries(cx, &NoOracle, &mut AnalysisBudget::unlimited())

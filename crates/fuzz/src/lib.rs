@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashSet;
 use std::fs;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -34,10 +35,10 @@ use std::path::PathBuf;
 use bootstrap_analyses::andersen::{self, SolverOptions};
 use bootstrap_analyses::steensgaard;
 use bootstrap_checks::{run_checks, CheckReport, CheckerKind};
-use bootstrap_core::parallel::{process_clusters, process_clusters_parallel};
+use bootstrap_core::parallel::{lpt_order, process_clusters, process_clusters_parallel};
 use bootstrap_core::{
-    AnalysisBudget, ClusterEngine, ClusterReport, Config, EngineCx, EngineOptions, NoOracle,
-    Outcome, Session, Source,
+    AnalysisBudget, ClusterEngine, ClusterReport, Config, EngineCx, EngineOptions, FaultKind,
+    FaultPhase, FaultPlan, LadderAnswer, NoOracle, Outcome, Precision, Session, Source,
 };
 use bootstrap_ir::{Program, VarId};
 use bootstrap_workloads::minic::{self, MiniCConfig, MiniCProgram};
@@ -75,6 +76,10 @@ pub struct FuzzConfig {
     pub corpus_dir: Option<PathBuf>,
     /// Shrink failing programs with the ddmin reducer before reporting.
     pub reduce: bool,
+    /// Also run the fault-injection invariants on every iteration:
+    /// deterministic panic/budget/arena faults must degrade queries soundly
+    /// and never lose a cluster or disturb a sibling's report.
+    pub faults: bool,
 }
 
 impl Default for FuzzConfig {
@@ -84,6 +89,7 @@ impl Default for FuzzConfig {
             iters: 200,
             corpus_dir: None,
             reduce: true,
+            faults: false,
         }
     }
 }
@@ -153,8 +159,8 @@ fn sorted_dbg<T: std::fmt::Debug>(items: &[T]) -> Vec<String> {
 /// The thread-count-independent part of a [`ClusterReport`].
 fn report_key(r: &ClusterReport) -> String {
     format!(
-        "cluster {} size {} relevant {} entries {} tuples {} timed_out {}",
-        r.cluster_id, r.size, r.relevant_stmts, r.summary_entries, r.summary_tuples, r.timed_out
+        "cluster {} size {} relevant {} entries {} tuples {} degraded {:?}",
+        r.cluster_id, r.size, r.relevant_stmts, r.summary_entries, r.summary_tuples, r.degraded
     )
 }
 
@@ -165,8 +171,16 @@ fn findings_key(r: &CheckReport) -> Vec<String> {
         .iter()
         .map(|f| {
             format!(
-                "{:?} {:?} {} {:?} {:?} {} {:?} {}",
-                f.checker, f.severity, f.func, f.loc, f.line, f.var, f.object, f.message
+                "{:?} {:?} {} {:?} {:?} {} {:?} {} {:?}",
+                f.checker,
+                f.severity,
+                f.func,
+                f.loc,
+                f.line,
+                f.var,
+                f.object,
+                f.message,
+                f.precision
             )
         })
         .collect()
@@ -186,10 +200,15 @@ pub fn check_source(src: &str) -> Result<(), InvariantViolation> {
     check_program(&program)
 }
 
-/// Runs [`check_source`] under a panic guard: any panic in the cascade
-/// becomes a `"panic"` violation instead of unwinding the caller.
-pub fn check_guarded(src: &str) -> Option<InvariantViolation> {
-    match panic::catch_unwind(AssertUnwindSafe(|| check_source(src))) {
+/// Runs `check` on `src` under a panic guard: any panic escaping the
+/// cascade becomes a violation of class `panic_kind` instead of
+/// unwinding the caller.
+fn guarded_by(
+    check: fn(&str) -> Result<(), InvariantViolation>,
+    panic_kind: &'static str,
+    src: &str,
+) -> Option<InvariantViolation> {
+    match panic::catch_unwind(AssertUnwindSafe(|| check(src))) {
         Ok(Ok(())) => None,
         Ok(Err(v)) => Some(v),
         Err(payload) => {
@@ -199,11 +218,24 @@ pub fn check_guarded(src: &str) -> Option<InvariantViolation> {
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".to_string());
             Some(InvariantViolation {
-                kind: "panic",
+                kind: panic_kind,
                 detail: msg,
             })
         }
     }
+}
+
+/// Runs [`check_source`] under a panic guard: any panic in the cascade
+/// becomes a `"panic"` violation instead of unwinding the caller.
+pub fn check_guarded(src: &str) -> Option<InvariantViolation> {
+    guarded_by(check_source, "panic", src)
+}
+
+/// Runs [`check_faults_source`] under the same panic guard; escaped
+/// panics become `"fault-panic"` violations (injected faults must be
+/// contained by the drivers, never unwind to the caller).
+pub fn check_faults_guarded(src: &str) -> Option<InvariantViolation> {
+    guarded_by(check_faults_source, "fault-panic", src)
 }
 
 fn check_program(program: &Program) -> Result<(), InvariantViolation> {
@@ -284,39 +316,41 @@ fn check_program(program: &Program) -> Result<(), InvariantViolation> {
             let name = program.var(p).name();
             let r1 = s1.query_at_loc(&az1, p, exit);
             let r2 = s2.query_at_loc(&az2, p, exit);
-            match (r1, r2) {
-                (Outcome::Done(a), Outcome::Done(b)) => {
-                    let ka = sorted_dbg(&a);
-                    let kb = sorted_dbg(&b);
-                    if ka != kb {
-                        return viol(
-                            "query-nondeterminism",
-                            format!(
-                                "sources({name}) differ across fresh sessions: {ka:?} vs {kb:?}"
-                            ),
-                        );
-                    }
-                    let class = steens.points_to_vars(p);
-                    for (source, _) in &a {
-                        if let Source::Addr(o) = source {
-                            if !class.contains(o) {
-                                return viol(
-                                    "fscs-source-outside-steensgaard",
-                                    format!(
-                                        "source &{} of {name} outside its Steensgaard pointee class",
-                                        program.var(*o).name()
-                                    ),
-                                );
-                            }
+            if r1.precision != r2.precision || r1.reason != r2.reason {
+                return viol(
+                    "query-degradation-nondeterminism",
+                    format!(
+                        "sources({name}) degrade differently across fresh sessions: \
+                         {:?}/{:?} vs {:?}/{:?}",
+                        r1.precision, r1.reason, r2.precision, r2.reason
+                    ),
+                );
+            }
+            let ka = sorted_dbg(&r1.sources);
+            let kb = sorted_dbg(&r2.sources);
+            if ka != kb {
+                return viol(
+                    "query-nondeterminism",
+                    format!("sources({name}) differ across fresh sessions: {ka:?} vs {kb:?}"),
+                );
+            }
+            // The strict pointee-class containment only holds for the
+            // full-precision tier: degraded tiers widen to the alias
+            // partition (checked separately under fault injection).
+            if r1.precision == Precision::Fscs {
+                let class = steens.points_to_vars(p);
+                for (source, _) in &r1.sources {
+                    if let Source::Addr(o) = source {
+                        if !class.contains(o) {
+                            return viol(
+                                "fscs-source-outside-steensgaard",
+                                format!(
+                                    "source &{} of {name} outside its Steensgaard pointee class",
+                                    program.var(*o).name()
+                                ),
+                            );
                         }
                     }
-                }
-                (Outcome::TimedOut, Outcome::TimedOut) => {}
-                _ => {
-                    return viol(
-                        "query-timeout-nondeterminism",
-                        format!("sources({name}) timed out in one session but not the other"),
-                    )
                 }
             }
             if let Some(pts) = az1.fsci_pts(p, exit) {
@@ -395,7 +429,7 @@ fn check_program(program: &Program) -> Result<(), InvariantViolation> {
             let mut budget = AnalysisBudget::steps(STEPS_PER_CLUSTER);
             match eng.compute_all_summaries(cx, &NoOracle, &mut budget) {
                 Outcome::Done(()) => Some(format!("{:?}", eng.summary_snapshot())),
-                Outcome::TimedOut => None,
+                Outcome::Degraded(_) => None,
             }
         };
         if let (Some(interned), Some(uninterned)) = (run(false), run(true)) {
@@ -455,6 +489,177 @@ fn check_program(program: &Program) -> Result<(), InvariantViolation> {
         );
     }
 
+    Ok(())
+}
+
+/// Parses `src` and checks the fault-injection invariants on it.
+pub fn check_faults_source(src: &str) -> Result<(), InvariantViolation> {
+    let mut program = match bootstrap_ir::parse_program(src) {
+        Ok(p) => p,
+        Err(e) => return viol("parse-error", e.to_string()),
+    };
+    steensgaard::resolve_and_devirtualize(&mut program);
+    check_faults(&program)
+}
+
+/// Fault-injection invariants: a deterministic fault seeded into any
+/// phase must produce degraded-but-sound answers, and a fault targeting
+/// one cluster must never lose a report or disturb a sibling's.
+///
+/// * every degraded ladder answer carries a [`DegradeReason`];
+/// * degraded `Addr` sources stay inside the union of Steensgaard
+///   pointee classes over the pointer's alias partition (the coarsest
+///   tier's bound);
+/// * when the clean run answers at full FSCS precision, the faulted
+///   answer's sources are a superset of the clean sources (degradation
+///   only over-approximates, it never drops a source);
+/// * with a fault pinned to the largest cluster's summary phase, every
+///   driver (serial, 2- and 4-thread LPT) still returns one report per
+///   cluster, and every non-target report matches the clean baseline.
+///
+/// [`DegradeReason`]: bootstrap_core::DegradeReason
+pub fn check_faults(program: &Program) -> Result<(), InvariantViolation> {
+    let steens = steensgaard::analyze(program);
+    let clean_session = Session::new(program, base_config());
+    let pointers: Vec<VarId> = clean_session.pointers().to_vec();
+
+    // --- Query/Oracle faults degrade soundly -----------------------------
+    if let Some(main) = program.func_named("main") {
+        let exit = program.func(main).exit();
+        let clean_az = clean_session.analyzer();
+        let queried: Vec<VarId> = pointers.iter().copied().take(8).collect();
+        let clean: Vec<LadderAnswer> = queried
+            .iter()
+            .map(|&p| clean_session.query_at_loc(&clean_az, p, exit))
+            .collect();
+        for phase in FaultPhase::ALL {
+            if phase == FaultPhase::Summaries {
+                continue; // covered by the cluster-isolation check below
+            }
+            for kind in FaultKind::ALL {
+                let session = Session::new(
+                    program,
+                    Config {
+                        fault_plan: Some(FaultPlan {
+                            phase,
+                            kind,
+                            at_tick: 1,
+                            cluster: None,
+                        }),
+                        ..base_config()
+                    },
+                );
+                let az = session.analyzer();
+                for (i, &p) in queried.iter().enumerate() {
+                    let name = program.var(p).name();
+                    let r = session.query_at_loc(&az, p, exit);
+                    if r.is_degraded() {
+                        if r.reason.is_none() {
+                            return viol(
+                                "fault-missing-reason",
+                                format!(
+                                    "{phase:?}/{kind:?}: degraded sources({name}) carry no reason"
+                                ),
+                            );
+                        }
+                        let key = steens.partition_key(p);
+                        let allowed: HashSet<VarId> = program
+                            .var_ids()
+                            .filter(|&v| steens.partition_key(v) == key)
+                            .chain(steens.members(key).iter().copied())
+                            .flat_map(|m| steens.points_to_vars(m).iter().copied())
+                            .collect();
+                        for (source, _) in &r.sources {
+                            if let Source::Addr(o) = source {
+                                if !allowed.contains(o) {
+                                    return viol(
+                                        "fault-degraded-outside-steensgaard",
+                                        format!(
+                                            "{phase:?}/{kind:?}: degraded source &{} of {name} \
+                                             outside its partition's Steensgaard bound",
+                                            program.var(*o).name()
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if clean[i].precision == Precision::Fscs {
+                        let have: HashSet<Source> = r.sources.iter().map(|&(s, _)| s).collect();
+                        for &(s, _) in &clean[i].sources {
+                            if !have.contains(&s) {
+                                return viol(
+                                    "fault-degraded-not-superset",
+                                    format!(
+                                        "{phase:?}/{kind:?}: faulted sources({name}) \
+                                         lost clean FSCS source {s:?}"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Summary faults are isolated to their target cluster -------------
+    let clusters = clean_session.cover().clusters();
+    if clusters.is_empty() {
+        return Ok(());
+    }
+    let baseline: Vec<String> = process_clusters(&clean_session, clusters, STEPS_PER_CLUSTER)
+        .iter()
+        .map(report_key)
+        .collect();
+    let target = lpt_order(clusters)[0];
+    for kind in FaultKind::ALL {
+        let config = Config {
+            fault_plan: Some(FaultPlan {
+                phase: FaultPhase::Summaries,
+                kind,
+                at_tick: 1,
+                cluster: Some(target),
+            }),
+            ..base_config()
+        };
+        for threads in [1usize, 2, 4] {
+            let session = Session::new(program, config.clone());
+            let clusters = session.cover().clusters();
+            let reports = if threads == 1 {
+                process_clusters(&session, clusters, STEPS_PER_CLUSTER)
+            } else {
+                process_clusters_parallel(&session, clusters, threads, STEPS_PER_CLUSTER)
+            };
+            if reports.len() != clusters.len() {
+                return viol(
+                    "fault-cluster-lost",
+                    format!(
+                        "{kind:?} @ cluster {target}, {threads} threads: {} reports \
+                         for {} clusters",
+                        reports.len(),
+                        clusters.len()
+                    ),
+                );
+            }
+            for r in &reports {
+                if r.cluster_id == target {
+                    continue;
+                }
+                let key = report_key(r);
+                if baseline[r.cluster_id] != key {
+                    return viol(
+                        "fault-sibling-disturbed",
+                        format!(
+                            "{kind:?} @ cluster {target}, {threads} threads: sibling \
+                             {} changed: {key:?} vs clean {:?}",
+                            r.cluster_id, baseline[r.cluster_id]
+                        ),
+                    );
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -524,14 +729,27 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
     let mut violations = Vec::new();
     for iteration in 0..config.iters {
         let prog = minic::generate(&config_for(config.seed, iteration));
-        let Some(found) = check_guarded(&prog.render()) else {
+        let src = prog.render();
+        let found = check_guarded(&src).or_else(|| {
+            if config.faults {
+                check_faults_guarded(&src)
+            } else {
+                None
+            }
+        });
+        let Some(found) = found else {
             continue;
         };
         let kind = found.kind;
+        // Fault-class violations only reproduce under the fault checker;
+        // everything else shrinks against the differential invariants.
+        let recheck: fn(&str) -> Option<InvariantViolation> = if kind.starts_with("fault-") {
+            check_faults_guarded
+        } else {
+            check_guarded
+        };
         let minimized = if config.reduce {
-            reduce_program(&prog, &|src| {
-                check_guarded(src).is_some_and(|w| w.kind == kind)
-            })
+            reduce_program(&prog, &|src| recheck(src).is_some_and(|w| w.kind == kind))
         } else {
             prog.clone()
         };
@@ -607,8 +825,41 @@ mod tests {
             iters: 10,
             corpus_dir: None,
             reduce: true,
+            faults: false,
         });
         assert_eq!(report.iters, 10);
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:?}",
+            report
+                .violations
+                .iter()
+                .map(|v| (v.kind, &v.detail, &v.source))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fault_invariants_hold_on_a_fixed_program() {
+        let src = "int g; int h; int *p; int *q; int c; int x;
+             void main() { p = &g; q = &h; if (c) { q = p; } x = *q; free(p); }";
+        assert!(
+            check_faults_source(src).is_ok(),
+            "violation: {:?}",
+            check_faults_source(src)
+        );
+    }
+
+    #[test]
+    fn short_faulted_campaign_is_clean() {
+        let report = run_fuzz(&FuzzConfig {
+            seed: 11,
+            iters: 4,
+            corpus_dir: None,
+            reduce: true,
+            faults: true,
+        });
+        assert_eq!(report.iters, 4);
         assert!(
             report.violations.is_empty(),
             "violations: {:?}",

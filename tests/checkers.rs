@@ -24,7 +24,11 @@ fn buggy_corpus_findings_match_labels_exactly() {
     let generated = buggy::generate(&BuggyConfig::default());
     let session = Session::new(&generated.program, Config::default());
     let report = run_checks(&session, &CheckerKind::ALL);
-    assert_eq!(report.timed_out_queries, 0, "queries must not time out");
+    assert_eq!(
+        report.degrade.degraded_queries(),
+        0,
+        "queries must not degrade"
+    );
 
     let found: BTreeSet<(String, String, String)> = report
         .findings
