@@ -30,7 +30,15 @@ use crate::bitset::VarSet;
 /// ```
 #[derive(Clone, Debug)]
 pub struct AndersenResult {
+    /// Points-to sets indexed by *class representative*: variables the
+    /// solver merged share one physical set at their representative's
+    /// slot (non-representative slots are empty). Accessors resolve
+    /// through `class`, so collapsed classes of any size cost one set.
     pts: Vec<VarSet>,
+    /// Final union-find class representative per variable. Variables the
+    /// solver merged (cycle elimination) share a representative; a solver
+    /// that merged nothing maps every variable to itself.
+    class: Vec<u32>,
 }
 
 /// An Andersen cluster: the set of pointers that may point to a common
@@ -48,12 +56,12 @@ pub struct AndersenCluster {
 impl AndersenResult {
     /// The points-to set of `v` (object variable indices).
     pub fn points_to(&self, v: VarId) -> &VarSet {
-        &self.pts[v.index()]
+        &self.pts[self.class[v.index()] as usize]
     }
 
     /// The points-to set of `v` as sorted [`VarId`]s.
     pub fn points_to_vars(&self, v: VarId) -> Vec<VarId> {
-        self.pts[v.index()]
+        self.points_to(v)
             .iter()
             .map(|i| VarId::new(i as usize))
             .collect()
@@ -62,12 +70,12 @@ impl AndersenResult {
     /// Returns `true` if `p` and `q` may alias (their points-to sets
     /// intersect).
     pub fn may_alias(&self, p: VarId, q: VarId) -> bool {
-        self.pts[p.index()].intersects(&self.pts[q.index()])
+        self.points_to(p).intersects(self.points_to(q))
     }
 
     /// Number of variables covered.
     pub fn var_count(&self) -> usize {
-        self.pts.len()
+        self.class.len()
     }
 
     /// Builds the Andersen clusters over `pointers` (paper §2, "Computing
@@ -79,7 +87,7 @@ impl AndersenResult {
             std::collections::HashMap::new();
         let mut singletons = Vec::new();
         for &p in pointers {
-            let set = &self.pts[p.index()];
+            let set = self.points_to(p);
             if set.is_empty() {
                 singletons.push(p);
             } else {
@@ -109,10 +117,33 @@ impl AndersenResult {
         out
     }
 
+    /// The groups of variables the solver's cycle elimination merged into
+    /// a single class (only groups with two or more members; each sorted).
+    /// Every member of a group provably has the same points-to set — the
+    /// oversharing property tests check exactly that against the naive
+    /// oracle.
+    pub fn merged_groups(&self) -> Vec<Vec<VarId>> {
+        let mut by_class: std::collections::HashMap<u32, Vec<VarId>> =
+            std::collections::HashMap::new();
+        for (v, &c) in self.class.iter().enumerate() {
+            by_class.entry(c).or_default().push(VarId::new(v));
+        }
+        let mut out: Vec<Vec<VarId>> = by_class
+            .into_values()
+            .filter(|g| g.len() > 1)
+            .map(|mut g| {
+                g.sort();
+                g
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Resolves candidate targets of an indirect call through `fp`.
     pub fn fp_targets(&self, program: &Program, fp: VarId) -> Vec<bootstrap_ir::FuncId> {
         let mut out = Vec::new();
-        for o in self.pts[fp.index()].iter() {
+        for o in self.points_to(fp).iter() {
             if let VarKind::FuncObj(f) = program.var(VarId::new(o as usize)).kind() {
                 out.push(*f);
             }
@@ -124,31 +155,139 @@ impl AndersenResult {
 }
 
 /// Solver tuning knobs.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// The default configuration is the fast path: hybrid online cycle
+/// elimination plus wave-ordered propagation, engaged *adaptively* — the
+/// solver first runs a plain difference-propagation drain and only
+/// switches the cycle machinery on when a propagation-volume thrash
+/// detector says sets are circulating through unresolved copy cycles
+/// (sparse graphs that converge in about one pass never pay for it). The
+/// two older
+/// strategies are retained as property-tested oracles: `collapse_cycles`
+/// (the periodic offline sweep this PR's hybrid scheme replaced) and
+/// `naive` (the pre-difference-propagation solver). `naive` overrides
+/// every other flag so the oracle's cost profile and behavior stay
+/// frozen.
+#[derive(Clone, Copy, Debug)]
 pub struct SolverOptions {
     /// Periodically detect strongly connected components of the copy-edge
     /// graph and collapse them (pointers on a copy cycle provably share
     /// their final points-to set). This is the classic optimization behind
     /// scalable inclusion solvers (cf. Hardekopf & Lin, PLDI 2007 — cited
-    /// by the paper as a drop-in replacement stage).
+    /// by the paper as a drop-in replacement stage). Superseded by
+    /// `hybrid_cycles` as the default; kept as a verification oracle.
+    /// Ignored when `wave` is set (wave rounds already condense the graph).
     pub collapse_cycles: bool,
     /// Use the pre-difference-propagation solver: full points-to sets
     /// re-propagated on every worklist pop, duplicate worklist pushes, and
     /// O(degree) duplicate-edge scans — the solver as it was before this
     /// optimization pass. Kept as a slow, obviously correct oracle for
-    /// property tests and as the benchmark baseline; the default solver
-    /// propagates only per-node delta sets.
+    /// property tests and as the benchmark baseline. Overrides
+    /// `hybrid_cycles` and `wave`.
     pub naive: bool,
+    /// Hybrid online cycle elimination (HCD + LCD):
+    ///
+    /// * an **offline** pre-solve pass collapses the static copy-edge SCCs
+    ///   and records provable "merge `o` with `v` when `o` enters
+    ///   `pts(p)`" pairs — one per pointer `p` that is both loaded and
+    ///   stored through with the load destination and store source already
+    ///   in the same class `v` (then `o → d` and `s → o` with `d ≡ s ≡ v`
+    ///   pin `pts(o) = pts(v)` at the fixpoint, so the merge provably
+    ///   loses nothing);
+    /// * a **lazy** online trigger: when propagation along a copy edge
+    ///   `x → y` finds no growth and `pts(x) = pts(y)` (cycle members end
+    ///   up with equal sets; mere inclusion is the normal converged state
+    ///   of any chain), a cycle through the edge is suspected and a
+    ///   scoped SCC pass from `y` collapses any cycle it finds (checked
+    ///   at most once per edge).
+    pub hybrid_cycles: bool,
+    /// Engage the cycle machinery (`hybrid_cycles` / `wave`) from the
+    /// first pop instead of adaptively. By default the solver runs a
+    /// plain difference-propagation drain and brings the machinery in
+    /// only when the re-pop thrash detector fires; workloads small
+    /// enough to converge before the detector triggers then never merge
+    /// anything. Tests that must exercise the merge paths set this.
+    pub eager_cycles: bool,
+    /// Wave propagation: instead of popping a LIFO worklist, each round
+    /// condenses the copy graph (Tarjan) and pushes every pending delta
+    /// through the graph in topological order, so a wave of new objects
+    /// crosses each edge once per round instead of the worklist thrashing
+    /// hub nodes.
+    pub wave: bool,
 }
 
-/// Work counters from one solver run (used by worklist-boundedness tests
-/// and the naive-vs-delta benchmark).
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            collapse_cycles: false,
+            naive: false,
+            hybrid_cycles: true,
+            eager_cycles: false,
+            wave: true,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// The pre-optimization difference-propagation solver (no cycle
+    /// elimination, plain LIFO worklist) — the baseline this PR's hybrid +
+    /// wave pipeline is benchmarked and property-tested against.
+    pub fn baseline() -> Self {
+        Self {
+            collapse_cycles: false,
+            naive: false,
+            hybrid_cycles: false,
+            eager_cycles: false,
+            wave: false,
+        }
+    }
+
+    /// The slow, obviously correct oracle (full-set re-propagation).
+    pub fn naive_oracle() -> Self {
+        Self {
+            naive: true,
+            ..Self::baseline()
+        }
+    }
+}
+
+/// Work counters from one solver run (used by worklist-boundedness tests,
+/// the naive-vs-delta benchmark, and the `stats` CLI subcommand).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
-    /// Worklist pops that did propagation work.
+    /// Worklist pops (or wave node visits) that did propagation work.
     pub pops: usize,
+    /// Worklist pops that found nothing to do — the node's delta was
+    /// already drained by a merge or an earlier pop. Counted separately so
+    /// scheduling overhead is visible instead of inflating `pops`.
+    pub stale_pops: usize,
     /// Copy edges in the final constraint graph (including derived ones).
     pub edges: usize,
+    /// Cycle components collapsed while solving (HCD pair merges, LCD
+    /// detections, wave-round condensations, and periodic sweeps).
+    pub sccs_online: usize,
+    /// Cycle components collapsed by the offline pre-solve pass over the
+    /// static copy graph.
+    pub sccs_offline: usize,
+    /// Wave-propagation rounds run (0 unless `SolverOptions::wave`).
+    pub wave_rounds: usize,
+    /// Copy edges dropped because cycle collapsing turned them into
+    /// self-loops or duplicates.
+    pub edges_pruned: usize,
+}
+
+impl SolverStats {
+    /// Field-wise accumulate `other` into `self` — used to aggregate the
+    /// per-partition solver runs of a whole-program cascade.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.pops += other.pops;
+        self.stale_pops += other.stale_pops;
+        self.edges += other.edges;
+        self.sccs_online += other.sccs_online;
+        self.sccs_offline += other.sccs_offline;
+        self.wave_rounds += other.wave_rounds;
+        self.edges_pruned += other.edges_pruned;
+    }
 }
 
 /// Runs Andersen's analysis over every statement of `program`.
@@ -192,6 +331,36 @@ pub fn analyze_stmts_with_stats<'a, I>(
 where
     I: IntoIterator<Item = &'a Stmt>,
 {
+    let (result, stats, _) = analyze_stmts_profiled(n_vars, stmts, options);
+    (result, stats)
+}
+
+/// Wall-clock phase breakdown of one solver run. The benchmark harness
+/// reports these next to the totals so constraint construction (identical
+/// for every solver configuration) is visible separately from the solving
+/// fixpoint the configurations actually differ in.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverPhases {
+    /// Table allocation plus the ingestion pass over the statement slice
+    /// (points-to seeds, copy edges, load/store index).
+    pub build_secs: f64,
+    /// The constraint-solving fixpoint proper.
+    pub solve_secs: f64,
+    /// Result construction (class canonicalization).
+    pub expand_secs: f64,
+}
+
+/// Like [`analyze_stmts_with_stats`], also returning the wall-clock phase
+/// breakdown.
+pub fn analyze_stmts_profiled<'a, I>(
+    n_vars: usize,
+    stmts: I,
+    options: SolverOptions,
+) -> (AndersenResult, SolverStats, SolverPhases)
+where
+    I: IntoIterator<Item = &'a Stmt>,
+{
+    let t0 = std::time::Instant::now();
     let mut solver = Solver::new(n_vars, options);
     for stmt in stmts {
         match *stmt {
@@ -212,9 +381,17 @@ where
             Stmt::Null { .. } | Stmt::Free { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
         }
     }
+    let built = t0.elapsed();
     solver.solve();
+    let solved = t0.elapsed();
     let stats = solver.stats();
-    (solver.into_result(), stats)
+    let result = solver.into_result();
+    let phases = SolverPhases {
+        build_secs: built.as_secs_f64(),
+        solve_secs: (solved - built).as_secs_f64(),
+        expand_secs: (t0.elapsed() - solved).as_secs_f64(),
+    };
+    (result, stats, phases)
 }
 
 struct Solver {
@@ -236,11 +413,43 @@ struct Solver {
     /// Worklist membership bitmap: a node is pushed at most once until it
     /// is popped again, so duplicate pops never re-run propagation.
     in_worklist: Vec<bool>,
+    /// False while constraints are being ingested, true once `solve` runs.
+    /// During build `add_copy` skips the eager full-set carry over a new
+    /// edge: pre-solve every node's delta *is* its full set and every node
+    /// with a non-empty set is enqueued, so the first drain propagates it
+    /// anyway — the eager union would do the same work twice.
+    solving: bool,
     options: SolverOptions,
     /// Node -> representative (union-find, path-halved in `rep`).
     parent: Vec<u32>,
     /// Worklist pops since the start (collapse cadence + stats).
     pops: usize,
+    /// Pops that found an already-drained delta (stats).
+    stale_pops: usize,
+    /// HCD pairs: indexed by pointer `p`, the classes `v` to merge each
+    /// newly arriving object of `pts(p)` with (offline-proven deref
+    /// cycles). Moved to the class representative on merge, like `loads`.
+    /// Empty (not per-node allocated) until `hcd_offline` runs — the
+    /// adaptive path frequently never engages it.
+    hcd: Vec<Vec<u32>>,
+    /// Copy edges already LCD-checked, keyed `(src << 32) | dst`, so each
+    /// edge triggers at most one scoped cycle search.
+    lcd_seen: std::collections::HashSet<u64>,
+    sccs_online: usize,
+    sccs_offline: usize,
+    wave_rounds: usize,
+    edges_pruned: usize,
+    /// Tarjan scratch, generation-stamped so scoped LCD searches do not
+    /// pay an O(n) reset per trigger. A slot is valid iff
+    /// `scc_mark[v] == scc_gen`. Allocated on first use — a solve that
+    /// never runs an SCC pass never pays the O(n) memset.
+    scc_mark: Vec<u32>,
+    scc_index: Vec<u32>,
+    scc_low: Vec<u32>,
+    /// Plain bool (not generation-stamped): every Tarjan pass pops all it
+    /// pushes, so the array is all-false again at pass exit.
+    scc_on_stack: Vec<bool>,
+    scc_gen: u32,
 }
 
 impl Solver {
@@ -253,16 +462,34 @@ impl Solver {
             stores: vec![Vec::new(); n],
             worklist: Vec::new(),
             in_worklist: vec![false; n],
+            solving: false,
             options,
             parent: (0..n as u32).collect(),
             pops: 0,
+            stale_pops: 0,
+            hcd: Vec::new(),
+            lcd_seen: std::collections::HashSet::new(),
+            sccs_online: 0,
+            sccs_offline: 0,
+            wave_rounds: 0,
+            edges_pruned: 0,
+            scc_mark: Vec::new(),
+            scc_index: Vec::new(),
+            scc_low: Vec::new(),
+            scc_on_stack: Vec::new(),
+            scc_gen: 0,
         }
     }
 
     fn stats(&self) -> SolverStats {
         SolverStats {
             pops: self.pops,
+            stale_pops: self.stale_pops,
             edges: self.edges.iter().map(Vec::len).sum(),
+            sccs_online: self.sccs_online,
+            sccs_offline: self.sccs_offline,
+            wave_rounds: self.wave_rounds,
+            edges_pruned: self.edges_pruned,
         }
     }
 
@@ -329,22 +556,121 @@ impl Solver {
             // Difference propagation: a brand-new edge is the one case that
             // must carry the source's *full* current set (the destination
             // has seen none of it); afterwards only deltas flow over it.
-            let (src_pts, dst_pts) = index_two(&mut self.pts, src as usize, dst as usize);
-            if dst_pts.union_into_delta(src_pts, &mut self.delta[dst as usize]) {
-                self.enqueue(dst);
+            // During build the carry is skipped: delta(src) still equals
+            // pts(src) and src is enqueued, so the first pop of src carries
+            // the set across this edge for free (see `solving`).
+            if self.solving {
+                let (src_pts, dst_pts) = index_two(&mut self.pts, src as usize, dst as usize);
+                if dst_pts.union_into_delta(src_pts, &mut self.delta[dst as usize]) {
+                    self.enqueue(dst);
+                }
             }
         }
     }
 
     fn solve(&mut self) {
+        self.solving = true;
         if self.options.naive {
             self.solve_naive();
+            return;
+        }
+        if !self.options.hybrid_cycles && !self.options.wave {
+            // Plain difference propagation, with the periodic-sweep oracle
+            // (`collapse_cycles`) keeping its frozen cadence inside.
+            self.solve_delta();
+            return;
+        }
+        // Adaptive engagement: cycle machinery (offline HCD, wave rounds,
+        // LCD triggers) pays for itself only on cycle-dense graphs where
+        // the plain worklist thrashes. Run the cheap drain first; if it
+        // reaches the fixpoint without the propagated volume exceeding
+        // the thrash budget — the common case for sparse whole-program
+        // graphs that converge in about one pass — the machinery never
+        // runs at all.
+        if !self.options.eager_cycles && self.drain_until_thrash() {
+            return;
+        }
+        if self.options.hybrid_cycles {
+            self.hcd_offline();
+        }
+        if self.options.wave {
+            self.solve_wave();
         } else {
             self.solve_delta();
         }
     }
 
-    /// Difference propagation (the default): each pop takes the node's
+    /// Difference-propagation drain with a thrash detector: pops nodes
+    /// like the plain worklist solver (no cycle machinery) until either
+    /// the fixpoint (returns `true`) or until the propagated *volume* —
+    /// pending delta elements times out-degree, summed over pops —
+    /// exceeds ~4 elements per node (returns `false` with all pending
+    /// work still enqueued for the engaged solver). Pop counts cannot
+    /// tell a thrashing graph from a sparse one that merely contains a
+    /// small cyclic core: on sendmail the dense handle-table partition
+    /// shows up in both the whole program and its partition slice with
+    /// near-identical per-node pop profiles. Volume can: sets circulating
+    /// through unresolved cycles grow element by element and get
+    /// re-propagated wholesale, so cyclic cores push volume-per-node into
+    /// the tens while one-pass graphs stay under ~2 end to end.
+    fn drain_until_thrash(&mut self) -> bool {
+        let budget = 4 * self.pts.len() + 64;
+        let mut volume = 0usize;
+        while let Some(raw) = self.pop_node() {
+            let node = self.rep(raw) as usize;
+            if self.delta[node].is_empty() {
+                self.stale_pops += 1;
+                continue;
+            }
+            volume += self.delta[node].len() * self.edges[node].len().max(1);
+            if volume > budget {
+                // Bail before processing: the delta is still pending, so
+                // the node goes back on the worklist.
+                self.enqueue(node as u32);
+                return false;
+            }
+            self.pops += 1;
+            self.process_delta(node, false);
+        }
+        true
+    }
+
+    /// Offline half of hybrid cycle detection, run once before solving:
+    /// collapse the static copy-edge SCCs, then record the provable deref
+    /// pairs. For a pointer `p` with a load `d = *p` and a store `*p = s`
+    /// where `d` and `s` are already the same class `v`, any object `o`
+    /// that later enters `pts(p)` gets the derived edges `o → v` and
+    /// `v → o`, i.e. `pts(o) = pts(v)` at the fixpoint — so `(p, v)` is
+    /// recorded and the merge is applied online the moment `o` arrives,
+    /// without waiting for the cycle to materialize and be rediscovered.
+    /// The class-equality restriction is what keeps the merge *provable*
+    /// (full HCD on the ref graph can overshare; see DESIGN.md).
+    fn hcd_offline(&mut self) {
+        let n = self.pts.len();
+        self.hcd.resize_with(n, Vec::new);
+        self.sccs_offline += self.tarjan_collapse(0..n as u32, None);
+        for p in 0..n {
+            if self.loads[p].is_empty() || self.stores[p].is_empty() {
+                continue;
+            }
+            let loads = std::mem::take(&mut self.loads[p]);
+            let stores = std::mem::take(&mut self.stores[p]);
+            let mut pairs: Vec<u32> = Vec::new();
+            for &d in &loads {
+                let rd = self.rep(d);
+                if stores.iter().any(|&s| self.rep(s) == rd) {
+                    pairs.push(rd);
+                }
+            }
+            self.loads[p] = loads;
+            self.stores[p] = stores;
+            pairs.sort_unstable();
+            pairs.dedup();
+            self.hcd[p] = pairs;
+        }
+    }
+
+    /// Difference propagation (worklist mode): each pop takes the node's
     /// pending delta and pushes only those elements through loads, stores
     /// and copy edges. Work per pop is proportional to what actually
     /// changed, not to the node's accumulated points-to set.
@@ -353,47 +679,130 @@ impl Solver {
         while let Some(raw) = self.pop_node() {
             let mut n = self.rep(raw) as usize;
             if self.delta[n].is_empty() {
-                continue; // stale entry for a merged or drained class
+                self.stale_pops += 1; // stale entry for a merged or drained class
+                continue;
             }
             self.pops += 1;
             if self.options.collapse_cycles && self.pops.is_multiple_of(4 * n_nodes) {
-                self.collapse_sccs();
+                let merged = self.tarjan_collapse(0..n_nodes as u32, None);
+                self.sccs_online += merged;
                 n = self.rep(n as u32) as usize;
                 if self.delta[n].is_empty() {
                     continue;
                 }
             }
-            let d = std::mem::take(&mut self.delta[n]);
-            // Derive new copy edges from loads/stores through n — only for
-            // the objects that newly arrived. The lists are *moved* out and
-            // restored, not cloned: `add_copy` only touches edges, points-to
-            // sets and deltas, never the load/store index, so taking them is
-            // borrow-safe and costs nothing per pop.
-            if !self.loads[n].is_empty() || !self.stores[n].is_empty() {
-                let loads = std::mem::take(&mut self.loads[n]);
-                let stores = std::mem::take(&mut self.stores[n]);
-                for o in d.iter() {
-                    for &l in &loads {
-                        self.add_copy(o, l);
-                    }
-                    for &s in &stores {
-                        self.add_copy(s, o);
+            self.process_delta(n, self.options.hybrid_cycles);
+        }
+    }
+
+    /// Wave propagation: condense the copy graph, then push every pending
+    /// delta through it in topological order, so each edge carries a full
+    /// wave of new objects once per round. Deltas created on predecessors
+    /// mid-round (derived back-edges, cycle merges) roll over to the next
+    /// round; the loop ends when a round finds nothing pending.
+    fn solve_wave(&mut self) {
+        let mut order: Vec<u32> = Vec::new();
+        let mut starts: Vec<u32> = Vec::new();
+        loop {
+            // Pending classes for this round: exactly what build or the
+            // previous round enqueued (the worklist doubles as the pending
+            // set — it is never popped in wave mode). Scoping Tarjan to
+            // the subgraph reachable from pending work keeps late rounds,
+            // which touch a handful of nodes, from paying a full-graph
+            // sweep each.
+            starts.clear();
+            starts.append(&mut self.worklist);
+            for &w in &starts {
+                self.in_worklist[w as usize] = false;
+            }
+            if starts.is_empty() {
+                break;
+            }
+            order.clear();
+            let merged = self.tarjan_collapse(starts.iter().copied(), Some(&mut order));
+            self.sccs_online += merged;
+            // Tarjan completes sink components first, so the completion
+            // order reversed is topological (sources first) — exactly the
+            // propagation order that moves a wave in one pass. Nodes with
+            // nothing pending (reachable but not enqueued) are skipped.
+            for i in (0..order.len()).rev() {
+                let node = self.rep(order[i]) as usize;
+                if self.delta[node].is_empty() {
+                    continue;
+                }
+                self.pops += 1;
+                self.process_delta(node, false);
+            }
+            self.wave_rounds += 1;
+        }
+    }
+
+    /// One node's worth of solving: apply HCD merges for newly arrived
+    /// objects, derive copy edges from loads/stores, then propagate the
+    /// delta along copy edges (with the LCD cycle trigger when `lcd`).
+    /// `n` must be a representative with a non-empty delta.
+    fn process_delta(&mut self, n: usize, lcd: bool) {
+        let d = std::mem::take(&mut self.delta[n]);
+        // HCD: each object newly in pts(n) provably shares its fixpoint
+        // set with the recorded classes — merge now, before any edges are
+        // derived through it.
+        if self.options.hybrid_cycles && !self.hcd.is_empty() && !self.hcd[n].is_empty() {
+            let pairs = std::mem::take(&mut self.hcd[n]);
+            for o in d.iter() {
+                for &v in &pairs {
+                    if self.union_classes(v, o) {
+                        self.sccs_online += 1;
                     }
                 }
-                self.loads[n] = loads;
-                self.stores[n] = stores;
             }
-            // Propagate the delta (not the full set) along copy edges. Same
-            // move-and-restore trick: the adjacency list of n (which the
-            // derive loop above may have just extended) would otherwise be
-            // cloned on every pop — on dense whole-program graphs that clone
-            // dominated the solve and put the delta path behind the naive
-            // one. Nothing in the loop mutates `edges`; brand-new edges from
-            // `add_copy` already carried the full source set.
-            let targets = std::mem::take(&mut self.edges[n]);
-            for &t in &targets {
-                let t = self.rep(t);
+            let rn = self.rep(n as u32) as usize;
+            if self.hcd[rn].is_empty() {
+                self.hcd[rn] = pairs;
+            } else {
+                self.hcd[rn].extend(pairs);
+                self.hcd[rn].sort_unstable();
+                self.hcd[rn].dedup();
+            }
+            if rn != n {
+                // n itself was absorbed: the root's delta was reset to its
+                // full set, which subsumes d. Nothing left to do here.
+                return;
+            }
+        }
+        // Derive new copy edges from loads/stores through n — only for
+        // the objects that newly arrived. The lists are *moved* out and
+        // restored, not cloned: `add_copy` only touches edges, points-to
+        // sets and deltas, never the load/store index, so taking them is
+        // borrow-safe and costs nothing per pop.
+        if !self.loads[n].is_empty() || !self.stores[n].is_empty() {
+            let loads = std::mem::take(&mut self.loads[n]);
+            let stores = std::mem::take(&mut self.stores[n]);
+            for o in d.iter() {
+                for &l in &loads {
+                    self.add_copy(o, l);
+                }
+                for &s in &stores {
+                    self.add_copy(s, o);
+                }
+            }
+            self.loads[n] = loads;
+            self.stores[n] = stores;
+        }
+        // Propagate the delta (not the full set) along copy edges.
+        if !lcd {
+            // Without the LCD trigger nothing can merge mid-loop (HCD
+            // merges all happened above, and propagation itself never
+            // unions classes), so the adjacency list is iterated in place:
+            // no move-out, no replacement allocation, no absorbed-root
+            // bookkeeping. Entries that earlier collapses turned into
+            // self-loops are dropped as they are encountered.
+            let mut i = 0;
+            while i < self.edges[n].len() {
+                let raw = self.edges[n][i];
+                let t = self.rep(raw);
                 if t as usize == n {
+                    self.edges[n].remove(i);
+                    self.edges_pruned += 1;
                     continue;
                 }
                 let changed =
@@ -401,9 +810,81 @@ impl Solver {
                 if changed {
                     self.enqueue(t);
                 }
+                i += 1;
             }
-            self.edges[n] = targets;
+            return;
         }
+        // LCD path: the move-and-restore trick below exists because the
+        // adjacency list of n (which the derive loop above may have just
+        // extended) would otherwise be cloned on every pop — on dense
+        // whole-program graphs that clone dominated the solve and put the
+        // delta path behind the naive one. Brand-new edges from `add_copy`
+        // already carried the full source set. An LCD trigger can merge
+        // nodes mid-loop — including n itself — so the loop re-checks n's
+        // representative and hands the remaining adjacency list to the new
+        // root if n is absorbed.
+        let targets = std::mem::take(&mut self.edges[n]);
+        let mut kept: Vec<u32> = Vec::with_capacity(targets.len());
+        let mut absorbed = false;
+        for (idx, &raw) in targets.iter().enumerate() {
+            if self.rep(n as u32) as usize != n {
+                // Merged away mid-loop: d is subsumed by the root's
+                // full-set delta; just preserve the unprocessed edges.
+                kept.extend_from_slice(&targets[idx..]);
+                absorbed = true;
+                break;
+            }
+            let t = self.rep(raw);
+            if t as usize == n {
+                self.edges_pruned += 1; // collapsed into a self-loop
+                continue;
+            }
+            kept.push(raw);
+            let changed = self.pts[t as usize].union_into_delta(&d, &mut self.delta[t as usize]);
+            if changed {
+                self.enqueue(t);
+            } else {
+                // No growth along n → t and pts(n) = pts(t): members of a
+                // copy cycle end up with equal sets, so equality (cheap
+                // length check first, subset scan only then) is the cycle
+                // suspicion — search from t once per edge. Requiring
+                // equality rather than mere subset keeps plain chains,
+                // where pts(n) ⊊ pts(t) is the normal converged state,
+                // from paying a scoped search per edge.
+                let key = ((n as u64) << 32) | t as u64;
+                if self.pts[n].len() == self.pts[t as usize].len()
+                    && !self.lcd_seen.contains(&key)
+                    && self.pts[n].is_subset_of(&self.pts[t as usize])
+                {
+                    self.lcd_seen.insert(key);
+                    let found = self.tarjan_collapse(std::iter::once(t), None);
+                    self.sccs_online += found;
+                }
+            }
+        }
+        if absorbed {
+            let root = self.rep(n as u32) as usize;
+            for e in kept {
+                match self.edges[root].binary_search(&e) {
+                    Ok(_) => self.edges_pruned += 1,
+                    Err(pos) => self.edges[root].insert(pos, e),
+                }
+            }
+        } else {
+            self.edges[n] = kept;
+        }
+    }
+
+    /// Merges the classes of `a` and `b` (HCD online trigger). Returns
+    /// `true` if they were distinct.
+    fn union_classes(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.rep(a);
+        let rb = self.rep(b);
+        if ra == rb {
+            return false;
+        }
+        self.merge_component(&[ra, rb]);
+        true
     }
 
     /// The pre-difference-propagation solver: every pop re-derives edges
@@ -415,7 +896,8 @@ impl Solver {
             let n = self.rep(raw) as usize;
             self.pops += 1;
             if self.options.collapse_cycles && self.pops.is_multiple_of(4 * n_nodes) {
-                self.collapse_sccs();
+                let merged = self.tarjan_collapse(0..n_nodes as u32, None);
+                self.sccs_online += merged;
             }
             // Derive new copy edges from loads/stores through n.
             if !self.loads[n].is_empty() || !self.stores[n].is_empty() {
@@ -446,30 +928,50 @@ impl Solver {
         }
     }
 
-    /// Tarjan over the current copy-edge graph; every multi-node SCC is
-    /// collapsed into its representative (cycle members provably end up
-    /// with identical points-to sets, so collapsing is lossless).
-    fn collapse_sccs(&mut self) {
-        let n = self.pts.len();
-        const UNVISITED: u32 = u32::MAX;
-        let mut index = vec![UNVISITED; n];
-        let mut low = vec![0u32; n];
-        let mut on_stack = vec![false; n];
+    /// Iterative Tarjan over the copy-edge subgraph reachable from
+    /// `starts` (pass `0..n` for a full sweep); every multi-node SCC found
+    /// is collapsed into its representative (cycle members provably end up
+    /// with identical points-to sets, so collapsing is lossless — any node
+    /// reachable from a start has its SCC fully contained in the reachable
+    /// subgraph, so scoped sweeps find true SCCs too). When `order` is
+    /// given, the surviving class representatives are appended in SCC
+    /// completion order, i.e. reverse topological order of the condensed
+    /// graph. Returns the number of components merged. Scratch arrays are
+    /// generation-stamped so repeated scoped sweeps skip the O(n) reset.
+    fn tarjan_collapse<I>(&mut self, starts: I, mut order: Option<&mut Vec<u32>>) -> usize
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        if self.scc_mark.len() < self.pts.len() {
+            let n = self.pts.len();
+            self.scc_mark = vec![0; n];
+            self.scc_index = vec![0; n];
+            self.scc_low = vec![0; n];
+            self.scc_on_stack = vec![false; n];
+            self.scc_gen = 0;
+        }
+        if self.scc_gen == u32::MAX {
+            self.scc_mark.fill(0);
+            self.scc_gen = 0;
+        }
+        self.scc_gen += 1;
+        let gen = self.scc_gen;
         let mut stack: Vec<u32> = Vec::new();
         let mut counter = 0u32;
-        let mut merged = false;
-        // Iterative Tarjan over representatives only.
+        let mut merged = 0usize;
         let mut call: Vec<(u32, usize)> = Vec::new();
-        for root in 0..n as u32 {
-            if self.rep(root) != root || index[root as usize] != UNVISITED {
+        for start in starts {
+            let root = self.rep(start);
+            if self.scc_mark[root as usize] == gen {
                 continue;
             }
             call.push((root, 0));
-            index[root as usize] = counter;
-            low[root as usize] = counter;
+            self.scc_mark[root as usize] = gen;
+            self.scc_index[root as usize] = counter;
+            self.scc_low[root as usize] = counter;
             counter += 1;
             stack.push(root);
-            on_stack[root as usize] = true;
+            self.scc_on_stack[root as usize] = true;
             while let Some(&mut (v, ref mut ci)) = call.last_mut() {
                 let next_child = self.edges[v as usize].get(*ci).copied();
                 match next_child {
@@ -479,42 +981,50 @@ impl Solver {
                         if w == v {
                             continue;
                         }
-                        if index[w as usize] == UNVISITED {
-                            index[w as usize] = counter;
-                            low[w as usize] = counter;
+                        if self.scc_mark[w as usize] != gen {
+                            self.scc_mark[w as usize] = gen;
+                            self.scc_index[w as usize] = counter;
+                            self.scc_low[w as usize] = counter;
                             counter += 1;
                             stack.push(w);
-                            on_stack[w as usize] = true;
+                            self.scc_on_stack[w as usize] = true;
                             call.push((w, 0));
-                        } else if on_stack[w as usize] {
-                            low[v as usize] = low[v as usize].min(index[w as usize]);
+                        } else if self.scc_on_stack[w as usize] {
+                            self.scc_low[v as usize] =
+                                self.scc_low[v as usize].min(self.scc_index[w as usize]);
                         }
                     }
                     None => {
                         call.pop();
                         if let Some(&mut (p, _)) = call.last_mut() {
-                            low[p as usize] = low[p as usize].min(low[v as usize]);
+                            self.scc_low[p as usize] =
+                                self.scc_low[p as usize].min(self.scc_low[v as usize]);
                         }
-                        if low[v as usize] == index[v as usize] {
+                        if self.scc_low[v as usize] == self.scc_index[v as usize] {
                             let mut comp = Vec::new();
                             loop {
                                 let w = stack.pop().expect("tarjan stack");
-                                on_stack[w as usize] = false;
+                                self.scc_on_stack[w as usize] = false;
                                 comp.push(w);
                                 if w == v {
                                     break;
                                 }
                             }
                             if comp.len() > 1 {
-                                merged = true;
+                                merged += 1;
                                 self.merge_component(&comp);
+                            }
+                            if let Some(ord) = order.as_deref_mut() {
+                                // comp[0] is the class representative
+                                // `merge_component` keeps.
+                                ord.push(comp[0]);
                             }
                         }
                     }
                 }
             }
         }
-        if merged {
+        if merged > 0 {
             // Re-canonicalize pending work: clear the membership bitmap for
             // everything drained, then re-enqueue representatives (dedup'd).
             let pending: Vec<u32> = self.worklist.drain(..).collect();
@@ -526,6 +1036,7 @@ impl Solver {
                 self.enqueue(r);
             }
         }
+        merged
     }
 
     fn merge_component(&mut self, comp: &[u32]) {
@@ -544,14 +1055,25 @@ impl Solver {
                     if !self.edges[root as usize].contains(&e) {
                         self.edges[root as usize].push(e);
                     }
-                } else if let Err(pos) = self.edges[root as usize].binary_search(&e) {
-                    self.edges[root as usize].insert(pos, e);
+                } else {
+                    match self.edges[root as usize].binary_search(&e) {
+                        Ok(_) => self.edges_pruned += 1,
+                        Err(pos) => self.edges[root as usize].insert(pos, e),
+                    }
                 }
             }
             let loads = std::mem::take(&mut self.loads[other as usize]);
             self.loads[root as usize].extend(loads);
             let stores = std::mem::take(&mut self.stores[other as usize]);
             self.stores[root as usize].extend(stores);
+            if !self.hcd.is_empty() {
+                let hcd = std::mem::take(&mut self.hcd[other as usize]);
+                if !hcd.is_empty() {
+                    self.hcd[root as usize].extend(hcd);
+                    self.hcd[root as usize].sort_unstable();
+                    self.hcd[root as usize].dedup();
+                }
+            }
         }
         if !self.options.naive {
             // The merged class gained members, edges, loads and stores; the
@@ -559,28 +1081,25 @@ impl Solver {
             // arrived and let one pop re-run everything through it.
             self.delta[root as usize] = self.pts[root as usize].clone();
         }
-        // Raw push: the caller (`collapse_sccs`) re-canonicalizes the whole
-        // worklist afterwards, clearing and rebuilding membership flags.
-        self.worklist.push(root);
+        self.enqueue(root);
     }
 
-    /// Expands collapsed classes back to per-variable points-to sets.
+    /// Canonicalizes the union-find into the result's class table. The
+    /// points-to sets are *moved*, not expanded: every set stays at its
+    /// class representative's slot and the result's accessors resolve
+    /// variables through the class table, so finishing costs O(n) however
+    /// large the collapsed classes or their shared sets are (the old
+    /// expansion cloned one set per class member).
     fn into_result(mut self) -> AndersenResult {
         let n = self.pts.len();
-        let mut pts = vec![VarSet::new(); n];
+        let mut class = vec![0u32; n];
         for v in 0..n as u32 {
-            let r = self.rep(v);
-            if r == v {
-                pts[v as usize] = std::mem::take(&mut self.pts[v as usize]);
-            }
+            class[v as usize] = self.rep(v);
         }
-        for v in 0..n as u32 {
-            let r = self.rep(v);
-            if r != v {
-                pts[v as usize] = pts[r as usize].clone();
-            }
+        AndersenResult {
+            pts: self.pts,
+            class,
         }
-        AndersenResult { pts }
     }
 }
 

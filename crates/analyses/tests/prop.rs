@@ -159,39 +159,88 @@ proptest! {
     #[test]
     fn cycle_collapse_is_lossless(ops in prop::collection::vec((0u8..5, 0u8..8, 0u8..8), 1..80)) {
         let program = build_program(&ops, 8, 4);
-        let baseline = andersen::analyze_with(&program, andersen::SolverOptions::default());
+        let baseline = andersen::analyze_with(&program, andersen::SolverOptions::baseline());
         let collapsed = andersen::analyze_with(
             &program,
-            andersen::SolverOptions { collapse_cycles: true, ..Default::default() },
+            andersen::SolverOptions { collapse_cycles: true, ..andersen::SolverOptions::baseline() },
         );
         for v in program.var_ids() {
             prop_assert_eq!(baseline.points_to_vars(v), collapsed.points_to_vars(v));
         }
     }
 
-    /// The difference-propagation solver (the default) computes exactly
-    /// the same points-to sets as the naive full-set oracle, with cycle
-    /// collapsing both off and on.
+    /// Every fast-solver configuration — hybrid cycle elimination on/off ×
+    /// wave ordering on/off × periodic sweep on/off × eager vs adaptive
+    /// engagement — computes exactly the same points-to sets as the naive
+    /// full-set oracle. This keeps the periodic-sweep and naive solvers
+    /// honest as oracles and pins the new default (adaptively engaged
+    /// hybrid + wave) to them.
     #[test]
-    fn difference_propagation_matches_naive(ops in prop::collection::vec((0u8..5, 0u8..8, 0u8..8), 1..80)) {
+    fn all_solver_options_match_naive(ops in prop::collection::vec((0u8..5, 0u8..8, 0u8..8), 1..80)) {
         let program = build_program(&ops, 8, 4);
-        for collapse_cycles in [false, true] {
-            let naive = andersen::analyze_with(
-                &program,
-                andersen::SolverOptions { collapse_cycles, naive: true },
-            );
-            let delta = andersen::analyze_with(
-                &program,
-                andersen::SolverOptions { collapse_cycles, naive: false },
-            );
-            for v in program.var_ids() {
-                prop_assert_eq!(
-                    naive.points_to_vars(v),
-                    delta.points_to_vars(v),
-                    "mismatch for {} (collapse_cycles={})",
-                    program.var(v).name(),
-                    collapse_cycles
-                );
+        let naive = andersen::analyze_with(&program, andersen::SolverOptions::naive_oracle());
+        for hybrid_cycles in [false, true] {
+            for wave in [false, true] {
+                for collapse_cycles in [false, true] {
+                    for eager_cycles in [false, true] {
+                        let options = andersen::SolverOptions {
+                            collapse_cycles,
+                            naive: false,
+                            hybrid_cycles,
+                            eager_cycles,
+                            wave,
+                        };
+                        let fast = andersen::analyze_with(&program, options);
+                        for v in program.var_ids() {
+                            prop_assert_eq!(
+                                naive.points_to_vars(v),
+                                fast.points_to_vars(v),
+                                "mismatch for {} ({:?})",
+                                program.var(v).name(),
+                                options
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Oversharing guard (cf. "Unification-based Pointer Analysis without
+    /// Oversharing"): whenever the hybrid solver merges variables into one
+    /// class, the members must be *provably* equal — their naive-oracle
+    /// points-to sets are identical. A merge that widened any member's set
+    /// would show up here as a mismatch.
+    #[test]
+    fn merged_cycle_members_are_provably_equal(
+        ops in prop::collection::vec((0u8..5, 0u8..8, 0u8..8), 1..80),
+    ) {
+        let program = build_program(&ops, 8, 4);
+        let naive = andersen::analyze_with(&program, andersen::SolverOptions::naive_oracle());
+        for wave in [false, true] {
+            // Eager engagement: these programs are small enough that the
+            // adaptive drain usually converges before the thrash detector
+            // would bring the merge machinery in at all.
+            let options = andersen::SolverOptions {
+                collapse_cycles: false,
+                naive: false,
+                hybrid_cycles: true,
+                eager_cycles: true,
+                wave,
+            };
+            let fast = andersen::analyze_with(&program, options);
+            for group in fast.merged_groups() {
+                let first = &group[0];
+                for member in &group[1..] {
+                    prop_assert_eq!(
+                        naive.points_to_vars(*first),
+                        naive.points_to_vars(*member),
+                        "overshared merge {} ~ {} (wave={})",
+                        program.var(*first).name(),
+                        program.var(*member).name(),
+                        wave
+                    );
+                }
             }
         }
     }

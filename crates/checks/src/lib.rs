@@ -31,7 +31,7 @@ use std::collections::{HashMap, HashSet};
 
 use bootstrap_core::{
     Analyzer, Cond, DegradeReason, FsciCacheStats, InternerStats, PhaseSnapshot, Precision,
-    Session, Source,
+    Session, SolverStats, Source,
 };
 use bootstrap_ir::{Loc, Program, Stmt, VarId, VarKind};
 
@@ -153,6 +153,9 @@ pub struct CheckReport {
     pub interner: InternerStats,
     /// Per-phase wall time and step counters accumulated by the session.
     pub phases: PhaseSnapshot,
+    /// Aggregate Andersen solver counters (worklist pops, cycles
+    /// collapsed, wave rounds) across every cluster the session solved.
+    pub solver: SolverStats,
     /// Per-tier and per-reason accounting of the batch's site resolutions.
     pub degrade: DegradeSummary,
 }
@@ -504,6 +507,7 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
         cache: session.fsci_cache_stats(),
         interner: session.interner_stats(),
         phases: session.phase_stats(),
+        solver: session.solver_stats(),
         degrade: rs.summary(),
     }
 }

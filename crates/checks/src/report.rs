@@ -110,6 +110,21 @@ pub fn render_json(report: &CheckReport, file: Option<&str>) -> String {
         report.interner.hits,
         report.interner.misses
     ));
+    let sv = &report.solver;
+    out.push_str(&format!(
+        concat!(
+            "  \"solver\": {{\"pops\": {}, \"stale_pops\": {}, \"edges\": {}, ",
+            "\"sccs_online\": {}, \"sccs_offline\": {}, \"wave_rounds\": {}, ",
+            "\"edges_pruned\": {}}},\n"
+        ),
+        sv.pops,
+        sv.stale_pops,
+        sv.edges,
+        sv.sccs_online,
+        sv.sccs_offline,
+        sv.wave_rounds,
+        sv.edges_pruned
+    ));
     out.push_str("  \"phases\": [");
     for (i, (phase, stats)) in report.phases.iter().enumerate() {
         if i > 0 {

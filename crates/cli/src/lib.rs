@@ -9,7 +9,7 @@
 //! bootstrap-alias must-alias  <file.c> --pair p,q [--at FUNC] [--path-sensitive]
 //! bootstrap-alias check       <file.c> [--only null-deref,uaf,double-free] [--format text|json]
 //! bootstrap-alias dot         <file.c> (--cfg FUNC | --callgraph)
-//! bootstrap-alias stats       <file.c>
+//! bootstrap-alias stats       <file.c> [--format text|json]
 //! bootstrap-alias fuzz        [--seed N] [--iters N] [--corpus DIR]
 //! ```
 //!
@@ -68,7 +68,7 @@ commands:
   must-alias   query must-alias for a pair (--pair p,q) [--at FUNC]
   check        run the client checkers (null-deref, use-after-free, double-free)
   dot          emit Graphviz (--cfg FUNC | --callgraph)
-  stats        print program and cascade statistics
+  stats        print program and cascade statistics (--format text|json)
   fuzz         differential fuzzing campaign (no input file;
                [--seed N] [--iters N] [--corpus DIR] [--faults])
 
@@ -78,7 +78,7 @@ options:
   --path-sensitive   enable the path-sensitive mode
   --vars a,b  /  --var p  /  --pair p,q   variable selectors
   --only a,b         checkers to run (null-deref, uaf, double-free)
-  --format FMT       `check` output format: text (default) or json
+  --format FMT       `check`/`stats` output format: text (default) or json
   --query-budget N   per-query step budget (sources, check, stats)
   --fail-on-degraded exit 3 when `check` finds no defects but some
                      queries fell below full FSCS precision
@@ -327,6 +327,7 @@ fn cmd_check(program: &Program, opts: &Opts) -> Result<CliOutput, CliError> {
             }
             let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
             let _ = writeln!(out, "{}", interner_line(report.interner));
+            solver_lines(&mut out, report.solver);
             phase_lines(&mut out, report.phases);
             degrade_lines(&mut out, &report.degrade);
             out
@@ -388,6 +389,19 @@ fn interner_line(stats: bootstrap_core::InternerStats) -> String {
         "interner: {} conds, {} dead sets, {} memo entries ({} hits, {rate:.1}% hit rate)",
         stats.conds, stats.deads, stats.memo_entries, stats.hits
     )
+}
+
+fn solver_lines(out: &mut String, s: bootstrap_core::SolverStats) {
+    let _ = writeln!(
+        out,
+        "solver pops: {} productive, {} stale ({} copy edges, {} pruned)",
+        s.pops, s.stale_pops, s.edges, s.edges_pruned
+    );
+    let _ = writeln!(
+        out,
+        "solver cycles: {} collapsed offline, {} online, {} wave rounds",
+        s.sccs_offline, s.sccs_online, s.wave_rounds
+    );
 }
 
 fn phase_lines(out: &mut String, snapshot: bootstrap_core::PhaseSnapshot) {
@@ -578,47 +592,133 @@ fn cite(program: &Program, file: &str, loc: Loc) -> String {
 fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
     let session = Session::new(program, config_of(opts));
     let steens_cover = session.steensgaard_cover();
-    let mut out = String::new();
-    let _ = writeln!(out, "functions:            {}", program.func_count());
-    let _ = writeln!(out, "variables:            {}", program.var_count());
-    let _ = writeln!(out, "pointers:             {}", program.pointer_count());
-    let _ = writeln!(out, "ir statements:        {}", program.stmt_count());
-    let _ = writeln!(
-        out,
-        "steensgaard clusters: {} (max {})",
-        steens_cover.len(),
-        steens_cover.max_cluster_size()
-    );
-    let _ = writeln!(
-        out,
-        "bootstrapped cover:   {} (max {})",
-        session.cover().len(),
-        session.cover().max_cluster_size()
-    );
-    let _ = writeln!(
-        out,
-        "partitioning time:    {:?}",
-        session.timings().steensgaard
-    );
-    let _ = writeln!(
-        out,
-        "clustering time:      {:?}",
-        session.timings().clustering
-    );
     // Exercise the engine the way clients do (the checker site sweep) so
     // the shared FSCI dovetailing cache counters reflect real queries.
     let report = bootstrap_checks::run_checks(&session, &CheckerKind::ALL);
     let queries: usize = report.stats.iter().map(|s| s.queries).sum();
-    let _ = writeln!(
-        out,
-        "checker queries:      {queries} ({} degraded)",
-        report.degrade.degraded_queries()
-    );
-    let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
-    let _ = writeln!(out, "{}", interner_line(session.interner_stats()));
-    phase_lines(&mut out, session.phase_stats());
-    degrade_lines(&mut out, &report.degrade);
-    Ok(out)
+    match opts.format.as_deref() {
+        Some("json") => {
+            let mut out = String::from("{\n");
+            let _ = writeln!(out, "  \"functions\": {},", program.func_count());
+            let _ = writeln!(out, "  \"variables\": {},", program.var_count());
+            let _ = writeln!(out, "  \"pointers\": {},", program.pointer_count());
+            let _ = writeln!(out, "  \"statements\": {},", program.stmt_count());
+            let _ = writeln!(
+                out,
+                "  \"steensgaard_clusters\": {{\"count\": {}, \"max_size\": {}}},",
+                steens_cover.len(),
+                steens_cover.max_cluster_size()
+            );
+            let _ = writeln!(
+                out,
+                "  \"bootstrapped_cover\": {{\"count\": {}, \"max_size\": {}}},",
+                session.cover().len(),
+                session.cover().max_cluster_size()
+            );
+            let _ = writeln!(
+                out,
+                "  \"timings\": {{\"steensgaard_secs\": {:.6}, \"clustering_secs\": {:.6}}},",
+                session.timings().steensgaard.as_secs_f64(),
+                session.timings().clustering.as_secs_f64()
+            );
+            let _ = writeln!(
+                out,
+                "  \"checker_queries\": {{\"total\": {queries}, \"degraded\": {}}},",
+                report.degrade.degraded_queries()
+            );
+            let cache = session.fsci_cache_stats();
+            let _ = writeln!(
+                out,
+                "  \"fsci_cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},",
+                cache.hits, cache.misses, cache.entries
+            );
+            let it = session.interner_stats();
+            let _ = writeln!(
+                out,
+                concat!(
+                    "  \"interner\": {{\"conds\": {}, \"deads\": {}, \"memo_entries\": {}, ",
+                    "\"hits\": {}, \"misses\": {}}},"
+                ),
+                it.conds, it.deads, it.memo_entries, it.hits, it.misses
+            );
+            let sv = session.solver_stats();
+            let _ = writeln!(
+                out,
+                concat!(
+                    "  \"solver\": {{\"pops\": {}, \"stale_pops\": {}, \"edges\": {}, ",
+                    "\"sccs_online\": {}, \"sccs_offline\": {}, \"wave_rounds\": {}, ",
+                    "\"edges_pruned\": {}}},"
+                ),
+                sv.pops,
+                sv.stale_pops,
+                sv.edges,
+                sv.sccs_online,
+                sv.sccs_offline,
+                sv.wave_rounds,
+                sv.edges_pruned
+            );
+            out.push_str("  \"phases\": [");
+            for (i, (phase, stats)) in session.phase_stats().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    concat!(
+                        "\n    {{\"phase\": \"{}\", \"wall_secs\": {:.6}, ",
+                        "\"steps\": {}, \"invocations\": {}}}"
+                    ),
+                    phase.name(),
+                    stats.wall.as_secs_f64(),
+                    stats.steps,
+                    stats.invocations
+                );
+            }
+            out.push_str("\n  ]\n}\n");
+            Ok(out)
+        }
+        None | Some("text") => {
+            let mut out = String::new();
+            let _ = writeln!(out, "functions:            {}", program.func_count());
+            let _ = writeln!(out, "variables:            {}", program.var_count());
+            let _ = writeln!(out, "pointers:             {}", program.pointer_count());
+            let _ = writeln!(out, "ir statements:        {}", program.stmt_count());
+            let _ = writeln!(
+                out,
+                "steensgaard clusters: {} (max {})",
+                steens_cover.len(),
+                steens_cover.max_cluster_size()
+            );
+            let _ = writeln!(
+                out,
+                "bootstrapped cover:   {} (max {})",
+                session.cover().len(),
+                session.cover().max_cluster_size()
+            );
+            let _ = writeln!(
+                out,
+                "partitioning time:    {:?}",
+                session.timings().steensgaard
+            );
+            let _ = writeln!(
+                out,
+                "clustering time:      {:?}",
+                session.timings().clustering
+            );
+            let _ = writeln!(
+                out,
+                "checker queries:      {queries} ({} degraded)",
+                report.degrade.degraded_queries()
+            );
+            let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
+            let _ = writeln!(out, "{}", interner_line(session.interner_stats()));
+            solver_lines(&mut out, session.solver_stats());
+            phase_lines(&mut out, session.phase_stats());
+            degrade_lines(&mut out, &report.degrade);
+            Ok(out)
+        }
+        Some(other) => err(format!("unknown format `{other}` (text|json)")),
+    }
 }
 
 #[cfg(test)]
@@ -730,9 +830,33 @@ mod tests {
         assert!(out.contains("degraded)"), "{out}");
         assert!(out.contains("query tiers:"), "{out}");
         assert!(out.contains("interner:"), "{out}");
+        assert!(out.contains("solver pops:"), "{out}");
+        assert!(out.contains("solver cycles:"), "{out}");
         for phase in ["steensgaard", "andersen", "relevant", "fscs"] {
             assert!(out.contains(&format!("phase {phase}:")), "{out}");
         }
+    }
+
+    #[test]
+    fn stats_json_format() {
+        let f = write_temp("stats_json", DEMO);
+        let out = run_args(&["stats", &f, "--format", "json"]).unwrap();
+        for key in [
+            "\"functions\"",
+            "\"pointers\"",
+            "\"bootstrapped_cover\"",
+            "\"checker_queries\"",
+            "\"fsci_cache\"",
+            "\"interner\"",
+            "\"solver\"",
+            "\"stale_pops\"",
+            "\"wave_rounds\"",
+            "\"phases\"",
+        ] {
+            assert!(out.contains(key), "missing {key} in: {out}");
+        }
+        let e = run_args(&["stats", &f, "--format", "yaml"]).unwrap_err();
+        assert!(e.to_string().contains("unknown format"));
     }
 
     const BUGGY: &str = "
@@ -753,6 +877,7 @@ mod tests {
         assert!(out.text.contains("error[null-deref]"), "{}", out.text);
         assert!(out.text.contains("fsci cache:"), "{}", out.text);
         assert!(out.text.contains("interner:"), "{}", out.text);
+        assert!(out.text.contains("solver pops:"), "{}", out.text);
         assert!(out.text.contains("phase fscs:"), "{}", out.text);
     }
 
@@ -786,6 +911,8 @@ mod tests {
         );
         assert!(out.text.contains("\"fsci_cache\""), "{}", out.text);
         assert!(out.text.contains("\"interner\""), "{}", out.text);
+        assert!(out.text.contains("\"solver\""), "{}", out.text);
+        assert!(out.text.contains("\"sccs_online\""), "{}", out.text);
         assert!(
             out.text.contains("\"phase\": \"steensgaard\""),
             "{}",

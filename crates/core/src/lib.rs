@@ -53,6 +53,7 @@ pub mod session;
 pub mod summary;
 
 pub use analyzer::{Analyzer, QueryError};
+pub use bootstrap_analyses::andersen::SolverStats;
 pub use budget::{AnalysisBudget, Outcome};
 pub use constraint::Cond;
 pub use cover::{AliasCover, Cluster, ClusterOrigin};

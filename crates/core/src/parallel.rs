@@ -1,13 +1,16 @@
-//! Per-cluster drivers: serial, threaded, and the paper's 5-machine
-//! simulation.
+//! Per-cluster drivers: serial, work-stealing threaded, and the paper's
+//! 5-machine simulation.
 //!
 //! Clusters can be analyzed independently of each other (§1: "the analysis
 //! for each of the subsets can be carried out independently of others
 //! thereby allowing us to leverage parallelization"). The threaded driver
-//! shards clusters over OS threads with a work-stealing queue; the
-//! [`greedy_bins`] helper reproduces the paper's simulated 5-machine
-//! distribution (greedy binning by cumulative pointer count, reporting the
-//! maximum per-part time).
+//! gives each worker its own deque seeded in [`lpt_order`] stripes; an
+//! idle worker steals from the tail of a sibling's deque, so a straggler
+//! cluster (or a retry) no longer serializes the pool the way the old
+//! static binning did. [`steal_schedule`] models that schedule from
+//! measured per-cluster durations; [`greedy_bins`] is retained as the
+//! paper's *static* contiguous binning (an upper bound on the makespan the
+//! stealing pool achieves, reported for Table-1 comparability).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -138,64 +141,166 @@ pub fn lpt_order(clusters: &[Cluster]) -> Vec<usize> {
     order
 }
 
-/// Analyzes clusters on `threads` OS threads. Each worker owns its own
+/// Counters for one worker of a work-stealing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Clusters this worker analyzed.
+    pub tasks: usize,
+    /// Of those, clusters taken from another worker's deque.
+    pub steals: usize,
+    /// Time spent inside cluster analysis (including retries), as opposed
+    /// to idling in the steal loop.
+    pub busy: Duration,
+}
+
+/// Scheduler-level counters from one [`process_clusters_parallel_with_stats`]
+/// run: per-worker task/steal/busy numbers plus the pool's wall-clock.
+#[derive(Clone, Debug, Default)]
+pub struct StealStats {
+    /// One entry per worker thread.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock for the whole pool (spawn to last join).
+    pub wall: Duration,
+}
+
+impl StealStats {
+    /// Total clusters taken from a sibling's deque.
+    pub fn total_steals(&self) -> usize {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Pool utilization in `[0, 1]`: summed busy time over
+    /// `workers × wall`. On a single hardware thread the OS serializes the
+    /// workers, so this measures scheduling overhead, not speedup.
+    pub fn utilization(&self) -> f64 {
+        let busy: Duration = self.workers.iter().map(|w| w.busy).sum();
+        let capacity = self.wall.as_secs_f64() * self.workers.len().max(1) as f64;
+        if capacity == 0.0 {
+            0.0
+        } else {
+            (busy.as_secs_f64() / capacity).min(1.0)
+        }
+    }
+}
+
+/// Analyzes clusters on `threads` OS threads with work stealing. Each
+/// worker owns a deque seeded with every `threads`-th cluster of
+/// [`lpt_order`] (striping spreads the big clusters across workers); the
+/// owner drains its deque head (largest first) and an idle worker steals
+/// from the *tail* of the next busy sibling, picking up the cheap clusters
+/// a straggler would otherwise hold hostage. Each worker owns its own
 /// analyzer, but all of them consult the session's shared FSCI cache
-/// ([`Session::fsci_cache_stats`] counts the sharing), so oracle work done
-/// for one cluster is visible to every other worker. Clusters are enqueued
-/// largest-first ([`lpt_order`]); reports still come back in cluster order.
+/// ([`Session::fsci_cache_stats`] counts the sharing). Reports come back
+/// in cluster order regardless of which worker ran what, so output is
+/// deterministic even though the schedule is not.
 ///
 /// Fault isolation matches the serial driver: every cluster is
 /// panic-guarded and retried once (fresh analyzer, doubled private arena)
 /// on panic or arena overflow; a worker whose analyzer was poisoned
-/// replaces it and keeps draining the queue. Every cluster slot always
-/// gets a report — if a worker vanishes without delivering one (which the
-/// panic guard should make impossible), the slot is filled with a
-/// [`DegradeReason::Panicked`] stub tagged [`PanicClass::WorkerLost`]
+/// replaces it and keeps draining. A retry only delays the one worker that
+/// hit it — its remaining queue is stolen by the others. Every cluster
+/// slot always gets a report — if a worker vanishes without delivering one
+/// (which the panic guard should make impossible), the slot is filled with
+/// a [`DegradeReason::Panicked`] stub tagged [`PanicClass::WorkerLost`]
 /// rather than silently dropped or turned into a driver panic.
-pub fn process_clusters_parallel(
+pub fn process_clusters_parallel_with_stats(
     session: &Session<'_>,
     clusters: &[Cluster],
     threads: usize,
     steps_per_cluster: u64,
-) -> Vec<ClusterReport> {
+) -> (Vec<ClusterReport>, StealStats) {
     let threads = threads.max(1);
     if threads == 1 || clusters.len() <= 1 {
-        return process_clusters(session, clusters, steps_per_cluster);
+        let t0 = Instant::now();
+        let reports = process_clusters(session, clusters, steps_per_cluster);
+        let stats = StealStats {
+            workers: vec![WorkerStats {
+                tasks: reports.len(),
+                steals: 0,
+                busy: reports.iter().map(|r| r.duration).sum(),
+            }],
+            wall: t0.elapsed(),
+        };
+        return (reports, stats);
     }
-    let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
+    let workers: Vec<crossbeam::deque::Worker<usize>> = (0..threads)
+        .map(|_| crossbeam::deque::Worker::new_fifo())
+        .collect();
+    let stealers: Vec<crossbeam::deque::Stealer<usize>> =
+        workers.iter().map(|w| w.stealer()).collect();
+    for (k, i) in lpt_order(clusters).into_iter().enumerate() {
+        workers[k % threads].push(i);
+    }
     let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, ClusterReport)>();
-    for i in lpt_order(clusters) {
-        task_tx.send(i).expect("queue open");
-    }
-    drop(task_tx);
+    let t0 = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let task_rx = task_rx.clone();
-            let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                let mut analyzer = session.analyzer();
-                while let Ok(i) = task_rx.recv() {
-                    let (mut report, poisoned) =
-                        run_cluster_guarded(session, &analyzer, &clusters[i], steps_per_cluster);
-                    if poisoned {
-                        analyzer = session.analyzer();
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(id, local)| {
+                let stealers = stealers.clone();
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    let mut analyzer = session.analyzer();
+                    loop {
+                        // Own deque first; otherwise scan the siblings
+                        // (starting past ourselves so thieves spread out).
+                        let (i, stolen) = match local.pop() {
+                            Some(i) => (i, false),
+                            None => {
+                                let mut found = None;
+                                for off in 1..threads {
+                                    let victim = (id + off) % threads;
+                                    if let Some(i) = stealers[victim].steal().success() {
+                                        found = Some(i);
+                                        break;
+                                    }
+                                }
+                                match found {
+                                    Some(i) => (i, true),
+                                    // Every deque empty: tasks never spawn
+                                    // tasks, so no work can appear again.
+                                    None => break,
+                                }
+                            }
+                        };
+                        stats.tasks += 1;
+                        stats.steals += usize::from(stolen);
+                        let start = Instant::now();
+                        let (mut report, poisoned) = run_cluster_guarded(
+                            session,
+                            &analyzer,
+                            &clusters[i],
+                            steps_per_cluster,
+                        );
+                        if poisoned {
+                            analyzer = session.analyzer();
+                        }
+                        if retryable(report.degraded) {
+                            report = retry_cluster(session, &clusters[i], steps_per_cluster);
+                        }
+                        stats.busy += start.elapsed();
+                        // A closed result channel means the collector is
+                        // gone; keep draining so sibling sends do not back
+                        // up, but there is no one left to report to.
+                        let _ = res_tx.send((i, report));
                     }
-                    if retryable(report.degraded) {
-                        report = retry_cluster(session, &clusters[i], steps_per_cluster);
-                    }
-                    // A closed result channel means the collector is gone;
-                    // keep draining so sibling sends do not back up, but
-                    // there is no one left to report to.
-                    let _ = res_tx.send((i, report));
-                }
-            });
-        }
+                    stats
+                })
+            })
+            .collect();
         drop(res_tx);
         let mut out: Vec<Option<ClusterReport>> = vec![None; clusters.len()];
         while let Ok((i, r)) = res_rx.recv() {
             out[i] = Some(r);
         }
-        out.into_iter()
+        let worker_stats: Vec<WorkerStats> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect();
+        let reports = out
+            .into_iter()
             .enumerate()
             .map(|(i, r)| {
                 r.unwrap_or_else(|| {
@@ -208,14 +313,34 @@ pub fn process_clusters_parallel(
                     )
                 })
             })
-            .collect()
+            .collect();
+        (
+            reports,
+            StealStats {
+                workers: worker_stats,
+                wall: t0.elapsed(),
+            },
+        )
     })
 }
 
-/// The paper's machine-distribution heuristic: clusters are processed
-/// one-by-one, accumulating pointer counts; once a part's cumulative size
-/// exceeds `total/parts`, the part is closed. Returns the summed duration
-/// of each part (the paper reports the maximum).
+/// [`process_clusters_parallel_with_stats`] without the scheduler counters.
+pub fn process_clusters_parallel(
+    session: &Session<'_>,
+    clusters: &[Cluster],
+    threads: usize,
+    steps_per_cluster: u64,
+) -> Vec<ClusterReport> {
+    process_clusters_parallel_with_stats(session, clusters, threads, steps_per_cluster).0
+}
+
+/// The paper's *static* machine-distribution heuristic, kept for Table-1
+/// comparability: clusters are processed one-by-one, accumulating pointer
+/// counts; once a part's cumulative size exceeds `total/parts`, the part
+/// is closed. Returns the summed duration of each part. Because the parts
+/// are contiguous and fixed up front, the maximum bin is an *upper* bound
+/// on what the work-stealing pool achieves — use [`steal_schedule`] /
+/// [`simulated_parallel_time`] for the schedule the live driver runs.
 pub fn greedy_bins(reports: &[ClusterReport], parts: usize) -> Vec<Duration> {
     let parts = parts.max(1);
     let total: usize = reports.iter().map(|r| r.size).sum();
@@ -238,10 +363,34 @@ pub fn greedy_bins(reports: &[ClusterReport], parts: usize) -> Vec<Duration> {
     bins
 }
 
-/// Convenience: the simulated parallel time over `parts` machines — the
-/// maximum bin time (what Table 1 reports).
+/// Models the work-stealing pool over measured per-cluster durations: a
+/// greedy list schedule in longest-processing-time order (ties by cluster
+/// index), each cluster going to the earliest-free worker. This is the
+/// steady state an idle-steals-from-busy pool converges to — a worker
+/// only idles when every deque is empty — and is deterministic, unlike
+/// the live pool's actual task placement. Returns per-worker busy times;
+/// the makespan is the maximum entry.
+pub fn steal_schedule(reports: &[ClusterReport], workers: usize) -> Vec<Duration> {
+    let workers = workers.max(1);
+    let mut order: Vec<usize> = (0..reports.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(reports[i].duration), i));
+    let mut loads = vec![Duration::ZERO; workers];
+    for i in order {
+        let w = (0..workers)
+            .min_by_key(|&k| loads[k])
+            .expect("workers >= 1");
+        loads[w] += reports[i].duration;
+    }
+    loads
+}
+
+/// The simulated parallel time over `parts` machines under the
+/// work-stealing schedule model ([`steal_schedule`]) — the makespan the
+/// pool converges to given the measured per-cluster durations. (The
+/// paper's Table 1 reports the same quantity for its static 5-machine
+/// split; [`greedy_bins`] reproduces that older, looser model.)
 pub fn simulated_parallel_time(reports: &[ClusterReport], parts: usize) -> Duration {
-    greedy_bins(reports, parts)
+    steal_schedule(reports, parts)
         .into_iter()
         .max()
         .unwrap_or(Duration::ZERO)
@@ -451,6 +600,80 @@ mod tests {
                 r.degraded
             );
         }
+    }
+
+    #[test]
+    fn stealing_reports_stay_in_deterministic_cluster_order() {
+        // Across 1/2/4 threads — and across repeated runs at each width —
+        // the work-stealing driver must return the same reports in cluster
+        // order; only durations may differ (they depend on the schedule).
+        let p = demo_program();
+        let s = Session::new(&p, Config::default());
+        let clusters = s.cover().clusters().to_vec();
+        let baseline = process_clusters(&s, &clusters, 1_000_000);
+        for threads in [1usize, 2, 4] {
+            for _ in 0..3 {
+                let (reports, stats) =
+                    process_clusters_parallel_with_stats(&s, &clusters, threads, 1_000_000);
+                assert_eq!(reports.len(), baseline.len());
+                for (r, b) in reports.iter().zip(baseline.iter()) {
+                    assert_eq!(
+                        r.cluster_id, b.cluster_id,
+                        "order broke at {threads} threads"
+                    );
+                    assert_eq!(r.size, b.size);
+                    assert_eq!(r.relevant_stmts, b.relevant_stmts);
+                    assert_eq!(r.summary_entries, b.summary_entries);
+                    assert_eq!(r.summary_tuples, b.summary_tuples);
+                    assert_eq!(r.degraded, b.degraded);
+                }
+                // Scheduler accounting: every cluster ran exactly once,
+                // somewhere; steals never exceed tasks.
+                let expected_workers = if threads == 1 { 1 } else { threads };
+                assert_eq!(stats.workers.len(), expected_workers);
+                assert_eq!(
+                    stats.workers.iter().map(|w| w.tasks).sum::<usize>(),
+                    clusters.len()
+                );
+                for w in &stats.workers {
+                    assert!(w.steals <= w.tasks);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steal_schedule_balances_skewed_durations() {
+        let mk = |id, ms| ClusterReport {
+            cluster_id: id,
+            size: 1,
+            relevant_stmts: 0,
+            summary_entries: 0,
+            summary_tuples: 0,
+            duration: Duration::from_millis(ms),
+            degraded: None,
+        };
+        // One 8ms straggler plus seven 1ms clusters on 2 workers: the
+        // steal model puts the straggler alone (makespan 8ms) while the
+        // static contiguous binning can do no better than lump the
+        // straggler with neighbours.
+        let reports: Vec<ClusterReport> = std::iter::once(mk(0, 8))
+            .chain((1..8).map(|i| mk(i, 1)))
+            .collect();
+        let loads = steal_schedule(&reports, 2);
+        assert_eq!(loads.len(), 2);
+        let total: Duration = loads.iter().sum();
+        assert_eq!(total, Duration::from_millis(15), "all work scheduled");
+        assert_eq!(
+            simulated_parallel_time(&reports, 2),
+            Duration::from_millis(8)
+        );
+        // LPT classic: 4+3+3+2 on 2 workers -> 6/6.
+        let lpt = vec![mk(0, 4), mk(1, 3), mk(2, 3), mk(3, 2)];
+        assert_eq!(simulated_parallel_time(&lpt, 2), Duration::from_millis(6));
+        assert_eq!(simulated_parallel_time(&[], 4), Duration::ZERO);
+        // More workers than work: makespan is the longest single cluster.
+        assert_eq!(simulated_parallel_time(&lpt, 16), Duration::from_millis(4));
     }
 
     #[test]

@@ -175,6 +175,9 @@ pub struct Session<'p> {
     /// points-to result over the partition's relevant slice. Shared across
     /// analyzers like the FSCI cache (memo of a deterministic function).
     andersen_tiers: RwLock<HashMap<bootstrap_analyses::ClassId, Arc<AndersenTier>>>,
+    /// Aggregated Andersen solver work counters: the cover-build runs at
+    /// construction plus every lazily built tier-2 slice solve since.
+    solver_stats: RwLock<andersen::SolverStats>,
 }
 
 /// Cached tier-2 artifacts for one alias partition: the slice Andersen
@@ -212,7 +215,8 @@ impl<'p> Session<'p> {
         let t1 = Instant::now();
         let alias_partitions: HashMap<bootstrap_analyses::ClassId, Vec<VarId>> =
             steens.alias_partitions(program).into_iter().collect();
-        let cover = build_cover(program, &steens, &index, &config, &alias_partitions);
+        let (cover, cover_solver_stats) =
+            build_cover(program, &steens, &index, &config, &alias_partitions);
         let clustering_time = t1.elapsed();
 
         let interner = Arc::new(Interner::with_max_ids(
@@ -240,6 +244,7 @@ impl<'p> Session<'p> {
             interner,
             profile,
             andersen_tiers: RwLock::new(HashMap::new()),
+            solver_stats: RwLock::new(cover_solver_stats),
         }
     }
 
@@ -448,10 +453,16 @@ impl<'p> Session<'p> {
         let t0 = Instant::now();
         let rel = relevant_statements_indexed(self.program, &self.steens, &self.index, members);
         let stmts: Vec<&Stmt> = rel.stmts().map(|loc| self.program.stmt_at(loc)).collect();
+        let (result, solver_stats) = andersen::analyze_stmts_with_stats(
+            self.program.var_count(),
+            stmts,
+            andersen::SolverOptions::default(),
+        );
         let an = Arc::new(AndersenTier {
-            result: andersen::analyze_stmts(self.program.var_count(), stmts),
+            result,
             slice_vars: rel.vars().collect(),
         });
+        self.solver_stats.write().absorb(&solver_stats);
         self.profile.record(Phase::Andersen, t0.elapsed(), 0);
         Arc::clone(self.andersen_tiers.write().entry(key).or_insert(an))
     }
@@ -480,6 +491,14 @@ impl<'p> Session<'p> {
     /// structural clones and conjunction recomputations avoided.
     pub fn interner_stats(&self) -> InternerStats {
         self.interner.stats()
+    }
+
+    /// Aggregated Andersen solver work counters: worklist pops (productive
+    /// and stale), copy edges, cycles collapsed offline/online, wave
+    /// rounds, and edges pruned — summed over the cover-build solves and
+    /// every tier-2 slice solve run so far.
+    pub fn solver_stats(&self) -> andersen::SolverStats {
+        *self.solver_stats.read()
     }
 
     /// Accumulated per-phase wall time, steps, and invocation counts for
@@ -541,14 +560,15 @@ impl<'p> Session<'p> {
     }
 }
 
-/// Builds the configured bootstrapped cover.
+/// Builds the configured bootstrapped cover, plus the aggregated solver
+/// counters of every Andersen refinement run along the way.
 fn build_cover(
     program: &Program,
     steens: &SteensgaardResult,
     index: &RelevantIndex,
     config: &Config,
     alias_partitions: &HashMap<bootstrap_analyses::ClassId, Vec<VarId>>,
-) -> AliasCover {
+) -> (AliasCover, andersen::SolverStats) {
     let oneflow_result = match config.middle_stage {
         MiddleStage::OneFlow => Some(oneflow::analyze(program)),
         MiddleStage::None => None,
@@ -556,6 +576,7 @@ fn build_cover(
     let mut keys: Vec<_> = alias_partitions.keys().copied().collect();
     keys.sort();
     let mut clusters = Vec::new();
+    let mut solver_stats = andersen::SolverStats::default();
     for class in keys {
         let pointer_members: Vec<VarId> = alias_partitions[&class].clone();
         if pointer_members.len() <= config.andersen_threshold {
@@ -592,7 +613,12 @@ fn build_cover(
             // statements.
             let rel = relevant_statements_indexed(program, steens, index, &group);
             let stmts: Vec<&Stmt> = rel.stmts().map(|loc| program.stmt_at(loc)).collect();
-            let an = andersen::analyze_stmts(program.var_count(), stmts);
+            let (an, run_stats) = andersen::analyze_stmts_with_stats(
+                program.var_count(),
+                stmts,
+                andersen::SolverOptions::default(),
+            );
+            solver_stats.absorb(&run_stats);
             for ac in an.clusters(&group) {
                 clusters.push(Cluster::new(
                     0,
@@ -605,7 +631,7 @@ fn build_cover(
             }
         }
     }
-    AliasCover::new(clusters)
+    (AliasCover::new(clusters), solver_stats)
 }
 
 #[cfg(test)]

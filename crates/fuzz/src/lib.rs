@@ -2,11 +2,16 @@
 //!
 //! The harness generates random Mini-C programs (via
 //! [`bootstrap_workloads::minic`]), runs every engine configuration the
-//! workspace ships — naive vs difference-propagation Andersen, interned vs
-//! uninterned FSCS walks, sequential vs LPT-parallel cluster processing —
-//! and asserts the soundness lattice that makes bootstrapping correct:
+//! workspace ships — naive vs difference-propagation Andersen (with every
+//! hybrid-cycle × wave solver combination), interned vs uninterned FSCS
+//! walks, sequential vs work-stealing parallel cluster processing at 1, 2
+//! and 4 threads — and asserts the soundness lattice that makes
+//! bootstrapping correct:
 //!
-//! * naive and delta Andersen compute *identical* points-to sets;
+//! * every Andersen solver configuration (hybrid cycle elimination on/off
+//!   × wave propagation on/off) computes *identical* points-to sets to the
+//!   naive full-set oracle, and every variable class the hybrid solver
+//!   merges is provably equal under that oracle (no oversharing);
 //! * Andersen points-to sets refine (are contained in) the Steensgaard
 //!   pointee classes, and Andersen may-alias never crosses a Steensgaard
 //!   partition;
@@ -261,21 +266,58 @@ fn check_program(program: &Program) -> Result<(), InvariantViolation> {
     let s2 = Session::new(program, strict);
     let pointers: Vec<VarId> = s1.pointers().to_vec();
 
+    // --- Andersen solver matrix vs the naive oracle ----------------------
+    // Every fast configuration — hybrid cycle elimination on/off × wave
+    // propagation on/off × eager vs adaptive engagement — must agree with
+    // the naive full-set solver, and any class the hybrid solver merges
+    // must be provably equal under it.
+    for hybrid_cycles in [false, true] {
+        for wave in [false, true] {
+            for eager_cycles in [false, true] {
+                let opts = SolverOptions {
+                    collapse_cycles: false,
+                    naive: false,
+                    hybrid_cycles,
+                    eager_cycles,
+                    wave,
+                };
+                let fast = andersen::analyze_with(program, opts);
+                for &v in &pointers {
+                    let a = sorted_dbg(&naive.points_to_vars(v));
+                    let b = sorted_dbg(&fast.points_to_vars(v));
+                    if a != b {
+                        return viol(
+                            "andersen-naive-vs-delta",
+                            format!(
+                                "pts({}) naive {:?} != fast {:?} ({opts:?})",
+                                program.var(v).name(),
+                                a,
+                                b
+                            ),
+                        );
+                    }
+                }
+                for group in fast.merged_groups() {
+                    let first = sorted_dbg(&naive.points_to_vars(group[0]));
+                    for &member in &group[1..] {
+                        if first != sorted_dbg(&naive.points_to_vars(member)) {
+                            return viol(
+                                "andersen-overshared-merge",
+                                format!(
+                                    "{} and {} merged but not provably equal ({opts:?})",
+                                    program.var(group[0]).name(),
+                                    program.var(member).name()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     // --- Andersen oracle + Steensgaard containment -----------------------
     for &v in &pointers {
-        let a = sorted_dbg(&naive.points_to_vars(v));
-        let b = sorted_dbg(&delta.points_to_vars(v));
-        if a != b {
-            return viol(
-                "andersen-naive-vs-delta",
-                format!(
-                    "pts({}) naive {:?} != delta {:?}",
-                    program.var(v).name(),
-                    a,
-                    b
-                ),
-            );
-        }
         let class = steens.points_to_vars(v);
         for o in delta.points_to_vars(v) {
             if !class.contains(&o) {
@@ -445,13 +487,13 @@ fn check_program(program: &Program) -> Result<(), InvariantViolation> {
         }
     }
 
-    // --- Sequential vs LPT-parallel cluster processing -------------------
+    // --- Sequential vs work-stealing parallel cluster processing ---------
     let s_seq = Session::new(program, base_config());
     let seq: Vec<String> = process_clusters(&s_seq, s_seq.cover().clusters(), STEPS_PER_CLUSTER)
         .iter()
         .map(report_key)
         .collect();
-    for threads in [2usize, 4] {
+    for threads in [1usize, 2, 4] {
         let s_par = Session::new(program, base_config());
         let par: Vec<String> =
             process_clusters_parallel(&s_par, s_par.cover().clusters(), threads, STEPS_PER_CLUSTER)
@@ -837,6 +879,98 @@ mod tests {
                 .map(|v| (v.kind, &v.detail, &v.source))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn oversharing_guard_on_hub_cycle_and_handle_table_workloads() {
+        // The big-partition generator builds the two workloads where a
+        // careless cycle detector overshares: closed hub copy cycles and
+        // handle tables (loads/stores through a shared double pointer).
+        // Every class the hybrid solver merges — with and without wave
+        // ordering — must be provably equal under the naive oracle, and
+        // the points-to sets must match it exactly.
+        use bootstrap_workloads::generator::{self, BigPartition, GenConfig};
+        let workloads = [
+            // Deep spokes feeding a short closed hub chain.
+            GenConfig {
+                name: "hub-cycle".to_string(),
+                seed: 0x9e37_79b9_7f4a_7c15,
+                n_funcs: 8,
+                big_partitions: vec![BigPartition {
+                    size: 120,
+                    andersen_max: 40,
+                }],
+                small_partitions: 4,
+                small_max: 4,
+                singletons: 2,
+                call_percent: 12,
+                churn_communities: 2,
+                control_flow: true,
+            },
+            // Hub-heavy shape: more hubs means a wider handle table
+            // (every hub's address stored through the same double
+            // pointer, then read back), the classic oversharing trap.
+            GenConfig {
+                name: "handle-table".to_string(),
+                seed: 0xdead_beef_cafe_f00d,
+                n_funcs: 6,
+                big_partitions: vec![BigPartition {
+                    size: 96,
+                    andersen_max: 96,
+                }],
+                small_partitions: 2,
+                small_max: 3,
+                singletons: 0,
+                call_percent: 8,
+                churn_communities: 0,
+                control_flow: false,
+            },
+        ];
+        for config in workloads {
+            let program = generator::generate(&config);
+            let naive = andersen::analyze_with(&program, SolverOptions::naive_oracle());
+            for wave in [false, true] {
+                // Eager engagement: these workloads are small enough that
+                // the adaptive drain can converge before the thrash
+                // detector brings the merge machinery in, and the guard
+                // below needs merges to inspect.
+                let opts = SolverOptions {
+                    collapse_cycles: false,
+                    naive: false,
+                    hybrid_cycles: true,
+                    eager_cycles: true,
+                    wave,
+                };
+                let fast = andersen::analyze_with(&program, opts);
+                for v in program.var_ids() {
+                    assert_eq!(
+                        naive.points_to_vars(v),
+                        fast.points_to_vars(v),
+                        "{}: pts({}) diverged ({opts:?})",
+                        config.name,
+                        program.var(v).name()
+                    );
+                }
+                let groups = fast.merged_groups();
+                assert!(
+                    !groups.is_empty(),
+                    "{}: expected the hybrid solver to merge at least one cycle",
+                    config.name
+                );
+                for group in groups {
+                    for &member in &group[1..] {
+                        assert_eq!(
+                            naive.points_to_vars(group[0]),
+                            naive.points_to_vars(member),
+                            "{}: overshared merge {} ~ {} ({opts:?})",
+                            config.name,
+                            program.var(group[0]).name(),
+                            program.var(member).name()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

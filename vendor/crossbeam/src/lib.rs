@@ -1,11 +1,17 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Provides the one API this workspace uses: `crossbeam::channel::unbounded`,
-//! a multi-producer multi-consumer FIFO channel. Implemented with a
-//! `Mutex<VecDeque>` + `Condvar`; disconnection is tracked by sender/receiver
-//! reference counts so `recv` returns `Err` once the queue drains and every
-//! sender is gone (the same contract the work-stealing cluster driver relies
-//! on to shut workers down).
+//! Provides the two APIs this workspace uses:
+//!
+//! * `crossbeam::channel::unbounded` — a multi-producer multi-consumer FIFO
+//!   channel. Implemented with a `Mutex<VecDeque>` + `Condvar`;
+//!   disconnection is tracked by sender/receiver reference counts so `recv`
+//!   returns `Err` once the queue drains and every sender is gone.
+//! * `crossbeam::deque` — per-worker task deques with stealers, the shape
+//!   of `crossbeam-deque`'s FIFO worker. The owner pushes to the tail and
+//!   pops from the head; idle workers steal from the tail, so a deque
+//!   seeded largest-first hands its owner the big tasks and thieves the
+//!   small ones. Implemented with a `Mutex<VecDeque>` (no lock-free ring
+//!   buffer offline), so `Steal::Retry` is never returned.
 
 /// MPMC channels.
 pub mod channel {
@@ -127,7 +133,7 @@ pub mod channel {
     }
 
     #[cfg(test)]
-    mod tests {
+    mod channel_tests {
         use super::*;
 
         #[test]
@@ -164,6 +170,165 @@ pub mod channel {
                 handles.into_iter().map(|h| h.join().unwrap()).sum()
             });
             assert_eq!(total, (0..100).sum());
+        }
+    }
+}
+
+/// Work-stealing deques (FIFO worker + tail stealers).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The owner's handle to a task deque: push to the tail, pop from the
+    /// head (FIFO). Seed it largest-task-first and the owner drains the
+    /// expensive tasks while [`Stealer`]s peel the cheap tail.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A shared handle that takes tasks from the *tail* of a [`Worker`]'s
+    /// deque, so thieves and the owner meet in the middle instead of
+    /// contending on the same end.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Outcome of a [`Stealer::steal`] attempt.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried. The offline
+        /// mutex-based implementation never returns this; callers still
+        /// match on it for API compatibility with `crossbeam-deque`.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO deque.
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueues a task at the tail.
+        pub fn push(&self, task: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        /// Dequeues the task at the head (the owner's end).
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// A new stealer handle onto this deque's tail.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Takes the task at the tail, if any.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+            {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod deque_tests {
+        use super::*;
+
+        #[test]
+        fn owner_pops_head_thief_steals_tail() {
+            let w = Worker::new_fifo();
+            for i in 0..4 {
+                w.push(i);
+            }
+            let s = w.stealer();
+            assert_eq!(w.pop(), Some(0), "owner takes the head");
+            assert_eq!(s.steal(), Steal::Success(3), "thief takes the tail");
+            assert_eq!(s.steal(), Steal::Success(2));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn concurrent_drain_loses_nothing() {
+            let w = Worker::new_fifo();
+            for i in 0..1000usize {
+                w.push(i);
+            }
+            let total: usize = std::thread::scope(|scope| {
+                let thieves: Vec<_> = (0..3)
+                    .map(|_| {
+                        let s = w.stealer();
+                        scope.spawn(move || {
+                            let mut sum = 0;
+                            while let Some(v) = s.steal().success() {
+                                sum += v;
+                            }
+                            sum
+                        })
+                    })
+                    .collect();
+                let mut sum = 0;
+                while let Some(v) = w.pop() {
+                    sum += v;
+                }
+                sum + thieves
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
+            });
+            assert_eq!(total, (0..1000).sum());
         }
     }
 }
