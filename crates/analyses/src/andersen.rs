@@ -274,6 +274,10 @@ pub struct SolverStats {
     /// Copy edges dropped because cycle collapsing turned them into
     /// self-loops or duplicates.
     pub edges_pruned: usize,
+    /// Constraints dropped by the ingestion stream-dedup: repeat
+    /// occurrences of a seed/copy/load/store already in the system (loop
+    /// bodies and unrolled communities repeat the same four-form facts).
+    pub dup_constraints: usize,
 }
 
 impl SolverStats {
@@ -287,6 +291,7 @@ impl SolverStats {
         self.sccs_offline += other.sccs_offline;
         self.wave_rounds += other.wave_rounds;
         self.edges_pruned += other.edges_pruned;
+        self.dup_constraints += other.dup_constraints;
     }
 }
 
@@ -361,24 +366,77 @@ where
     I: IntoIterator<Item = &'a Stmt>,
 {
     let t0 = std::time::Instant::now();
+    // Ingestion pre-pass: flatten the statement stream into compact
+    // constraint tuples and count per-node degrees in one linear sweep, so
+    // every per-node table is allocated at (close to) its final size
+    // before the solver sees a constraint. Ingestion then stream-dedups:
+    // a repeat of a copy edge is caught by the existing sorted-insert
+    // probe, and repeats of load/store facts — which the old path pushed
+    // blindly, making the fixpoint walk the same deref constraint once per
+    // occurrence — by a short membership scan (per-node degrees are tiny,
+    // so a linear probe beats hashing the whole stream). Duplicate counts
+    // surface as `SolverStats::dup_constraints`.
+    const K_ADDR: u8 = 0;
+    const K_COPY: u8 = 1;
+    const K_LOAD: u8 = 2;
+    const K_STORE: u8 = 3;
+    let tuples: Vec<(u8, u32, u32)> = stmts
+        .into_iter()
+        .filter_map(|stmt| match *stmt {
+            Stmt::AddrOf { dst, obj } => Some((K_ADDR, dst.index() as u32, obj.index() as u32)),
+            Stmt::Copy { dst, src } => Some((K_COPY, src.index() as u32, dst.index() as u32)),
+            Stmt::Load { dst, src } => Some((K_LOAD, src.index() as u32, dst.index() as u32)),
+            Stmt::Store { dst, src } => Some((K_STORE, dst.index() as u32, src.index() as u32)),
+            Stmt::Null { .. }
+            | Stmt::Free { .. }
+            | Stmt::Call(_)
+            | Stmt::Spawn(_)
+            | Stmt::Lock { .. }
+            | Stmt::Unlock { .. }
+            | Stmt::Return
+            | Stmt::Skip => None,
+        })
+        .collect();
+    let mut edge_deg = vec![0u32; n_vars];
+    let mut load_deg = vec![0u32; n_vars];
+    let mut store_deg = vec![0u32; n_vars];
+    for &(kind, a, _) in &tuples {
+        match kind {
+            K_COPY => edge_deg[a as usize] += 1,
+            K_LOAD => load_deg[a as usize] += 1,
+            K_STORE => store_deg[a as usize] += 1,
+            _ => {}
+        }
+    }
     let mut solver = Solver::new(n_vars, options);
-    for stmt in stmts {
-        match *stmt {
-            Stmt::AddrOf { dst, obj } => {
-                solver.add_points_to(dst.index() as u32, obj.index() as u32);
+    solver.reserve(&edge_deg, &load_deg, &store_deg);
+    for &(kind, a, b) in &tuples {
+        match kind {
+            K_ADDR => solver.add_points_to(a, b),
+            K_COPY => {
+                let edges_before: usize = solver.edges[a as usize].len();
+                solver.add_copy(a, b);
+                if a != b && solver.edges[a as usize].len() == edges_before {
+                    solver.dup_constraints += 1;
+                }
             }
-            Stmt::Copy { dst, src } => {
-                solver.add_copy(src.index() as u32, dst.index() as u32);
+            K_LOAD => {
+                if solver.loads[a as usize].contains(&b) {
+                    solver.dup_constraints += 1;
+                } else {
+                    solver.loads[a as usize].push(b);
+                    solver.enqueue(a);
+                }
             }
-            Stmt::Load { dst, src } => {
-                solver.loads[src.index()].push(dst.index() as u32);
-                solver.enqueue(src.index() as u32);
+            K_STORE => {
+                if solver.stores[a as usize].contains(&b) {
+                    solver.dup_constraints += 1;
+                } else {
+                    solver.stores[a as usize].push(b);
+                    solver.enqueue(a);
+                }
             }
-            Stmt::Store { dst, src } => {
-                solver.stores[dst.index()].push(src.index() as u32);
-                solver.enqueue(dst.index() as u32);
-            }
-            Stmt::Null { .. } | Stmt::Free { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
+            _ => unreachable!(),
         }
     }
     let built = t0.elapsed();
@@ -426,6 +484,8 @@ struct Solver {
     pops: usize,
     /// Pops that found an already-drained delta (stats).
     stale_pops: usize,
+    /// Constraints the ingestion pre-pass dropped as exact repeats (stats).
+    dup_constraints: usize,
     /// HCD pairs: indexed by pointer `p`, the classes `v` to merge each
     /// newly arriving object of `pts(p)` with (offline-proven deref
     /// cycles). Moved to the class representative on merge, like `loads`.
@@ -467,6 +527,7 @@ impl Solver {
             parent: (0..n as u32).collect(),
             pops: 0,
             stale_pops: 0,
+            dup_constraints: 0,
             hcd: Vec::new(),
             lcd_seen: std::collections::HashSet::new(),
             sccs_online: 0,
@@ -490,6 +551,30 @@ impl Solver {
             sccs_offline: self.sccs_offline,
             wave_rounds: self.wave_rounds,
             edges_pruned: self.edges_pruned,
+            dup_constraints: self.dup_constraints,
+        }
+    }
+
+    /// Pre-sizes the per-node constraint tables from exact degree counts
+    /// (see [`analyze_stmts_profiled`]'s ingestion pre-pass). Only nodes
+    /// with a non-zero degree reserve — `Vec::new` is allocation-free, so
+    /// touching the (typically vast) zero-degree majority would *add*
+    /// allocator traffic, not remove it.
+    fn reserve(&mut self, edge_deg: &[u32], load_deg: &[u32], store_deg: &[u32]) {
+        for (v, &c) in edge_deg.iter().enumerate() {
+            if c > 0 {
+                self.edges[v].reserve_exact(c as usize);
+            }
+        }
+        for (v, &c) in load_deg.iter().enumerate() {
+            if c > 0 {
+                self.loads[v].reserve_exact(c as usize);
+            }
+        }
+        for (v, &c) in store_deg.iter().enumerate() {
+            if c > 0 {
+                self.stores[v].reserve_exact(c as usize);
+            }
         }
     }
 

@@ -13,6 +13,8 @@
 //!   (a disjunctive alias cover);
 //! * [`oneflow`] — a Das-style "one level of flow" analysis that can be
 //!   cascaded between the two (precision between Steensgaard and Andersen);
+//! * [`escape`] — thread-escape analysis over the spawn-extended IR,
+//!   feeding the data-race detector;
 //!
 //! plus the shared substrates [`bitset`] (hybrid points-to sets) and
 //! [`unionfind`].
@@ -38,10 +40,12 @@
 
 pub mod andersen;
 pub mod bitset;
+pub mod escape;
 pub mod oneflow;
 pub mod steensgaard;
 pub mod unionfind;
 
 pub use andersen::{AndersenCluster, AndersenResult};
 pub use bitset::VarSet;
+pub use escape::{EscapeResult, Thread, ThreadId, MAIN_THREAD};
 pub use steensgaard::{ClassId, SteensgaardResult};

@@ -128,7 +128,14 @@ pub fn analyze(program: &Program) -> OneFlowResult {
                 stores[dst.index()].push(src.index() as u32);
                 worklist.push(dst.index() as u32);
             }
-            Stmt::Null { .. } | Stmt::Free { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
+            Stmt::Null { .. }
+            | Stmt::Free { .. }
+            | Stmt::Call(_)
+            | Stmt::Spawn(_)
+            | Stmt::Lock { .. }
+            | Stmt::Unlock { .. }
+            | Stmt::Return
+            | Stmt::Skip => {}
         }
     }
 

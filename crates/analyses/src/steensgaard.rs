@@ -235,7 +235,14 @@ pub fn analyze(program: &Program) -> SteensgaardResult {
                 let px = solver.pointee_of(dst.index() as u32);
                 solver.union(px, src.index() as u32);
             }
-            Stmt::Null { .. } | Stmt::Free { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
+            Stmt::Null { .. }
+            | Stmt::Free { .. }
+            | Stmt::Call(_)
+            | Stmt::Spawn(_)
+            | Stmt::Lock { .. }
+            | Stmt::Unlock { .. }
+            | Stmt::Return
+            | Stmt::Skip => {}
         }
     }
     solver.finish(program)

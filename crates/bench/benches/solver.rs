@@ -71,6 +71,11 @@ struct Measurement {
     /// configurations, so the solve phase is where the solvers differ).
     naive_solve: Duration,
     delta_solve: Duration,
+    /// Build-phase (table allocation + constraint ingestion) wall time.
+    /// Identical code for both configurations; reported so ingestion
+    /// improvements are visible as a before/after row across bench runs.
+    naive_build: Duration,
+    delta_build: Duration,
     naive_stats: SolverStats,
     delta_stats: SolverStats,
 }
@@ -90,7 +95,7 @@ fn time_solver(
     stmts: &[Stmt],
     options: SolverOptions,
     samples: usize,
-) -> (Duration, Duration, SolverStats) {
+) -> (Duration, Duration, Duration, SolverStats) {
     // One warmup, then the run with the *minimum* end-to-end time (its
     // solve phase reported alongside, so the two numbers are consistent).
     // The minimum is the standard noise-resistant estimator for a shared
@@ -98,16 +103,20 @@ fn time_solver(
     // sample is the closest to the solver's intrinsic cost — medians here
     // still jumped ~2x between invocations under host noise.
     let (_, stats, _) = andersen::analyze_stmts_profiled(n_vars, stmts.iter(), options);
-    let mut times: Vec<(Duration, Duration)> = (0..samples)
+    let mut times: Vec<(Duration, Duration, Duration)> = (0..samples)
         .map(|_| {
             let t0 = Instant::now();
             let (_, _, phases) = andersen::analyze_stmts_profiled(n_vars, stmts.iter(), options);
-            (t0.elapsed(), Duration::from_secs_f64(phases.solve_secs))
+            (
+                t0.elapsed(),
+                Duration::from_secs_f64(phases.solve_secs),
+                Duration::from_secs_f64(phases.build_secs),
+            )
         })
         .collect();
     times.sort();
-    let (total, solve) = times[0];
-    (total, solve, stats)
+    let (total, solve, build) = times[0];
+    (total, solve, build, stats)
 }
 
 fn measure(label: &str, n_vars: usize, stmts: &[Stmt], samples: usize) -> Measurement {
@@ -116,8 +125,10 @@ fn measure(label: &str, n_vars: usize, stmts: &[Stmt], samples: usize) -> Measur
         ..Default::default()
     };
     let delta_opts = SolverOptions::default();
-    let (naive, naive_solve, naive_stats) = time_solver(n_vars, stmts, naive_opts, samples);
-    let (delta, delta_solve, delta_stats) = time_solver(n_vars, stmts, delta_opts, samples);
+    let (naive, naive_solve, naive_build, naive_stats) =
+        time_solver(n_vars, stmts, naive_opts, samples);
+    let (delta, delta_solve, delta_build, delta_stats) =
+        time_solver(n_vars, stmts, delta_opts, samples);
     Measurement {
         label: label.to_string(),
         n_vars,
@@ -126,6 +137,8 @@ fn measure(label: &str, n_vars: usize, stmts: &[Stmt], samples: usize) -> Measur
         delta,
         naive_solve,
         delta_solve,
+        naive_build,
+        delta_build,
         naive_stats,
         delta_stats,
     }
@@ -149,6 +162,8 @@ fn write_json(preset_name: &str, rows: &[Measurement]) -> std::io::Result<String
                 "\"naive_secs\": {:.6}, \"delta_secs\": {:.6}, \"speedup\": {:.2}, ",
                 "\"naive_solve_secs\": {:.6}, \"delta_solve_secs\": {:.6}, ",
                 "\"solve_speedup\": {:.2}, ",
+                "\"naive_build_secs\": {:.6}, \"delta_build_secs\": {:.6}, ",
+                "\"dup_constraints\": {}, ",
                 "\"naive_pops\": {}, \"delta_pops\": {}, \"delta_stale_pops\": {}, ",
                 "\"naive_edges\": {}, \"delta_edges\": {}, ",
                 "\"delta_sccs_offline\": {}, \"delta_sccs_online\": {}, ",
@@ -163,6 +178,9 @@ fn write_json(preset_name: &str, rows: &[Measurement]) -> std::io::Result<String
             m.naive_solve.as_secs_f64(),
             m.delta_solve.as_secs_f64(),
             m.solve_speedup(),
+            m.naive_build.as_secs_f64(),
+            m.delta_build.as_secs_f64(),
+            m.delta_stats.dup_constraints,
             m.naive_stats.pops,
             m.delta_stats.pops,
             m.delta_stats.stale_pops,

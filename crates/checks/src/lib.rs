@@ -14,6 +14,9 @@
 //!   site.
 //! * **double-free** — a free site releasing a heap object already
 //!   released by a distinct free site that may execute before it.
+//! * **data race** ([`race`]) — concurrent conflicting accesses to a
+//!   thread-escaped object without a common lock provably held at both
+//!   sites, over the `spawn`/`lock`/`unlock` extended IR.
 //!
 //! Dereference and free sites are collected per Andersen cluster (sites
 //! are queried in partition order so consecutive queries hit the same
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod order;
+mod race;
 mod report;
 
 use std::collections::{HashMap, HashSet};
@@ -47,14 +51,18 @@ pub enum CheckerKind {
     UseAfterFree,
     /// Second free of an already-freed heap object.
     DoubleFree,
+    /// Concurrent conflicting accesses to a shared object without a
+    /// common lock.
+    Race,
 }
 
 impl CheckerKind {
     /// All checkers, in canonical reporting order.
-    pub const ALL: [CheckerKind; 3] = [
+    pub const ALL: [CheckerKind; 4] = [
         CheckerKind::NullDeref,
         CheckerKind::UseAfterFree,
         CheckerKind::DoubleFree,
+        CheckerKind::Race,
     ];
 
     /// The checker's stable command-line name.
@@ -63,6 +71,7 @@ impl CheckerKind {
             CheckerKind::NullDeref => "null-deref",
             CheckerKind::UseAfterFree => "use-after-free",
             CheckerKind::DoubleFree => "double-free",
+            CheckerKind::Race => "race",
         }
     }
 
@@ -72,6 +81,7 @@ impl CheckerKind {
             "null-deref" | "nullderef" | "null" => Some(CheckerKind::NullDeref),
             "uaf" | "use-after-free" => Some(CheckerKind::UseAfterFree),
             "double-free" | "doublefree" | "df" => Some(CheckerKind::DoubleFree),
+            "race" | "data-race" | "races" => Some(CheckerKind::Race),
             _ => None,
         }
     }
@@ -258,6 +268,7 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
     let want_null = want(CheckerKind::NullDeref);
     let want_uaf = want(CheckerKind::UseAfterFree);
     let want_df = want(CheckerKind::DoubleFree);
+    let want_race = want(CheckerKind::Race);
     let need_deref = want_null || want_uaf;
     let need_free = want_uaf || want_df;
 
@@ -486,6 +497,16 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
                 }
             }
         }
+    }
+
+    if want_race {
+        let (race_findings, sites, queries) = race::check(session, &mut rs);
+        let s = stats
+            .get_mut(&CheckerKind::Race)
+            .expect("requested checker");
+        s.sites = sites;
+        s.queries = queries;
+        findings.extend(race_findings);
     }
 
     findings.sort_by(|a, b| {

@@ -38,8 +38,9 @@ pub fn reachable_after(session: &Session<'_>, from: Loc) -> HashSet<Loc> {
         }
         let f = program.func(l.func);
         // Entering a direct callee: its whole body may run before control
-        // returns to the successor statements (already pushed below).
-        if let Stmt::Call(c) = f.stmt(l.stmt) {
+        // returns to the successor statements (already pushed below). A
+        // spawned function likewise runs after the spawn point.
+        if let Stmt::Call(c) | Stmt::Spawn(c) = f.stmt(l.stmt) {
             if let CallTarget::Direct(g) = c.target {
                 work.push(program.func(g).entry());
             }

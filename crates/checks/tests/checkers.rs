@@ -201,7 +201,7 @@ fn report_carries_stats_and_cache_counters() {
         "int *p; int x;
          void main() { p = NULL; x = *p; }",
     );
-    assert_eq!(r.stats.len(), 3);
+    assert_eq!(r.stats.len(), 4);
     let nd = r
         .stats
         .iter()
@@ -290,5 +290,7 @@ fn checker_kind_parsing() {
         CheckerKind::parse("double-free"),
         Some(CheckerKind::DoubleFree)
     );
+    assert_eq!(CheckerKind::parse("race"), Some(CheckerKind::Race));
+    assert_eq!(CheckerKind::parse("data-race"), Some(CheckerKind::Race));
     assert_eq!(CheckerKind::parse("bogus"), None);
 }

@@ -7,7 +7,7 @@
 //! bootstrap-alias sources     <file.c> --var p [--at FUNC] [--path-sensitive]
 //! bootstrap-alias may-alias   <file.c> --pair p,q [--at FUNC] [--path-sensitive]
 //! bootstrap-alias must-alias  <file.c> --pair p,q [--at FUNC] [--path-sensitive]
-//! bootstrap-alias check       <file.c> [--only null-deref,uaf,double-free] [--format text|json]
+//! bootstrap-alias check       <file.c> [--only null-deref,uaf,double-free,race] [--format text|json]
 //! bootstrap-alias dot         <file.c> (--cfg FUNC | --callgraph)
 //! bootstrap-alias stats       <file.c> [--format text|json]
 //! bootstrap-alias fuzz        [--seed N] [--iters N] [--corpus DIR]
@@ -66,7 +66,8 @@ commands:
   sources      print value sources of a pointer (--var p) [--at FUNC]
   may-alias    query may-alias for a pair (--pair p,q) [--at FUNC]
   must-alias   query must-alias for a pair (--pair p,q) [--at FUNC]
-  check        run the client checkers (null-deref, use-after-free, double-free)
+  check        run the client checkers (null-deref, use-after-free,
+               double-free, race)
   dot          emit Graphviz (--cfg FUNC | --callgraph)
   stats        print program and cascade statistics (--format text|json)
   fuzz         differential fuzzing campaign (no input file;
@@ -77,7 +78,7 @@ options:
   --threshold N      Andersen threshold (clusters, check; default 60)
   --path-sensitive   enable the path-sensitive mode
   --vars a,b  /  --var p  /  --pair p,q   variable selectors
-  --only a,b         checkers to run (null-deref, uaf, double-free)
+  --only a,b         checkers to run (null-deref, uaf, double-free, race)
   --format FMT       `check`/`stats` output format: text (default) or json
   --query-budget N   per-query step budget (sources, check, stats)
   --fail-on-degraded exit 3 when `check` finds no defects but some
@@ -394,8 +395,8 @@ fn interner_line(stats: bootstrap_core::InternerStats) -> String {
 fn solver_lines(out: &mut String, s: bootstrap_core::SolverStats) {
     let _ = writeln!(
         out,
-        "solver pops: {} productive, {} stale ({} copy edges, {} pruned)",
-        s.pops, s.stale_pops, s.edges, s.edges_pruned
+        "solver pops: {} productive, {} stale ({} copy edges, {} pruned, {} dup constraints)",
+        s.pops, s.stale_pops, s.edges, s.edges_pruned, s.dup_constraints
     );
     let _ = writeln!(
         out,
@@ -897,6 +898,38 @@ mod tests {
         assert!(!out.text.contains("null-deref]"), "{}", out.text);
         let e = run_args_full(&["check", &f, "--only", "bogus"]).unwrap_err();
         assert!(e.to_string().contains("unknown checker"));
+    }
+
+    #[test]
+    fn check_only_race_reports_data_races() {
+        let f = write_temp(
+            "check_race",
+            "int counter; int *p;
+             void worker() { int t; t = *p; *p = t; }
+             void main() { int s; p = &counter; spawn worker(); s = *p; *p = s; }",
+        );
+        let out = run_args_full(&["check", &f, "--only", "race"]).unwrap();
+        assert_eq!(out.exit_code, 1, "{}", out.text);
+        assert!(out.text.contains("error[race]"), "{}", out.text);
+        assert!(out.text.contains("races with"), "{}", out.text);
+        assert!(out.text.contains("locks held:"), "{}", out.text);
+    }
+
+    #[test]
+    fn check_only_race_is_quiet_on_locked_programs() {
+        let f = write_temp(
+            "check_race_clean",
+            "int counter; int m; int *p;
+             void worker() { int t; lock(&m); t = *p; *p = t; unlock(&m); }
+             void main() {
+               int s;
+               p = &counter; spawn worker();
+               lock(&m); s = *p; *p = s; unlock(&m);
+             }",
+        );
+        let out = run_args_full(&["check", &f, "--only", "race"]).unwrap();
+        assert_eq!(out.exit_code, 0, "{}", out.text);
+        assert!(out.text.contains("no defects found"), "{}", out.text);
     }
 
     #[test]

@@ -382,7 +382,7 @@ impl<'s> Analyzer<'s> {
         let mut expected_callee = loc.func;
         for &cs in context.iter().rev() {
             match program.stmt_at(cs) {
-                Stmt::Call(c) => match c.target {
+                Stmt::Call(c) | Stmt::Spawn(c) => match c.target {
                     bootstrap_ir::CallTarget::Direct(g) if g == expected_callee => {
                         expected_callee = cs.func;
                     }

@@ -271,7 +271,7 @@ impl ClusterEngine {
                 let mut out = state[m as usize].clone().expect("visited");
                 // Kills.
                 match func.stmt(m) {
-                    Stmt::Call(_) => {
+                    Stmt::Call(_) | Stmt::Spawn(_) => {
                         out.retain(|a| {
                             a.branch_var()
                                 .map(|v| cx.program.var(v).kind().owner().is_some())
@@ -660,7 +660,9 @@ impl ClusterEngine {
             // path-sensitive mode; resolve the (updated) set once per item.
             let (dead, dead_set) = if self.path_sensitive {
                 let dead = match func.stmt(m) {
-                    Stmt::Call(_) => arena_try!(budget, self.arena.kill_globals(dead)),
+                    Stmt::Call(_) | Stmt::Spawn(_) => {
+                        arena_try!(budget, self.arena.kill_globals(dead))
+                    }
                     stmt => match stmt.direct_def() {
                         Some(d) => arena_try!(budget, self.arena.kill(dead, d)),
                         None => dead,
@@ -814,6 +816,11 @@ impl ClusterEngine {
                     // cluster: step over.
                     _ => continues.push((x, cond)),
                 },
+                // Spawn parameter binding is explicit Copy statements, and
+                // lock/unlock never write pointers: the walk steps over them.
+                Stmt::Spawn(_) | Stmt::Lock { .. } | Stmt::Unlock { .. } => {
+                    continues.push((x, cond))
+                }
                 Stmt::Return | Stmt::Skip => continues.push((x, cond)),
             }
             for (x2, c2) in continues {
@@ -912,7 +919,7 @@ impl ClusterEngine {
             // attaching anything from m or above.
             let dead = if self.path_sensitive {
                 match func.stmt(m) {
-                    Stmt::Call(_) => dead.kill_globals(),
+                    Stmt::Call(_) | Stmt::Spawn(_) => dead.kill_globals(),
                     stmt => match stmt.direct_def() {
                         Some(d) => dead.kill(d),
                         None => dead,
@@ -1036,6 +1043,9 @@ impl ClusterEngine {
                     // cluster: step over.
                     _ => continues.push((x, cond.clone())),
                 },
+                Stmt::Spawn(_) | Stmt::Lock { .. } | Stmt::Unlock { .. } => {
+                    continues.push((x, cond.clone()))
+                }
                 Stmt::Return | Stmt::Skip => continues.push((x, cond.clone())),
             }
             for (x2, c2) in continues {

@@ -109,7 +109,12 @@ impl RelevantIndex {
                         stores_writing.entry(c.0).or_default().push(loc);
                     }
                 }
-                Stmt::Call(_) | Stmt::Return | Stmt::Skip => {}
+                Stmt::Call(_)
+                | Stmt::Spawn(_)
+                | Stmt::Lock { .. }
+                | Stmt::Unlock { .. }
+                | Stmt::Return
+                | Stmt::Skip => {}
             }
         }
         Self {

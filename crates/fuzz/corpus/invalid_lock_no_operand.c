@@ -1,0 +1,4 @@
+int m;
+void main() {
+  lock();
+}

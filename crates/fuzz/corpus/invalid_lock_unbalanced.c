@@ -1,0 +1,5 @@
+int m;
+void main() {
+  lock(&m;
+  unlock(&m);
+}

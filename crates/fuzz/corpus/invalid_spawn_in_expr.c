@@ -1,0 +1,5 @@
+int x;
+void w() { x = x + 1; }
+void main() {
+  x = spawn w();
+}

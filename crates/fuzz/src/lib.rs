@@ -22,7 +22,13 @@
 //! * interned and uninterned walks produce identical summary snapshots;
 //! * cluster reports are identical across thread counts (modulo wall
 //!   time), and site queries / checker reports are identical across fresh
-//!   sessions and across `andersen_threshold` settings.
+//!   sessions and across `andersen_threshold` settings;
+//! * the data-race detector is conservative: `--only race` matches the
+//!   race subset of a full run, Error-severity races carry provably empty
+//!   full-precision locksets, and forcing the ladder down to may-alias
+//!   tiers only ever *adds* race reports (generated programs draw a
+//!   `concurrency` knob that emits `spawn` and balanced lock regions, so
+//!   the campaign exercises multi-threaded shapes too).
 //!
 //! Any violation (or panic) is shrunk by a ddmin-style reducer that
 //! removes whole functions, statements and globals while the failure
@@ -150,6 +156,7 @@ pub fn config_for(seed: u64, iter: u64) -> MiniCConfig {
         free_null_decoys: rng.gen_bool(0.7),
         control_flow: rng.gen_bool(0.8),
         multi_decls: rng.gen_bool(0.5),
+        concurrency: rng.gen_bool(0.4),
     }
 }
 
@@ -531,6 +538,88 @@ fn check_program(program: &Program) -> Result<(), InvariantViolation> {
         );
     }
 
+    // --- Race soundness -------------------------------------------------
+    // The race detector's conservatism contract, checked on every
+    // generated program (single-threaded programs exercise the trivial
+    // case: no races anywhere):
+    //
+    // * selection invariance: `--only race` reports exactly the race
+    //   subset of a full run (cluster batching must not change answers);
+    // * evidence consistency: an Error-severity race means *provably*
+    //   lock-free at full precision — so its lockset evidence must be
+    //   empty and it must carry the FSCS tier, and a may-only lock
+    //   (rendered `name?`) can never appear in one;
+    // * degradation only widens: every full-precision race survives — by
+    //   (site, object) key, since a widened deref resolution can re-anchor
+    //   the same statement pair to a different accessing pointer — when the
+    //   ladder is forced down to the may-alias tiers, because shrinking
+    //   must-locksets can only make *more* pairs look unprotected, never
+    //   fewer.
+    let race_keys = |r: &CheckReport| -> Vec<String> {
+        let mut v: Vec<String> = r
+            .findings
+            .iter()
+            .filter(|f| f.checker == CheckerKind::Race)
+            .map(|f| format!("{:?} {} {:?} {}", f.loc, f.var, f.object, f.func))
+            .collect();
+        v.sort();
+        v
+    };
+    let only = run_checks(&Session::new(program, base_config()), &[CheckerKind::Race]);
+    if race_keys(&only) != race_keys(&c1) {
+        return viol(
+            "race-selection-divergence",
+            format!(
+                "race-only run differs from the full run: {:?} vs {:?}",
+                race_keys(&only),
+                race_keys(&c1)
+            ),
+        );
+    }
+    for f in c1
+        .findings
+        .iter()
+        .filter(|f| f.checker == CheckerKind::Race)
+    {
+        if f.severity == bootstrap_checks::Severity::Error
+            && (f.precision != Precision::Fscs || f.message.contains('?'))
+        {
+            return viol(
+                "race-evidence-inconsistent",
+                format!("Error-severity race without provably empty FSCS locksets: {f:?}"),
+            );
+        }
+    }
+    let degraded_races = run_checks(
+        &Session::new(
+            program,
+            Config {
+                query_step_budget: 1,
+                ..base_config()
+            },
+        ),
+        &[CheckerKind::Race],
+    );
+    let site_key = |f: &bootstrap_checks::Finding| format!("{:?} {:?} {}", f.loc, f.object, f.func);
+    let widened: HashSet<String> = degraded_races
+        .findings
+        .iter()
+        .filter(|f| f.checker == CheckerKind::Race)
+        .map(site_key)
+        .collect();
+    for f in c1
+        .findings
+        .iter()
+        .filter(|f| f.checker == CheckerKind::Race && f.precision == Precision::Fscs)
+    {
+        if !widened.contains(&site_key(f)) {
+            return viol(
+                "race-degradation-dropped",
+                format!("full-precision race lost under a degraded ladder: {f:?}"),
+            );
+        }
+    }
+
     Ok(())
 }
 
@@ -834,6 +923,32 @@ mod tests {
         let src = "int g; int *p; int *q; int x;
              void main() { p = &g; q = p; x = *q; }";
         assert!(check_source(src).is_ok());
+    }
+
+    #[test]
+    fn racy_program_passes_all_invariants() {
+        // A genuinely racy program (shared counter, no lock) must satisfy
+        // the race-soundness invariants: the findings themselves are the
+        // expected output, and they must be stable across selection,
+        // degradation and thresholds.
+        let src = "int counter; int *p;
+             void worker() { int t; t = *p; *p = t; }
+             void main() { int s; p = &counter; spawn worker(); s = *p; *p = s; }";
+        let r = check_source(src);
+        assert!(r.is_ok(), "violation: {r:?}");
+    }
+
+    #[test]
+    fn locked_program_passes_all_invariants() {
+        let src = "int counter; int m; int *p;
+             void worker() { int t; lock(&m); t = *p; *p = t; unlock(&m); }
+             void main() {
+               int s;
+               p = &counter; spawn worker();
+               lock(&m); s = *p; *p = s; unlock(&m);
+             }";
+        let r = check_source(src);
+        assert!(r.is_ok(), "violation: {r:?}");
     }
 
     #[test]

@@ -133,6 +133,19 @@ pub enum Stmt {
     /// `free(e);` — lowered to a [`crate::Stmt::Free`], which nulls the
     /// pointer (Remark 1) while preserving the deallocation event.
     Free(Expr),
+    /// `spawn f(args);` — start a new thread running `f`. The callee is
+    /// always a direct function name; argument binding is lowered exactly
+    /// like a call.
+    Spawn {
+        /// The spawned function's name.
+        callee: String,
+        /// The argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `lock(e);` — acquire the mutex `e` points to.
+    Lock(Expr),
+    /// `unlock(e);` — release the mutex `e` points to.
+    Unlock(Expr),
     /// A nested block.
     Block(Block),
 }

@@ -298,6 +298,33 @@ impl FuncBodyBuilder<'_> {
         }
     }
 
+    /// Emits `spawn callee(args)`: parameter binding copies exactly like a
+    /// direct call, then a [`Stmt::Spawn`]. Spawned functions never return
+    /// a value to the spawner.
+    pub fn spawn(&mut self, callee: FuncId, args: &[VarId]) {
+        let params = self.pb.funcs[callee.index()].params.clone();
+        for (a, p) in args.iter().zip(params.iter()) {
+            self.copy(*p, *a);
+        }
+        let site = self.pb.prog.fresh_call_site();
+        self.emit(Stmt::Spawn(CallStmt {
+            target: CallTarget::Direct(callee),
+            site,
+            args: Vec::new(),
+            ret: None,
+        }));
+    }
+
+    /// Emits `lock(m)`.
+    pub fn lock(&mut self, m: VarId) -> StmtIdx {
+        self.emit(Stmt::Lock { m })
+    }
+
+    /// Emits `unlock(m)`.
+    pub fn unlock(&mut self, m: VarId) -> StmtIdx {
+        self.emit(Stmt::Unlock { m })
+    }
+
     /// Emits an indirect call through `fp` (resolved later by
     /// [`Program::devirtualize`]).
     pub fn indirect_call(&mut self, fp: VarId, args: &[VarId], ret_into: Option<VarId>) {

@@ -35,6 +35,12 @@ pub fn stmt_to_string(program: &Program, stmt: &Stmt) -> String {
                 format!("call (*{})({})", name(&fp), args.join(", "))
             }
         },
+        Stmt::Spawn(c) => match c.target {
+            CallTarget::Direct(f) => format!("spawn {}", program.func(f).name()),
+            CallTarget::Indirect(fp) => format!("spawn (*{})", name(&fp)),
+        },
+        Stmt::Lock { m } => format!("lock({})", name(m)),
+        Stmt::Unlock { m } => format!("unlock({})", name(m)),
         Stmt::Return => "return".to_string(),
         Stmt::Skip => "skip".to_string(),
     }

@@ -60,7 +60,7 @@ pub mod lower;
 pub mod parse;
 pub mod prog;
 
-pub use builder::ProgramBuilder;
+pub use builder::{FuncBodyBuilder, ProgramBuilder};
 pub use callgraph::CallGraph;
 pub use ids::{CallSiteId, FuncId, Loc, StmtIdx, VarId};
 pub use prog::{CallTarget, Function, Program, Stmt, VarInfo, VarKind};

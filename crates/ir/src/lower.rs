@@ -208,8 +208,15 @@ impl<'a> Lowerer<'a> {
                         walk(cond, out);
                         walk_block(body, out);
                     }
-                    ast::Stmt::Return(Some(e)) | ast::Stmt::Expr(e) | ast::Stmt::Free(e) => {
-                        walk(e, out)
+                    ast::Stmt::Return(Some(e))
+                    | ast::Stmt::Expr(e)
+                    | ast::Stmt::Free(e)
+                    | ast::Stmt::Lock(e)
+                    | ast::Stmt::Unlock(e) => walk(e, out),
+                    ast::Stmt::Spawn { args, .. } => {
+                        for a in args {
+                            walk(a, out);
+                        }
                     }
                     ast::Stmt::Return(None) => {}
                     ast::Stmt::Block(b) => walk_block(b, out),
@@ -519,8 +526,53 @@ impl FnCx<'_, '_> {
                     }
                 }
             }
+            ast::Stmt::Spawn { callee, args } => self.lower_spawn(callee, args),
+            ast::Stmt::Lock(e) => {
+                let m = self.lower_to_var(e);
+                self.emit(Stmt::Lock { m });
+            }
+            ast::Stmt::Unlock(e) => {
+                let m = self.lower_to_var(e);
+                self.emit(Stmt::Unlock { m });
+            }
             ast::Stmt::Block(b) => self.lower_block(b),
         }
+    }
+
+    /// Lowers `spawn f(args)`: argument binding copies exactly like a
+    /// direct call, then a [`Stmt::Spawn`] carrying the callee. Spawning an
+    /// unknown function degrades to a skip (partial-code tolerance).
+    fn lower_spawn(&mut self, callee: &str, args: &[Expr]) {
+        let Some(&fid) = self.lw.func_ids.get(callee).filter(|_| {
+            // A local/global shadowing the name wins: then this is not a
+            // direct spawn target we can resolve.
+            self.lookup(callee).is_none()
+        }) else {
+            self.emit(Stmt::Skip);
+            return;
+        };
+        let arg_vars: Vec<VarId> = args.iter().map(|a| self.lower_to_var(a)).collect();
+        let params = {
+            let f = &self.lw.ast.funcs[fid.index()];
+            let mut params = Vec::new();
+            for (pi, _) in f.params.iter().enumerate() {
+                let pname = format!("{}::{}", f.name, f.params[pi].0);
+                params.push(self.lw.prog.var_named(&pname));
+            }
+            params
+        };
+        for (a, p) in arg_vars.iter().zip(params.iter()) {
+            if let Some(p) = p {
+                self.emit(Stmt::Copy { dst: *p, src: *a });
+            }
+        }
+        let site = self.lw.prog.fresh_call_site();
+        self.emit(Stmt::Spawn(CallStmt {
+            target: CallTarget::Direct(fid),
+            site,
+            args: Vec::new(),
+            ret: None,
+        }));
     }
 
     /// The variable a branch condition tests, when it is a plain variable
@@ -910,6 +962,9 @@ mod tests {
                 Stmt::Null { .. } => "null",
                 Stmt::Free { .. } => "free",
                 Stmt::Call(_) => "call",
+                Stmt::Spawn(_) => "spawn",
+                Stmt::Lock { .. } => "lock",
+                Stmt::Unlock { .. } => "unlock",
                 Stmt::Return => "return",
                 Stmt::Skip => "skip",
             })
@@ -1143,6 +1198,59 @@ mod tests {
             .position(|s| matches!(s, Stmt::Return))
             .unwrap() as StmtIdx;
         assert_eq!(f.succs(ret_idx), &[f.exit().stmt]);
+    }
+
+    #[test]
+    fn spawn_binds_params_like_a_call() {
+        let p = parse_program(
+            r#"
+            int *g;
+            void worker(int *p) { *p = NULL; }
+            void main() { spawn worker(g); }
+            "#,
+        )
+        .unwrap();
+        let kinds = stmt_kinds(&p, "main");
+        assert!(kinds.contains(&"spawn".to_string()));
+        let main = p.func(p.func_named("main").unwrap());
+        let param = p.var_named("worker::p").unwrap();
+        let g = p.var_named("g").unwrap();
+        assert!(main
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::Copy { dst, src } if *dst == param && *src == g)));
+        // Spawn sites are call sites: the callgraph sees the edge.
+        assert_eq!(main.call_sites().count(), 1);
+        assert_eq!(main.spawn_sites().count(), 1);
+    }
+
+    #[test]
+    fn spawn_of_unknown_function_degrades_to_skip() {
+        let p = parse_program("void main() { spawn mystery(); }").unwrap();
+        let kinds = stmt_kinds(&p, "main");
+        assert!(!kinds.contains(&"spawn".to_string()));
+    }
+
+    #[test]
+    fn lock_of_address_resolves_to_addr_of() {
+        let p = parse_program("int m; void main() { lock(&m); unlock(&m); }").unwrap();
+        let kinds = stmt_kinds(&p, "main");
+        // lock(&m) lowers to `t = &m; lock(t)`.
+        let addrof = kinds.iter().position(|k| k == "addrof").unwrap();
+        let lock = kinds.iter().position(|k| k == "lock").unwrap();
+        let unlock = kinds.iter().position(|k| k == "unlock").unwrap();
+        assert!(addrof < lock && lock < unlock);
+    }
+
+    #[test]
+    fn lock_through_pointer_uses_the_pointer() {
+        let p = parse_program("int *mp; void main() { lock(mp); unlock(mp); }").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let mp = p.var_named("mp").unwrap();
+        assert!(f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::Lock { m } if *m == mp)));
     }
 
     #[test]

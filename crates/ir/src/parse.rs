@@ -418,6 +418,51 @@ impl Parser {
                 self.expect(Tok::Semi)?;
                 Ok(Stmt::Free(e))
             }
+            Tok::Ident(kw)
+                if kw == "spawn" && matches!(self.peek_at(1), Tok::Ident(_) | Tok::LParen) =>
+            {
+                self.bump();
+                let callee = match self.peek().clone() {
+                    Tok::Ident(s) => {
+                        self.bump();
+                        s
+                    }
+                    other => {
+                        return self.err(format!(
+                            "spawn target must be a named function, found {other}"
+                        ))
+                    }
+                };
+                self.expect(Tok::LParen)?;
+                let mut args = Vec::new();
+                if *self.peek() != Tok::RParen {
+                    loop {
+                        args.push(self.expr()?);
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Spawn { callee, args })
+            }
+            Tok::Ident(kw)
+                if (kw == "lock" || kw == "unlock") && *self.peek_at(1) == Tok::LParen =>
+            {
+                self.bump();
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                if kw == "lock" {
+                    Ok(Stmt::Lock(e))
+                } else {
+                    Ok(Stmt::Unlock(e))
+                }
+            }
             _ if self.is_type_start() => {
                 let base = self.base_type()?;
                 let mut decls = self.declarator_list(base)?;
@@ -818,6 +863,54 @@ mod tests {
     #[test]
     fn error_on_unterminated_block() {
         assert!(parse("void main() {").is_err());
+    }
+
+    #[test]
+    fn parses_spawn_lock_unlock() {
+        let ast = parse(
+            r#"
+            int m;
+            int *g;
+            void worker(int *p) { lock(&m); *p = NULL; unlock(&m); }
+            void main() { spawn worker(g); }
+            "#,
+        )
+        .unwrap();
+        let worker = &ast.funcs[0];
+        assert!(matches!(worker.body.stmts[0], Stmt::Lock(_)));
+        assert!(matches!(worker.body.stmts[2], Stmt::Unlock(_)));
+        let main = &ast.funcs[1];
+        assert!(
+            matches!(&main.body.stmts[0], Stmt::Spawn { callee, args } if callee == "worker" && args.len() == 1)
+        );
+    }
+
+    #[test]
+    fn spawn_of_non_identifier_is_a_parse_error() {
+        let err = parse("void f() { } void main() { spawn (*fp)(); }").unwrap_err();
+        assert!(err.to_string().contains("spawn target"), "{err}");
+        assert_eq!(err.line, 1);
+        assert!(err.col > 0);
+    }
+
+    #[test]
+    fn spawn_without_parens_is_a_parse_error() {
+        let err = parse("void f() { } void main() { spawn f; }").unwrap_err();
+        assert!(err.to_string().contains("expected `(`"), "{err}");
+    }
+
+    #[test]
+    fn lock_requires_closing_paren() {
+        let err = parse("int m; void main() { lock(&m; }").unwrap_err();
+        assert!(err.to_string().contains("expected `)`"), "{err}");
+    }
+
+    #[test]
+    fn lock_as_plain_identifier_still_parses() {
+        // `lock`/`unlock`/`spawn` only act as keywords in statement shapes;
+        // a variable of the same name keeps working.
+        let ast = parse("int lock; void main() { lock = 3; }").unwrap();
+        assert!(matches!(ast.funcs[0].body.stmts[0], Stmt::Assign { .. }));
     }
 
     #[test]

@@ -61,6 +61,25 @@ pub enum Stmt {
     /// statement itself only transfers control. Indirect calls retain their
     /// argument and return variables until devirtualization.
     Call(CallStmt),
+    /// `spawn f(args)`: start a new thread executing `f`. Parameter binding
+    /// is lowered to explicit `Copy` statements before the spawn, exactly
+    /// like a direct call, so the spawn statement itself only forks
+    /// control. The target is always direct (the parser rejects indirect
+    /// spawns). Sequential alias analyses treat the spawn as a call edge
+    /// for reachability but step over it for value flow; the race detector
+    /// interprets it as a thread boundary.
+    Spawn(CallStmt),
+    /// `lock(m)`: acquire the mutex object `m` points to. A no-op for
+    /// value flow; the race detector's lockset computation interprets it.
+    Lock {
+        /// The pointer naming the acquired mutex.
+        m: VarId,
+    },
+    /// `unlock(m)`: release the mutex object `m` points to.
+    Unlock {
+        /// The pointer naming the released mutex.
+        m: VarId,
+    },
     /// Transfer to the function's exit location.
     Return,
     /// No-op. Conditions, integer arithmetic and the entry/exit
@@ -80,7 +99,13 @@ impl Stmt {
             | Stmt::Load { dst, .. }
             | Stmt::Null { dst }
             | Stmt::Free { dst } => Some(*dst),
-            Stmt::Store { .. } | Stmt::Call(_) | Stmt::Return | Stmt::Skip => None,
+            Stmt::Store { .. }
+            | Stmt::Call(_)
+            | Stmt::Spawn(_)
+            | Stmt::Lock { .. }
+            | Stmt::Unlock { .. }
+            | Stmt::Return
+            | Stmt::Skip => None,
         }
     }
 
@@ -308,9 +333,19 @@ impl Function {
     }
 
     /// Returns the call sites in this function as `(Loc, &CallStmt)` pairs.
+    /// Spawn sites are included: a spawned function is reachable and its
+    /// parameters are bound at the spawn site exactly like at a call.
     pub fn call_sites(&self) -> impl Iterator<Item = (Loc, &CallStmt)> + '_ {
         self.locs().filter_map(|(loc, s)| match s {
-            Stmt::Call(c) => Some((loc, c)),
+            Stmt::Call(c) | Stmt::Spawn(c) => Some((loc, c)),
+            _ => None,
+        })
+    }
+
+    /// Returns the spawn sites in this function as `(Loc, &CallStmt)` pairs.
+    pub fn spawn_sites(&self) -> impl Iterator<Item = (Loc, &CallStmt)> + '_ {
+        self.locs().filter_map(|(loc, s)| match s {
+            Stmt::Spawn(c) => Some((loc, c)),
             _ => None,
         })
     }

@@ -34,6 +34,16 @@ pub struct BuggyConfig {
     pub decoys: usize,
     /// Entirely benign pointer communities (address-of / copy chains).
     pub benign: usize,
+    /// Shared counter updated by a spawned worker and main with no lock
+    /// (labeled data race, severity error).
+    pub races: usize,
+    /// Lock-protected shared counter: both threads take the same mutex
+    /// around their accesses (clean).
+    pub locked_decoys: usize,
+    /// Shared counter protected by two different lock *names* that
+    /// must-alias the same mutex object (clean — a true negative that
+    /// needs must-alias lock identity).
+    pub aliased_lock_decoys: usize,
 }
 
 impl Default for BuggyConfig {
@@ -47,6 +57,9 @@ impl Default for BuggyConfig {
             interproc_double_frees: 1,
             decoys: 3,
             benign: 4,
+            races: 2,
+            locked_decoys: 2,
+            aliased_lock_decoys: 1,
         }
     }
 }
@@ -127,6 +140,41 @@ enum Pattern {
         p1: VarId,
         x: VarId,
     },
+    /// `p = &c; spawn worker();` then both main and the worker do
+    /// `t = *p; *p = t` — with no lock (racy) or under `mutex` (clean).
+    Race {
+        c: VarId,
+        p: VarId,
+        worker: FuncId,
+        /// Mutex object both sides lock around their accesses.
+        mutex: Option<VarId>,
+    },
+    /// Like the locked race decoy, but the two threads name the mutex
+    /// through different global pointers that must-alias.
+    AliasedLock {
+        c: VarId,
+        p: VarId,
+        mx: VarId,
+        lk1: VarId,
+        lk2: VarId,
+        worker: FuncId,
+    },
+}
+
+/// `t = *p; *p = t` — one read-modify-write of the shared counter.
+fn emit_counter_bump(fb: &mut bootstrap_ir::FuncBodyBuilder<'_>, p: VarId) {
+    let t = fb.temp();
+    fb.load(t, p);
+    fb.store(p, t);
+}
+
+/// `lk = &mx; lock(lk); t = *p; *p = t; unlock(lk)`.
+fn emit_locked_bump(fb: &mut bootstrap_ir::FuncBodyBuilder<'_>, p: VarId, mx: VarId) {
+    let lk = fb.temp();
+    fb.addr_of(lk, mx);
+    fb.lock(lk);
+    emit_counter_bump(fb, p);
+    fb.unlock(lk);
 }
 
 /// Generates a program containing exactly the configured defects.
@@ -229,6 +277,46 @@ pub fn generate(config: &BuggyConfig) -> BuggyProgram {
         let x = b.global(&format!("ok{i}_x"), true);
         patterns.push(Pattern::Benign { o, p0, p1, x });
     }
+    for i in 0..config.races {
+        let c = b.global(&format!("rc{i}_c"), false);
+        let p = b.global(&format!("rc{i}_p"), true);
+        let worker = b.declare_func(&format!("rc{i}_worker"), 0, false);
+        patterns.push(Pattern::Race {
+            c,
+            p,
+            worker,
+            mutex: None,
+        });
+        expected.push(ExpectedDefect::new("race", &format!("rc{i}_p"), "error"));
+    }
+    for i in 0..config.locked_decoys {
+        let c = b.global(&format!("lc{i}_c"), false);
+        let p = b.global(&format!("lc{i}_p"), true);
+        let mx = b.global(&format!("lc{i}_m"), false);
+        let worker = b.declare_func(&format!("lc{i}_worker"), 0, false);
+        patterns.push(Pattern::Race {
+            c,
+            p,
+            worker,
+            mutex: Some(mx),
+        });
+    }
+    for i in 0..config.aliased_lock_decoys {
+        let c = b.global(&format!("al{i}_c"), false);
+        let p = b.global(&format!("al{i}_p"), true);
+        let mx = b.global(&format!("al{i}_m"), false);
+        let lk1 = b.global(&format!("al{i}_lk1"), true);
+        let lk2 = b.global(&format!("al{i}_lk2"), true);
+        let worker = b.declare_func(&format!("al{i}_worker"), 0, false);
+        patterns.push(Pattern::AliasedLock {
+            c,
+            p,
+            mx,
+            lk1,
+            lk2,
+            worker,
+        });
+    }
 
     {
         let mut fb = b.build_func(main);
@@ -298,16 +386,65 @@ pub fn generate(config: &BuggyConfig) -> BuggyProgram {
                     fb.copy(p1, p0);
                     fb.load(x, p1);
                 }
+                Pattern::Race {
+                    c,
+                    p,
+                    worker,
+                    mutex,
+                } => {
+                    fb.addr_of(p, c);
+                    fb.spawn(worker, &[]);
+                    match mutex {
+                        None => emit_counter_bump(&mut fb, p),
+                        Some(mx) => emit_locked_bump(&mut fb, p, mx),
+                    }
+                }
+                Pattern::AliasedLock {
+                    c,
+                    p,
+                    mx,
+                    lk1,
+                    lk2,
+                    worker,
+                } => {
+                    fb.addr_of(p, c);
+                    fb.addr_of(lk1, mx);
+                    fb.copy(lk2, lk1);
+                    fb.spawn(worker, &[]);
+                    fb.lock(lk2);
+                    emit_counter_bump(&mut fb, p);
+                    fb.unlock(lk2);
+                }
             }
         }
         fb.finish();
     }
 
     for pat in &patterns {
-        if let Pattern::Interproc { g, helper, .. } = *pat {
-            let mut fb = b.build_func(helper);
-            fb.free(g);
-            fb.finish();
+        match *pat {
+            Pattern::Interproc { g, helper, .. } => {
+                let mut fb = b.build_func(helper);
+                fb.free(g);
+                fb.finish();
+            }
+            Pattern::Race {
+                p, worker, mutex, ..
+            } => {
+                let mut fb = b.build_func(worker);
+                match mutex {
+                    None => emit_counter_bump(&mut fb, p),
+                    Some(mx) => emit_locked_bump(&mut fb, p, mx),
+                }
+                fb.finish();
+            }
+            Pattern::AliasedLock { p, lk1, worker, .. } => {
+                let mut fb = b.build_func(worker);
+                fb.lock(lk1);
+                emit_counter_bump(&mut fb, p);
+                fb.unlock(lk1);
+                fb.finish();
+            }
+            _ => {}
         }
     }
 
@@ -334,6 +471,7 @@ mod tests {
                 + c.interproc_uafs
                 + c.double_frees
                 + c.interproc_double_frees
+                + c.races
         );
         assert!(buggy.program.entry().is_some());
     }
@@ -347,8 +485,11 @@ mod tests {
             interproc_uafs: 0,
             double_frees: 0,
             interproc_double_frees: 0,
+            races: 0,
             decoys: 4,
             benign: 4,
+            locked_decoys: 2,
+            aliased_lock_decoys: 2,
         };
         let buggy = generate(&config);
         assert!(buggy.expected.is_empty());

@@ -43,6 +43,10 @@ pub struct MiniCConfig {
     pub control_flow: bool,
     /// Emit multi-declarator statements (`int *a, *b;`) in bodies.
     pub multi_decls: bool,
+    /// Emit the concurrency surface: `spawn f();` of helper functions and
+    /// balanced `lock(&m); … unlock(&m);` critical sections over a small
+    /// pool of global mutexes.
+    pub concurrency: bool,
 }
 
 impl Default for MiniCConfig {
@@ -58,6 +62,7 @@ impl Default for MiniCConfig {
             free_null_decoys: true,
             control_flow: true,
             multi_decls: true,
+            concurrency: false,
         }
     }
 }
@@ -120,6 +125,8 @@ struct Gen {
     globals: Vec<Var>,
     /// Names of the condition scalars (branch/loop guards).
     conds: Vec<String>,
+    /// Names of the mutex scalars (empty unless the concurrency knob is on).
+    mutexes: Vec<String>,
 }
 
 impl Gen {
@@ -217,6 +224,18 @@ impl Gen {
     /// One body line: a simple statement, or (per the knobs) an `if`,
     /// `while`, or call wrapped as a single removable element.
     fn body_line(&mut self, pool: &[Var], callees: &[String]) -> String {
+        if !self.mutexes.is_empty() && self.rng.gen_bool(0.15) {
+            // A balanced critical section as one removable element, so the
+            // reducer never strands an unmatched lock.
+            let i = self.rng.gen_range(0..self.mutexes.len());
+            let m = self.mutexes[i].clone();
+            let s = self.stmt_or_skip(pool);
+            return format!("lock(&{m}); {s} unlock(&{m});");
+        }
+        if !self.mutexes.is_empty() && !callees.is_empty() && self.rng.gen_bool(0.1) {
+            let i = self.rng.gen_range(0..callees.len());
+            return format!("spawn {}();", callees[i]);
+        }
         if self.cfg.control_flow && self.rng.gen_bool(0.2) {
             let i = self.rng.gen_range(0..self.conds.len());
             let c = self.conds[i].clone();
@@ -258,11 +277,21 @@ pub fn generate(config: &MiniCConfig) -> MiniCProgram {
         });
     }
 
+    let mutexes: Vec<String> = if cfg.concurrency {
+        (0..2).map(|k| format!("mx{k}")).collect()
+    } else {
+        Vec::new()
+    };
+    for m in &mutexes {
+        global_lines.push(format!("int {m};"));
+    }
+
     let mut g = Gen {
         rng: StdRng::seed_from_u64(cfg.seed),
         cfg,
         globals,
         conds,
+        mutexes,
     };
 
     let n_funcs = g.cfg.n_funcs;
@@ -385,5 +414,32 @@ mod tests {
         assert!(sweep.contains("free("));
         assert!(sweep.contains(", *"));
         assert!(sweep.contains("if ("));
+    }
+
+    #[test]
+    fn concurrency_knob_emits_spawn_and_locks_and_parses() {
+        let sweep: Vec<String> = (0..20)
+            .map(|seed| {
+                generate(&MiniCConfig {
+                    seed,
+                    concurrency: true,
+                    ..MiniCConfig::default()
+                })
+                .render()
+            })
+            .collect();
+        for (seed, src) in sweep.iter().enumerate() {
+            if let Err(e) = bootstrap_ir::parse_program(src) {
+                panic!("seed {seed} failed to parse: {e}\n{src}");
+            }
+        }
+        let all: String = sweep.concat();
+        assert!(all.contains("spawn "), "sweep never spawned");
+        assert!(all.contains("lock(&mx"), "sweep never locked");
+        assert!(all.contains("unlock(&mx"), "sweep never unlocked");
+        // Off by default: the plain surface stays single-threaded.
+        let plain = generate(&MiniCConfig::default()).render();
+        assert!(!plain.contains("spawn "));
+        assert!(!plain.contains("lock("));
     }
 }

@@ -66,8 +66,11 @@ fn decoy_only_corpus_is_clean() {
         interproc_uafs: 0,
         double_frees: 0,
         interproc_double_frees: 0,
+        races: 0,
         decoys: 6,
         benign: 6,
+        locked_decoys: 2,
+        aliased_lock_decoys: 2,
     };
     let generated = buggy::generate(&config);
     let session = Session::new(&generated.program, Config::default());

@@ -1,0 +1,24 @@
+int counter; int shadow;
+int m;
+int *p; int *q; int *lk;
+
+void worker() {
+    int t;
+    lock(&m);
+    t = *q; *q = t;
+    t = *p;
+    *p = t;
+    unlock(&m);
+}
+
+void main() {
+    int s;
+    p = &counter;
+    q = &shadow;
+    lk = &m;
+    spawn worker();
+    lock(lk);
+    s = *q; *q = s;
+    *p = 0;
+    unlock(lk);
+}

@@ -119,6 +119,11 @@ fn run_concrete(program: &Program, max_states: usize) -> Option<Vec<Store>> {
                     // for the oracle).
                 }
             }
+            // The oracle checks the per-thread sequential semantics the
+            // analyses compute: a spawned thread's effects are not folded
+            // into the spawner (they are analyzed from the spawned
+            // function's own entry), and lock/unlock do not touch values.
+            Stmt::Spawn(_) | Stmt::Lock { .. } | Stmt::Unlock { .. } => {}
             Stmt::Return | Stmt::Skip => {}
         }
         if let Some((loc, stack)) = jump_to {
