@@ -35,12 +35,12 @@ use std::collections::{HashMap, HashSet};
 
 use bootstrap_core::{
     Analyzer, Cond, DegradeReason, FsciCacheStats, InternerStats, PhaseSnapshot, Precision,
-    Session, SolverStats, Source,
+    Session, SolverStats, Source, StoreCounters,
 };
 use bootstrap_ir::{Loc, Program, Stmt, VarId, VarKind};
 
 pub use order::reachable_after;
-pub use report::{render_json, render_text};
+pub use report::{interner_occupancy, render_json, render_text};
 
 /// The individual checkers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -168,6 +168,9 @@ pub struct CheckReport {
     pub solver: SolverStats,
     /// Per-tier and per-reason accounting of the batch's site resolutions.
     pub degrade: DegradeSummary,
+    /// Persistent-store counters for the run (all zero when the session
+    /// has no store configured).
+    pub store: StoreCounters,
 }
 
 /// How the precision ladder answered a checker batch's site queries: one
@@ -522,6 +525,10 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
         .iter()
         .filter_map(|k| stats.get(k).copied())
         .collect();
+    // Flush every clean per-partition engine built by the batch's queries
+    // into the persistent store (no-op without one), so the next run over
+    // the same program warm-starts.
+    rs.az.publish_store();
     CheckReport {
         findings,
         stats,
@@ -530,6 +537,7 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
         phases: session.phase_stats(),
         solver: session.solver_stats(),
         degrade: rs.summary(),
+        store: session.store_counters(),
     }
 }
 

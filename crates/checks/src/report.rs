@@ -102,13 +102,22 @@ pub fn render_json(report: &CheckReport, file: Option<&str>) -> String {
     out.push_str(&format!(
         concat!(
             "  \"interner\": {{\"conds\": {}, \"deads\": {}, \"memo_entries\": {}, ",
-            "\"hits\": {}, \"misses\": {}}},\n"
+            "\"hits\": {}, \"misses\": {}, \"max_ids\": {}, \"occupancy\": {:.6}}},\n"
         ),
         report.interner.conds,
         report.interner.deads,
         report.interner.memo_entries,
         report.interner.hits,
-        report.interner.misses
+        report.interner.misses,
+        report.interner.max_ids,
+        interner_occupancy(&report.interner),
+    ));
+    out.push_str(&format!(
+        "  \"store\": {{\"hits\": {}, \"misses\": {}, \"invalidated\": {}, \"loads\": {}}},\n",
+        report.store.hits,
+        report.store.misses,
+        report.store.invalidated,
+        report.store.loads()
     ));
     let sv = &report.solver;
     out.push_str(&format!(
@@ -161,6 +170,16 @@ pub fn render_json(report: &CheckReport, file: Option<&str>) -> String {
     }
     out.push_str("]}\n}\n");
     out
+}
+
+/// Fraction of the arena's id space in use (conds + dead sets against
+/// `max_ids`); approaches 1.0 as the session nears [`ArenaFull`]
+/// degradation.
+///
+/// [`ArenaFull`]: bootstrap_core::ArenaFull
+pub fn interner_occupancy(stats: &bootstrap_core::InternerStats) -> f64 {
+    let used = (stats.conds + stats.deads) as f64;
+    used / f64::from(stats.max_ids.max(1))
 }
 
 /// Escapes a string for inclusion in a JSON string literal.

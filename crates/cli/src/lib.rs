@@ -11,6 +11,7 @@
 //! bootstrap-alias dot         <file.c> (--cfg FUNC | --callgraph)
 //! bootstrap-alias stats       <file.c> [--format text|json]
 //! bootstrap-alias fuzz        [--seed N] [--iters N] [--corpus DIR]
+//! bootstrap-alias cache       --cache-dir DIR [clear]
 //! ```
 //!
 //! Query locations default to the exit of `main`; `--at FUNC` queries at
@@ -22,6 +23,12 @@
 //! 2 on usage/analysis errors, 0 when clean. With `--fail-on-degraded` a
 //! clean run whose queries fell below full FSCS precision exits 3, so CI
 //! can distinguish "verified clean" from "clean as far as we could see".
+//!
+//! With `--cache-dir DIR`, `check` and `stats` consult and populate a
+//! persistent content-addressed store of per-cluster FSCS artifacts, so a
+//! second run over an unchanged program skips (nearly) all of the solve;
+//! `cache` inspects or clears such a directory. `--no-cache` wins over
+//! `--cache-dir` (for scripts that thread a shared flag set).
 //!
 //! `fuzz` takes no input file: it runs the differential fuzzing campaign
 //! ([`bootstrap_fuzz`]) over random Mini-C programs (plus the
@@ -72,6 +79,8 @@ commands:
   stats        print program and cascade statistics (--format text|json)
   fuzz         differential fuzzing campaign (no input file;
                [--seed N] [--iters N] [--corpus DIR] [--faults])
+  cache        inspect a persistent cache directory (--cache-dir DIR);
+               `cache --cache-dir DIR clear` deletes its entries
 
 options:
   --at FUNC          query at the exit of FUNC (default: main)
@@ -84,6 +93,9 @@ options:
   --fail-on-degraded exit 3 when `check` finds no defects but some
                      queries fell below full FSCS precision
   --faults           `fuzz`: also run the fault-injection invariants
+  --cache-dir DIR    persist per-cluster FSCS artifacts in DIR and
+                     warm-start from them (check, stats, cache)
+  --no-cache         ignore --cache-dir (run cold, publish nothing)
 ";
 
 /// Parsed command-line options.
@@ -100,6 +112,8 @@ struct Opts {
     format: Option<String>,
     query_budget: Option<u64>,
     fail_on_degraded: bool,
+    cache_dir: Option<String>,
+    no_cache: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, CliError> {
@@ -119,6 +133,8 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
         format: None,
         query_budget: None,
         fail_on_degraded: false,
+        cache_dir: None,
+        no_cache: false,
     };
     let mut i = 2;
     while i < args.len() {
@@ -163,6 +179,11 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
                 );
             }
             "--fail-on-degraded" => opts.fail_on_degraded = true,
+            "--cache-dir" => {
+                i += 1;
+                opts.cache_dir = Some(take(args, i, "--cache-dir")?);
+            }
+            "--no-cache" => opts.no_cache = true,
             other => return err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -211,9 +232,13 @@ pub fn run_full(args: &[String]) -> Result<CliOutput, CliError> {
             exit_code: 0,
         });
     }
-    // `fuzz` takes no input file; intercept it before positional parsing.
+    // `fuzz` and `cache` take no input file; intercept them before
+    // positional parsing.
     if args.first().map(String::as_str) == Some("fuzz") {
         return cmd_fuzz(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("cache") {
+        return cmd_cache(&args[1..]);
     }
     let opts = parse_args(args)?;
     let source = std::fs::read_to_string(&opts.file)
@@ -289,6 +314,50 @@ fn cmd_fuzz(args: &[String]) -> Result<CliOutput, CliError> {
     })
 }
 
+fn cmd_cache(args: &[String]) -> Result<CliOutput, CliError> {
+    let mut dir: Option<String> = None;
+    let mut clear = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" => {
+                i += 1;
+                dir = Some(take(args, i, "--cache-dir")?);
+            }
+            "clear" => clear = true,
+            other => return err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let dir = dir.ok_or_else(|| CliError(format!("cache needs --cache-dir DIR\n{USAGE}")))?;
+    let store = bootstrap_core::Store::open(bootstrap_core::StoreConfig::new(&dir))
+        .map_err(|e| CliError(format!("cannot open cache {dir}: {e}")))?;
+    let mut text = String::new();
+    if clear {
+        let (entries, bytes) = store
+            .clear()
+            .map_err(|e| CliError(format!("cannot clear cache {dir}: {e}")))?;
+        let _ = writeln!(text, "cleared {entries} entries ({bytes} bytes) from {dir}");
+    } else {
+        let counters = bootstrap_core::read_lifetime_counters(std::path::Path::new(&dir));
+        let _ = writeln!(
+            text,
+            "cache {dir}: {} entries, {} bytes",
+            store.entry_count(),
+            store.total_bytes()
+        );
+        let _ = writeln!(
+            text,
+            "lifetime counters: {} hits, {} misses, {} invalidated ({} loads)",
+            counters.hits,
+            counters.misses,
+            counters.invalidated,
+            counters.loads()
+        );
+    }
+    Ok(CliOutput { text, exit_code: 0 })
+}
+
 fn cmd_check(program: &Program, opts: &Opts) -> Result<CliOutput, CliError> {
     let kinds: Vec<CheckerKind> = match &opts.only {
         None => CheckerKind::ALL.to_vec(),
@@ -327,6 +396,9 @@ fn cmd_check(program: &Program, opts: &Opts) -> Result<CliOutput, CliError> {
                 );
             }
             let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
+            if session.config().store.is_some() {
+                let _ = writeln!(out, "{}", store_line(report.store));
+            }
             let _ = writeln!(out, "{}", interner_line(report.interner));
             solver_lines(&mut out, report.solver);
             phase_lines(&mut out, report.phases);
@@ -387,8 +459,27 @@ fn interner_line(stats: bootstrap_core::InternerStats) -> String {
         100.0 * stats.hits as f64 / total as f64
     };
     format!(
-        "interner: {} conds, {} dead sets, {} memo entries ({} hits, {rate:.1}% hit rate)",
-        stats.conds, stats.deads, stats.memo_entries, stats.hits
+        concat!(
+            "interner: {} conds, {} dead sets, {} memo entries ",
+            "({} hits, {rate:.1}% hit rate, {occ:.4}% of {} ids)"
+        ),
+        stats.conds,
+        stats.deads,
+        stats.memo_entries,
+        stats.hits,
+        stats.max_ids,
+        rate = rate,
+        occ = 100.0 * bootstrap_checks::interner_occupancy(&stats)
+    )
+}
+
+fn store_line(counters: bootstrap_core::StoreCounters) -> String {
+    format!(
+        "store: {} hits, {} misses, {} invalidated ({} loads)",
+        counters.hits,
+        counters.misses,
+        counters.invalidated,
+        counters.loads()
     )
 }
 
@@ -426,6 +517,11 @@ fn config_of(opts: &Opts) -> Config {
     };
     if let Some(budget) = opts.query_budget {
         config.query_step_budget = budget;
+    }
+    if !opts.no_cache {
+        if let Some(dir) = &opts.cache_dir {
+            config.store = Some(bootstrap_core::StoreConfig::new(dir));
+        }
     }
     config
 }
@@ -638,9 +734,24 @@ fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
                 out,
                 concat!(
                     "  \"interner\": {{\"conds\": {}, \"deads\": {}, \"memo_entries\": {}, ",
-                    "\"hits\": {}, \"misses\": {}}},"
+                    "\"hits\": {}, \"misses\": {}, \"max_ids\": {}, \"occupancy\": {:.6}}},"
                 ),
-                it.conds, it.deads, it.memo_entries, it.hits, it.misses
+                it.conds,
+                it.deads,
+                it.memo_entries,
+                it.hits,
+                it.misses,
+                it.max_ids,
+                bootstrap_checks::interner_occupancy(&it)
+            );
+            let st = report.store;
+            let _ = writeln!(
+                out,
+                "  \"store\": {{\"hits\": {}, \"misses\": {}, \"invalidated\": {}, \"loads\": {}}},",
+                st.hits,
+                st.misses,
+                st.invalidated,
+                st.loads()
             );
             let sv = session.solver_stats();
             let _ = writeln!(
@@ -712,6 +823,9 @@ fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
                 report.degrade.degraded_queries()
             );
             let _ = writeln!(out, "{}", cache_line(session.fsci_cache_stats()));
+            if session.config().store.is_some() {
+                let _ = writeln!(out, "{}", store_line(report.store));
+            }
             let _ = writeln!(out, "{}", interner_line(session.interner_stats()));
             solver_lines(&mut out, session.solver_stats());
             phase_lines(&mut out, session.phase_stats());
@@ -849,6 +963,9 @@ mod tests {
             "\"checker_queries\"",
             "\"fsci_cache\"",
             "\"interner\"",
+            "\"max_ids\"",
+            "\"occupancy\"",
+            "\"store\"",
             "\"solver\"",
             "\"stale_pops\"",
             "\"wave_rounds\"",
@@ -1032,6 +1149,87 @@ mod tests {
         assert!(insensitive.contains("= true"));
         let sensitive = run_args(&["may-alias", &f, "--pair", "x,y", "--path-sensitive"]).unwrap();
         assert!(sensitive.contains("= false"), "{sensitive}");
+    }
+
+    fn temp_cache_dir(name: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("bootstrap_cli_cache_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn check_warm_starts_from_cache_dir() {
+        let f = write_temp("check_cache", BUGGY);
+        let dir = temp_cache_dir("check");
+        let cold = run_args_full(&["check", &f, "--cache-dir", &dir]).unwrap();
+        assert_eq!(cold.exit_code, 1);
+        assert!(cold.text.contains("store: 0 hits"), "{}", cold.text);
+        let warm = run_args_full(&["check", &f, "--cache-dir", &dir]).unwrap();
+        assert_eq!(warm.exit_code, 1);
+        assert!(!warm.text.contains("store: 0 hits"), "{}", warm.text);
+        assert!(warm.text.contains("store: "), "{}", warm.text);
+        // The findings themselves are identical, cold or warm.
+        let findings = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.starts_with("error[") || l.starts_with("warning["))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(findings(&cold.text), findings(&warm.text));
+        // JSON output carries the counters too.
+        let json = run_args_full(&["check", &f, "--cache-dir", &dir, "--format", "json"]).unwrap();
+        assert!(
+            json.text.contains("\"store\": {\"hits\": "),
+            "{}",
+            json.text
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_cache_wins_over_cache_dir() {
+        let f = write_temp("check_nocache", DEMO);
+        let dir = temp_cache_dir("nocache");
+        let out = run_args_full(&["check", &f, "--cache-dir", &dir, "--no-cache"]).unwrap();
+        assert!(!out.text.contains("store: "), "{}", out.text);
+        assert!(!std::path::Path::new(&dir).exists());
+    }
+
+    #[test]
+    fn cache_subcommand_inspects_and_clears() {
+        let f = write_temp("cache_cmd", DEMO);
+        let dir = temp_cache_dir("subcmd");
+        run_args_full(&["check", &f, "--cache-dir", &dir]).unwrap();
+        let out = run_args(&["cache", "--cache-dir", &dir]).unwrap();
+        assert!(out.contains("entries"), "{out}");
+        assert!(!out.contains("cache {dir}: 0 entries"), "{out}");
+        assert!(out.contains("lifetime counters:"), "{out}");
+        let out = run_args(&["cache", "--cache-dir", &dir, "clear"]).unwrap();
+        assert!(out.contains("cleared"), "{out}");
+        let out = run_args(&["cache", "--cache-dir", &dir]).unwrap();
+        assert!(out.contains("0 entries"), "{out}");
+        let e = run_args(&["cache"]).unwrap_err();
+        assert!(e.to_string().contains("--cache-dir"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_reports_store_when_cached() {
+        // BUGGY has a dereference site, so the checker sweep behind
+        // `stats` actually builds cluster engines and touches the store
+        // (a site-free program never consults it).
+        let f = write_temp("stats_cache", BUGGY);
+        let dir = temp_cache_dir("stats");
+        let cold = run_args(&["stats", &f, "--cache-dir", &dir]).unwrap();
+        assert!(cold.contains("store: "), "{cold}");
+        let warm = run_args(&["stats", &f, "--cache-dir", &dir, "--format", "json"]).unwrap();
+        assert!(warm.contains("\"store\": {\"hits\": "), "{warm}");
+        assert!(
+            !warm.contains("\"hits\": 0, \"misses\": 0, \"invalidated\": 0, \"loads\": 0"),
+            "warm stats run should touch the store: {warm}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

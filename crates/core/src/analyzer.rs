@@ -133,11 +133,14 @@ impl<'s> Analyzer<'s> {
     }
 
     /// Builds an engine over the session's shared interning arena,
-    /// recording the Algorithm 1 setup cost as the relevant phase.
+    /// recording the Algorithm 1 setup cost as the relevant phase. With a
+    /// persistent store configured, the freshly sliced engine consults it
+    /// before any solving: a valid entry pre-installs the summaries (and
+    /// the session's recorded answers), making the fixpoint near-free.
     fn build_engine(&self, members: Vec<VarId>) -> ClusterEngine {
         let t0 = std::time::Instant::now();
         let config = self.session.config();
-        let engine = ClusterEngine::with_engine_options(
+        let mut engine = ClusterEngine::with_engine_options(
             self.cx(),
             members,
             EngineOptions {
@@ -151,6 +154,9 @@ impl<'s> Analyzer<'s> {
         self.session
             .profile()
             .record(Phase::Relevant, t0.elapsed(), 0);
+        if let Some(store) = self.session.cluster_store() {
+            store.consult(self.session, &mut engine);
+        }
         engine
     }
 
@@ -286,6 +292,13 @@ impl<'s> Analyzer<'s> {
             fscs_start.elapsed(),
             engine.steps() - steps_before,
         );
+        // Publish only a *clean* cluster: a degraded fixpoint can hold
+        // partial summaries that must never be reused as if converged.
+        if degraded.is_none() && self.poisoned.get().is_none() {
+            if let Some(store) = self.session.cluster_store() {
+                store.publish(self.session, &engine);
+            }
+        }
         ClusterReport {
             cluster_id: cluster.id,
             size: cluster.members.len(),
@@ -681,6 +694,37 @@ impl<'s> Analyzer<'s> {
             self.session.fsci_cache().insert(v, loc, result.clone());
         }
         result.map(|r| r.as_ref().clone())
+    }
+
+    /// The store-warmed full-precision answer for `(p, loc)`, if one was
+    /// loaded. Building the partition engine first is what consults the
+    /// store, so even the very first query of a partition sees its warm
+    /// artifacts.
+    pub(crate) fn warm_sources(&self, p: VarId, loc: Loc) -> Option<Vec<(Source, Cond)>> {
+        self.session.cluster_store()?;
+        let class = self.session.steens().partition_key(p);
+        let _ = self.partition_engine(class);
+        self.session.warm_query(p, loc)
+    }
+
+    /// Publishes every cached partition engine's artifacts to the
+    /// session's persistent store (a no-op without one). Checker drivers
+    /// call this once after a query batch: only clean engines survive in
+    /// the cache — degraded ones are dropped on the spot by
+    /// [`Analyzer::with_partition_engine`] — so everything published is a
+    /// completed fixpoint. A poisoned analyzer publishes nothing.
+    pub fn publish_store(&self) {
+        let Some(store) = self.session.cluster_store() else {
+            return;
+        };
+        if self.poisoned.get().is_some() {
+            return;
+        }
+        for engine in self.engines.borrow().values() {
+            if let Ok(e) = engine.try_borrow() {
+                store.publish(self.session, &e);
+            }
+        }
     }
 
     /// Direct access to the per-partition engine for inspection (summary

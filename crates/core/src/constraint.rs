@@ -156,6 +156,17 @@ impl Cond {
         self.atoms.is_empty()
     }
 
+    /// Rebuilds a condition from raw parts (atoms are normalized, sorted
+    /// and deduplicated). Used by the persistent store to reconstruct a
+    /// decoded condition exactly — including its widened flag, which
+    /// [`Cond::and`] cannot reproduce for an arbitrary atom list.
+    pub(crate) fn from_parts(atoms: Vec<Atom>, widened: bool) -> Cond {
+        let mut atoms: Vec<Atom> = atoms.into_iter().map(Atom::normalized).collect();
+        atoms.sort();
+        atoms.dedup();
+        Cond { atoms, widened }
+    }
+
     /// Returns `true` if atoms were dropped to stay under the cap.
     pub fn is_widened(&self) -> bool {
         self.widened

@@ -196,6 +196,9 @@ pub enum FaultPhase {
     Query,
     /// An FSCI oracle (dovetailed points-to) computation.
     Oracle,
+    /// A persistent-store consult: the fault treats the entry as corrupt,
+    /// forcing a recompute (the store's invalidation path).
+    Store,
 }
 
 impl FaultPhase {
@@ -205,6 +208,7 @@ impl FaultPhase {
             FaultPhase::Summaries => "summaries",
             FaultPhase::Query => "query",
             FaultPhase::Oracle => "oracle",
+            FaultPhase::Store => "store",
         }
     }
 
@@ -214,12 +218,18 @@ impl FaultPhase {
             "summaries" => Some(FaultPhase::Summaries),
             "query" => Some(FaultPhase::Query),
             "oracle" => Some(FaultPhase::Oracle),
+            "store" => Some(FaultPhase::Store),
             _ => None,
         }
     }
 
     /// All phases.
-    pub const ALL: [FaultPhase; 3] = [FaultPhase::Summaries, FaultPhase::Query, FaultPhase::Oracle];
+    pub const ALL: [FaultPhase; 4] = [
+        FaultPhase::Summaries,
+        FaultPhase::Query,
+        FaultPhase::Oracle,
+        FaultPhase::Store,
+    ];
 }
 
 /// A seeded, deterministic fault: inject `kind` at the `at_tick`-th budget
@@ -253,7 +263,7 @@ impl FaultPlan {
             x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             x ^ (x >> 31)
         };
-        let phase = FaultPhase::ALL[(next() % 3) as usize];
+        let phase = FaultPhase::ALL[(next() % FaultPhase::ALL.len() as u64) as usize];
         let kind = FaultKind::ALL[(next() % 3) as usize];
         let at_tick = 1 + next() % 64;
         Self {
@@ -332,6 +342,15 @@ mod tests {
         assert!(FaultKind::ALL
             .iter()
             .all(|k| plans.iter().any(|pl| pl.kind == *k)));
+    }
+
+    #[test]
+    fn phase_names_roundtrip_through_parse() {
+        for phase in FaultPhase::ALL {
+            assert_eq!(FaultPhase::parse(phase.name()), Some(phase));
+        }
+        assert_eq!(FaultPhase::parse("store"), Some(FaultPhase::Store));
+        assert_eq!(FaultPhase::parse("bogus"), None);
     }
 
     #[test]

@@ -415,6 +415,31 @@ impl ClusterEngine {
         entries
     }
 
+    /// Splices a summary entry loaded from the persistent store into this
+    /// engine: each structural condition is re-interned into the engine's
+    /// arena (the id-remap — `CondId`s are arena-relative, the structural
+    /// form is position-independent) and the entry then short-circuits
+    /// [`ClusterEngine::compute_all_summaries`], which skips keys already
+    /// present. Only *final* fixpoint values may be installed; the store
+    /// publishes exclusively from engines whose fixpoint completed clean.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArenaFull`]; the caller stops splicing and the engine
+    /// computes the remaining summaries organically.
+    pub(crate) fn install_summary(
+        &mut self,
+        key: SummaryKey,
+        tuples: &[(Value, Cond)],
+    ) -> Result<(), ArenaFull> {
+        let mut interned = Vec::with_capacity(tuples.len());
+        for (v, c) in tuples {
+            interned.push((*v, self.arena.cond(c)?));
+        }
+        self.summaries.put(key, interned);
+        Ok(())
+    }
+
     /// The values `p` may hold just before `loc`, each with its constraint
     /// (Definition 8). `Value::Ptr(q)` results mean "the value `q` held at
     /// the entry of `loc`'s function" — the caller-splicing points used by

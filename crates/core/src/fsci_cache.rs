@@ -80,6 +80,26 @@ impl SharedFsciCache {
         self.shard(&key).write().insert(key, pts);
     }
 
+    /// A deterministic (sorted) snapshot of every cached entry, for
+    /// publishing to the persistent store. Degraded (`None`) results are
+    /// included: they are deterministic for a clean run too, and caching
+    /// the "budget ran out here" outcome keeps warm and cold answers
+    /// identical.
+    pub(crate) fn snapshot(&self) -> Vec<(Key, CachedPts)> {
+        let mut all: Vec<(Key, CachedPts)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by_key(|(k, _)| *k);
+        all
+    }
+
     /// A snapshot of the hit/miss counters and entry count.
     pub fn stats(&self) -> FsciCacheStats {
         FsciCacheStats {

@@ -162,6 +162,11 @@ pub struct InternerStats {
     pub hits: u64,
     /// Memoized-operation lookups that computed a fresh result.
     pub misses: u64,
+    /// Id capacity of the arena (`u32::MAX` for production arenas).
+    /// Occupancy — `conds`/`deads` against this — shows how close the
+    /// arena is to [`ArenaFull`], e.g. after a store splice re-interns a
+    /// cached cluster's conditions.
+    pub max_ids: u32,
 }
 
 /// The thread-safe hash-consing arena: intern tables for [`Cond`] and dead
@@ -241,6 +246,7 @@ impl Interner {
                 + self.kill_globals.read().len(),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            max_ids: self.max_ids(),
         }
     }
 
@@ -529,9 +535,12 @@ mod tests {
         // succeeds.
         let roomy = Interner::new(8);
         assert!(roomy.and_atom(CondId::TOP, pt(3, 0, 3)).is_ok());
-        // Stats still reflect only the successful interns.
+        // Stats still reflect only the successful interns, and report the
+        // capacity so occupancy is observable.
         assert_eq!(arena.stats().conds, 3);
         assert_eq!(arena.stats().deads, 3);
+        assert_eq!(arena.stats().max_ids, 3);
+        assert_eq!(roomy.stats().max_ids, u32::MAX);
     }
 
     #[test]

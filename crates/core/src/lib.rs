@@ -47,6 +47,7 @@ pub mod fsci_cache;
 mod fxhash;
 pub mod intern;
 pub mod parallel;
+mod persist;
 pub mod profile;
 pub mod relevant;
 pub mod session;
@@ -54,6 +55,7 @@ pub mod summary;
 
 pub use analyzer::{Analyzer, QueryError};
 pub use bootstrap_analyses::andersen::SolverStats;
+pub use bootstrap_store::{read_lifetime_counters, Store, StoreConfig, StoreCounters};
 pub use budget::{AnalysisBudget, Outcome};
 pub use constraint::Cond;
 pub use cover::{AliasCover, Cluster, ClusterOrigin};

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use bootstrap_analyses::{andersen, oneflow, steensgaard, SteensgaardResult};
 use bootstrap_ir::{CallGraph, FuncId, Loc, Program, Stmt, VarId};
+use bootstrap_store::{StoreConfig, StoreCounters};
 use parking_lot::RwLock;
 
 use crate::analyzer::Analyzer;
@@ -32,6 +33,7 @@ use crate::degrade::{
 use crate::engine::EngineCx;
 use crate::fsci_cache::{FsciCacheStats, SharedFsciCache};
 use crate::intern::{Interner, InternerStats};
+use crate::persist::ClusterStore;
 use crate::profile::{Phase, PhaseProfile, PhaseSnapshot};
 use crate::relevant::{relevant_statements_indexed, RelevantIndex};
 use crate::summary::Source;
@@ -82,6 +84,10 @@ pub struct Config {
     /// production). Tests shrink it to exercise the arena-full degradation
     /// and the drivers' doubled-capacity retry.
     pub interner_max_ids: u32,
+    /// Optional persistent artifact store: cluster analyses consult it
+    /// before solving and publish their results after, so repeat runs on
+    /// unchanged code warm-start (`None` disables persistence).
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for Config {
@@ -97,6 +103,7 @@ impl Default for Config {
             path_sensitive: false,
             fault_plan: None,
             interner_max_ids: u32::MAX,
+            store: None,
         }
     }
 }
@@ -149,6 +156,12 @@ pub struct CascadeTimings {
     pub clustering: Duration,
 }
 
+/// The full-precision answer set recorded for one `(pointer, location)`
+/// query: the value sources and the path condition each holds under.
+pub(crate) type QuerySources = Vec<(Source, Cond)>;
+/// One recorded query keyed by its `(pointer, location)` pair.
+pub(crate) type QueryRecord = ((VarId, Loc), QuerySources);
+
 /// An immutable analysis session over one program.
 pub struct Session<'p> {
     program: &'p Program,
@@ -178,6 +191,14 @@ pub struct Session<'p> {
     /// Aggregated Andersen solver work counters: the cover-build runs at
     /// construction plus every lazily built tier-2 slice solve since.
     solver_stats: RwLock<andersen::SolverStats>,
+    /// The persistent artifact store, when [`Config::store`] is set.
+    /// Dropping the session flushes its lifetime counters to disk.
+    store: Option<ClusterStore>,
+    /// Full-precision FSCS answers installed from a store hit:
+    /// [`Session::query_at_loc`] returns these without walking.
+    warm_queries: RwLock<HashMap<(VarId, Loc), Arc<QuerySources>>>,
+    /// Cold full-precision answers recorded for the next publish.
+    pending_queries: RwLock<HashMap<(VarId, Loc), QuerySources>>,
 }
 
 /// Cached tier-2 artifacts for one alias partition: the slice Andersen
@@ -226,6 +247,10 @@ impl<'p> Session<'p> {
         let profile = PhaseProfile::new();
         profile.record(Phase::Steensgaard, steensgaard_time, 0);
         profile.record(Phase::Andersen, clustering_time, 0);
+        let store = config
+            .store
+            .clone()
+            .and_then(|sc| ClusterStore::open(sc, &config, program));
         Self {
             program,
             config,
@@ -245,6 +270,9 @@ impl<'p> Session<'p> {
             profile,
             andersen_tiers: RwLock::new(HashMap::new()),
             solver_stats: RwLock::new(cover_solver_stats),
+            store,
+            warm_queries: RwLock::new(HashMap::new()),
+            pending_queries: RwLock::new(HashMap::new()),
         }
     }
 
@@ -328,8 +356,16 @@ impl<'p> Session<'p> {
             let mut budget = self.config.query_budget();
             let t0 = Instant::now();
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                az.sources(p, loc, &mut budget)
-                    .map(|s| az.satisfiable_sources(s))
+                // Warm path: a store hit for this pointer's partition may
+                // have installed the recorded answer (near-zero steps).
+                if let Some(warm) = az.warm_sources(p, loc) {
+                    return Outcome::Done(warm);
+                }
+                az.sources(p, loc, &mut budget).map(|s| {
+                    let s = az.satisfiable_sources(s);
+                    self.record_query(p, loc, &s);
+                    s
+                })
             }));
             self.profile
                 .record(Phase::Fscs, t0.elapsed(), budget.steps_used());
@@ -470,6 +506,58 @@ impl<'p> Session<'p> {
     /// The session-wide FSCI cache (clean top-level results only).
     pub(crate) fn fsci_cache(&self) -> &SharedFsciCache {
         &self.fsci_cache
+    }
+
+    /// The persistent cluster store, when configured.
+    pub(crate) fn cluster_store(&self) -> Option<&ClusterStore> {
+        self.store.as_ref()
+    }
+
+    /// This run's store hit/miss/invalidated counters (all zero when no
+    /// store is configured).
+    pub fn store_counters(&self) -> StoreCounters {
+        self.store
+            .as_ref()
+            .map(|s| s.counters())
+            .unwrap_or_default()
+    }
+
+    /// The store-installed full-precision answer for `(p, loc)`, if any.
+    pub(crate) fn warm_query(&self, p: VarId, loc: Loc) -> Option<Vec<(Source, Cond)>> {
+        self.warm_queries
+            .read()
+            .get(&(p, loc))
+            .map(|s| s.as_ref().clone())
+    }
+
+    /// Installs a store-loaded full-precision answer (consult path).
+    pub(crate) fn install_warm_query(&self, p: VarId, loc: Loc, sources: Vec<(Source, Cond)>) {
+        self.warm_queries
+            .write()
+            .insert((p, loc), Arc::new(sources));
+    }
+
+    /// Records a cold full-precision answer for the next publish. A no-op
+    /// without a store — the map would only grow unread.
+    pub(crate) fn record_query(&self, p: VarId, loc: Loc, sources: &[(Source, Cond)]) {
+        if self.store.is_none() {
+            return;
+        }
+        self.pending_queries
+            .write()
+            .insert((p, loc), sources.to_vec());
+    }
+
+    /// A sorted snapshot of the recorded cold answers (publish path).
+    pub(crate) fn pending_queries_snapshot(&self) -> Vec<QueryRecord> {
+        let mut v: Vec<_> = self
+            .pending_queries
+            .read()
+            .iter()
+            .map(|(k, s)| (*k, s.clone()))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
     }
 
     /// Hit/miss/entry counters of the shared FSCI points-to cache.

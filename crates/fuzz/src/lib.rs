@@ -646,7 +646,8 @@ pub fn check_faults_source(src: &str) -> Result<(), InvariantViolation> {
 ///   only over-approximates, it never drops a source);
 /// * with a fault pinned to the largest cluster's summary phase, every
 ///   driver (serial, 2- and 4-thread LPT) still returns one report per
-///   cluster, and every non-target report matches the clean baseline.
+///   cluster, and every non-target report matches the clean baseline;
+/// * the persistent-store invariants of [`check_store`] hold.
 ///
 /// [`DegradeReason`]: bootstrap_core::DegradeReason
 pub fn check_faults(program: &Program) -> Result<(), InvariantViolation> {
@@ -666,6 +667,11 @@ pub fn check_faults(program: &Program) -> Result<(), InvariantViolation> {
         for phase in FaultPhase::ALL {
             if phase == FaultPhase::Summaries {
                 continue; // covered by the cluster-isolation check below
+            }
+            if phase == FaultPhase::Store {
+                // Store faults only bite with a store configured; they are
+                // covered by the dedicated warm/cold check below.
+                continue;
             }
             for kind in FaultKind::ALL {
                 let session = Session::new(
@@ -791,7 +797,94 @@ pub fn check_faults(program: &Program) -> Result<(), InvariantViolation> {
             }
         }
     }
-    Ok(())
+    check_store(program)
+}
+
+/// A unique scratch directory for one store-invariant run. Process id,
+/// thread id and a global counter keep concurrent test threads and corpus
+/// replays from colliding.
+fn store_scratch_dir() -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "bootstrap_fuzz_store_{}_{:?}_{}",
+        std::process::id(),
+        std::thread::current().id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Persistent-store invariants, checked per generated program:
+///
+/// * a warm session over an unchanged program and cache directory reports
+///   byte-identical checker findings to the cold session that populated
+///   it, and never invalidates an entry;
+/// * every store-phase fault kind forces the warm run back to a full
+///   recompute (zero hits) with — again — identical findings.
+pub fn check_store(program: &Program) -> Result<(), InvariantViolation> {
+    let dir = store_scratch_dir();
+    let with_store = |fault: Option<FaultKind>| Config {
+        store: Some(bootstrap_core::StoreConfig::new(&dir)),
+        fault_plan: fault.map(|kind| FaultPlan {
+            phase: FaultPhase::Store,
+            kind,
+            at_tick: 1,
+            cluster: None,
+        }),
+        ..base_config()
+    };
+    let result = (|| {
+        let cold = run_checks(&Session::new(program, with_store(None)), &CheckerKind::ALL);
+        let k_cold = findings_key(&cold);
+
+        let warm_session = Session::new(program, with_store(None));
+        let warm = run_checks(&warm_session, &CheckerKind::ALL);
+        if k_cold != findings_key(&warm) {
+            return viol(
+                "store-warm-diverges",
+                format!(
+                    "warm findings differ from cold: {k_cold:?} vs {:?}",
+                    findings_key(&warm)
+                ),
+            );
+        }
+        if warm.store.invalidated != 0 {
+            return viol(
+                "store-warm-invalidated",
+                format!(
+                    "unchanged program invalidated {} store entries",
+                    warm.store.invalidated
+                ),
+            );
+        }
+        drop(warm_session);
+
+        for kind in FaultKind::ALL {
+            let faulted = run_checks(
+                &Session::new(program, with_store(Some(kind))),
+                &CheckerKind::ALL,
+            );
+            if faulted.store.hits != 0 {
+                return viol(
+                    "store-fault-not-injected",
+                    format!("{kind:?}: faulted store consults still hit"),
+                );
+            }
+            if k_cold != findings_key(&faulted) {
+                return viol(
+                    "store-fault-diverges",
+                    format!(
+                        "{kind:?}: findings under injected store corruption differ: \
+                         {k_cold:?} vs {:?}",
+                        findings_key(&faulted)
+                    ),
+                );
+            }
+        }
+        Ok(())
+    })();
+    let _ = fs::remove_dir_all(&dir);
+    result
 }
 
 /// Shrinks `seed_prog` while `still_fails(render)` holds, removing whole
@@ -1097,6 +1190,16 @@ mod tests {
             "violation: {:?}",
             check_faults_source(src)
         );
+    }
+
+    #[test]
+    fn store_invariants_hold_on_a_fixed_program() {
+        let src = "int g; int h; int *p; int *q; int c; int x;
+             void main() { p = &g; q = &h; if (c) { q = p; } x = *q; free(p); }";
+        let mut program = bootstrap_ir::parse_program(src).unwrap();
+        steensgaard::resolve_and_devirtualize(&mut program);
+        let r = check_store(&program);
+        assert!(r.is_ok(), "violation: {r:?}");
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Hand-rolled length-prefixed binary codec.
+//!
+//! The workspace's vendor policy is offline (no serde), so entries are
+//! serialized through two tiny primitives: a [`Writer`] that appends
+//! little-endian fixed-width integers and `u32`-length-prefixed byte
+//! strings to a buffer, and a [`Reader`] that reads them back with every
+//! length checked against the remaining input. A truncated or garbled
+//! buffer surfaces as a [`CodecError`], never a panic or an
+//! out-of-bounds slice — the store turns any decode error into a clean
+//! cache miss.
+
+use std::fmt;
+
+/// A decode failure: the buffer ended early or a length prefix points
+/// past the end of the input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    /// Offset at which the read failed.
+    pub at: usize,
+    /// Bytes the failed read needed.
+    pub wanted: usize,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "truncated entry: {} bytes wanted at offset {}",
+            self.wanted, self.at
+        )
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by the raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("entry section exceeds u32 length"));
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Consumes the writer, returning the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Checked decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(CodecError {
+                at: self.pos,
+                wanted: n,
+            }),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string. Invalid UTF-8 is a decode
+    /// error (reported as a failed read at the string's offset).
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        let at = self.pos;
+        let raw = self.bytes()?;
+        std::str::from_utf8(raw).map_err(|_| CodecError {
+            at,
+            wanted: raw.len(),
+        })
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(0x0123_4567_89ab_cdef);
+        w.str("hello");
+        w.bytes(&[1, 2, 3]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_an_error_at_every_cut() {
+        let mut w = Writer::new();
+        w.u32(5);
+        w.str("world");
+        w.u64(9);
+        let buf = w.finish();
+        // Every proper prefix must decode to an error somewhere, never
+        // panic or read out of bounds.
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            let ok = r
+                .u32()
+                .and_then(|_| r.str().map(|_| ()))
+                .and_then(|_| r.u64().map(|_| ()));
+            assert!(ok.is_err(), "prefix of {cut} bytes decoded cleanly");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_an_error() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX); // length prefix far past the end
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        let e = r.bytes().unwrap_err();
+        assert_eq!(e.at, 4);
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe]);
+        let buf = w.finish();
+        assert!(Reader::new(&buf).str().is_err());
+    }
+}
