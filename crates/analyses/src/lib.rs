@@ -41,6 +41,7 @@
 pub mod andersen;
 pub mod bitset;
 pub mod escape;
+pub mod fpresolve;
 pub mod oneflow;
 pub mod steensgaard;
 pub mod unionfind;
@@ -48,4 +49,5 @@ pub mod unionfind;
 pub use andersen::{AndersenCluster, AndersenResult};
 pub use bitset::VarSet;
 pub use escape::{EscapeResult, Thread, ThreadId, MAIN_THREAD};
+pub use fpresolve::{FpResolution, FpResolver};
 pub use steensgaard::{ClassId, SteensgaardResult};

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use bootstrap_ir::{CallTarget, FuncId, Program, Stmt, VarId, VarKind};
+use bootstrap_ir::{FuncId, Program, Stmt, VarId, VarKind};
 
 use crate::unionfind::UnionFind;
 
@@ -252,35 +252,11 @@ pub fn analyze(program: &Program) -> SteensgaardResult {
 /// rewrites indirect calls into direct ones
 /// (Emami-style handling of function pointers). Returns the number of call
 /// sites rewritten.
+///
+/// This is the points-to rung of the staged resolver ladder — see
+/// [`crate::fpresolve`] for the FLTA/MLTA tiers and per-stage statistics.
 pub fn resolve_and_devirtualize(program: &mut Program) -> usize {
-    let mut total = 0;
-    // One resolution round suffices for programs whose function pointers do
-    // not themselves flow through indirect calls; the loop catches pointers
-    // that only become resolvable once earlier rounds added bindings.
-    for _ in 0..3 {
-        if !program.has_indirect_calls() {
-            break;
-        }
-        let st = analyze(program);
-        // Resolve every function pointer used at an indirect call site
-        // against the pre-devirtualization analysis.
-        let mut targets: HashMap<VarId, Vec<FuncId>> = HashMap::new();
-        for (_, stmt) in program.all_locs() {
-            if let Stmt::Call(c) = stmt {
-                if let CallTarget::Indirect(fp) = c.target {
-                    targets
-                        .entry(fp)
-                        .or_insert_with(|| st.fp_targets(program, fp));
-                }
-            }
-        }
-        let n = program.devirtualize(|fp| targets.get(&fp).cloned().unwrap_or_default());
-        total += n;
-        if n == 0 {
-            break;
-        }
-    }
-    total
+    crate::fpresolve::resolve_calls(program, crate::fpresolve::FpResolver::PointsTo).rewritten
 }
 
 struct Solver {

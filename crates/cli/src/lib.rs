@@ -41,7 +41,7 @@
 use std::fmt;
 use std::fmt::Write as _;
 
-use bootstrap_analyses::steensgaard;
+use bootstrap_analyses::{fpresolve, steensgaard, FpResolution, FpResolver};
 use bootstrap_checks::CheckerKind;
 use bootstrap_core::{AnalysisBudget, Config, Outcome, Session};
 use bootstrap_ir::{CallGraph, Loc, Program, VarId, VarKind};
@@ -96,6 +96,8 @@ options:
   --cache-dir DIR    persist per-cluster FSCS artifacts in DIR and
                      warm-start from them (check, stats, cache)
   --no-cache         ignore --cache-dir (run cold, publish nothing)
+  --fp-resolver S    indirect-call resolver stage: flta | mlta | pts
+                     (default pts; the stages form a precision ladder)
 ";
 
 /// Parsed command-line options.
@@ -114,6 +116,7 @@ struct Opts {
     fail_on_degraded: bool,
     cache_dir: Option<String>,
     no_cache: bool,
+    fp_resolver: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, CliError> {
@@ -135,6 +138,7 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
         fail_on_degraded: false,
         cache_dir: None,
         no_cache: false,
+        fp_resolver: None,
     };
     let mut i = 2;
     while i < args.len() {
@@ -184,6 +188,10 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
                 opts.cache_dir = Some(take(args, i, "--cache-dir")?);
             }
             "--no-cache" => opts.no_cache = true,
+            "--fp-resolver" => {
+                i += 1;
+                opts.fp_resolver = Some(take(args, i, "--fp-resolver")?);
+            }
             other => return err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -245,10 +253,15 @@ pub fn run_full(args: &[String]) -> Result<CliOutput, CliError> {
         .map_err(|e| CliError(format!("cannot read {}: {e}", opts.file)))?;
     let mut program = bootstrap_ir::parse_program(&source)
         .map_err(|e| CliError(format!("{}: {e}", opts.file)))?;
-    steensgaard::resolve_and_devirtualize(&mut program);
+    let stage = match opts.fp_resolver.as_deref() {
+        None => FpResolver::PointsTo,
+        Some(s) => FpResolver::parse(s)
+            .ok_or_else(|| CliError(format!("unknown fp resolver `{s}` (flta|mlta|pts)")))?,
+    };
+    let fp = fpresolve::resolve_calls(&mut program, stage);
 
     if opts.command == "check" {
-        return cmd_check(&program, &opts);
+        return cmd_check(&program, &opts, fp);
     }
     let text = match opts.command.as_str() {
         "partitions" => cmd_partitions(&program),
@@ -258,7 +271,7 @@ pub fn run_full(args: &[String]) -> Result<CliOutput, CliError> {
         "may-alias" => cmd_alias(&program, &opts, false),
         "must-alias" => cmd_alias(&program, &opts, true),
         "dot" => cmd_dot(&program, &opts),
-        "stats" => cmd_stats(&program, &opts),
+        "stats" => cmd_stats(&program, &opts, fp),
         other => err(format!("unknown command `{other}`\n{USAGE}")),
     }?;
     Ok(CliOutput { text, exit_code: 0 })
@@ -358,7 +371,7 @@ fn cmd_cache(args: &[String]) -> Result<CliOutput, CliError> {
     Ok(CliOutput { text, exit_code: 0 })
 }
 
-fn cmd_check(program: &Program, opts: &Opts) -> Result<CliOutput, CliError> {
+fn cmd_check(program: &Program, opts: &Opts, fp: FpResolution) -> Result<CliOutput, CliError> {
     let kinds: Vec<CheckerKind> = match &opts.only {
         None => CheckerKind::ALL.to_vec(),
         Some(list) => list
@@ -400,7 +413,10 @@ fn cmd_check(program: &Program, opts: &Opts) -> Result<CliOutput, CliError> {
                 let _ = writeln!(out, "{}", store_line(report.store));
             }
             let _ = writeln!(out, "{}", interner_line(report.interner));
-            solver_lines(&mut out, report.solver);
+            let mut solver = report.solver;
+            solver.record_fp(&fp);
+            solver_lines(&mut out, solver);
+            fp_lines(&mut out, &fp);
             phase_lines(&mut out, report.phases);
             degrade_lines(&mut out, &report.degrade);
             out
@@ -481,6 +497,22 @@ fn store_line(counters: bootstrap_core::StoreCounters) -> String {
         counters.invalidated,
         counters.loads()
     )
+}
+
+fn fp_lines(out: &mut String, fp: &FpResolution) {
+    if fp.sites == 0 {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "fp resolver [{}]: {} sites, {} edges installed (flta {}, mlta {}, pts {})",
+        fp.stage.name(),
+        fp.sites,
+        fp.edges,
+        fp.edges_flta,
+        fp.edges_mlta,
+        fp.edges_pts
+    );
 }
 
 fn solver_lines(out: &mut String, s: bootstrap_core::SolverStats) {
@@ -686,7 +718,7 @@ fn cite(program: &Program, file: &str, loc: Loc) -> String {
     }
 }
 
-fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
+fn cmd_stats(program: &Program, opts: &Opts, fp: FpResolution) -> Result<String, CliError> {
     let session = Session::new(program, config_of(opts));
     let steens_cover = session.steensgaard_cover();
     // Exercise the engine the way clients do (the checker site sweep) so
@@ -753,7 +785,8 @@ fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
                 st.invalidated,
                 st.loads()
             );
-            let sv = session.solver_stats();
+            let mut sv = session.solver_stats();
+            sv.record_fp(&fp);
             let _ = writeln!(
                 out,
                 concat!(
@@ -768,6 +801,19 @@ fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
                 sv.sccs_offline,
                 sv.wave_rounds,
                 sv.edges_pruned
+            );
+            let _ = writeln!(
+                out,
+                concat!(
+                    "  \"fp_resolver\": {{\"stage\": \"{}\", \"sites\": {}, \"edges\": {}, ",
+                    "\"edges_flta\": {}, \"edges_mlta\": {}, \"edges_pts\": {}}},"
+                ),
+                fp.stage.name(),
+                fp.sites,
+                fp.edges,
+                fp.edges_flta,
+                fp.edges_mlta,
+                fp.edges_pts
             );
             out.push_str("  \"phases\": [");
             for (i, (phase, stats)) in session.phase_stats().iter().enumerate() {
@@ -827,7 +873,10 @@ fn cmd_stats(program: &Program, opts: &Opts) -> Result<String, CliError> {
                 let _ = writeln!(out, "{}", store_line(report.store));
             }
             let _ = writeln!(out, "{}", interner_line(session.interner_stats()));
-            solver_lines(&mut out, session.solver_stats());
+            let mut solver = session.solver_stats();
+            solver.record_fp(&fp);
+            solver_lines(&mut out, solver);
+            fp_lines(&mut out, &fp);
             phase_lines(&mut out, session.phase_stats());
             degrade_lines(&mut out, &report.degrade);
             Ok(out)
@@ -1230,6 +1279,58 @@ mod tests {
             "warm stats run should touch the store: {warm}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    const DISPATCH: &str = "
+        struct ops { void (*go)(int *a); };
+        void f(int *a) { *a = 1; }
+        void g(int *a) { }
+        int x;
+        void main() { struct ops s; s.go = &f; s.go(&x); g(&x); }
+    ";
+
+    #[test]
+    fn fp_resolver_sweep_reports_ladder() {
+        let f = write_temp("fp_sweep", DISPATCH);
+        let mut installed = Vec::new();
+        for stage in ["flta", "mlta", "pts"] {
+            let out = run_args(&["stats", &f, "--fp-resolver", stage]).unwrap();
+            let line = out
+                .lines()
+                .find(|l| l.starts_with("fp resolver"))
+                .unwrap_or_else(|| panic!("no fp resolver line in: {out}"));
+            assert!(line.contains(&format!("[{stage}]")), "{line}");
+            let edges: usize = line
+                .split("edges installed")
+                .next()
+                .unwrap()
+                .split_whitespace()
+                .rev()
+                .nth(0)
+                .unwrap()
+                .parse()
+                .unwrap();
+            installed.push(edges);
+        }
+        // Precision ladder: installed edges never increase down the ladder.
+        assert!(installed[0] >= installed[1] && installed[1] >= installed[2]);
+        let e = run_args(&["stats", &f, "--fp-resolver", "bogus"]).unwrap_err();
+        assert!(e.to_string().contains("unknown fp resolver"));
+    }
+
+    #[test]
+    fn fp_resolver_stats_json_carries_ladder() {
+        let f = write_temp("fp_json", DISPATCH);
+        let out = run_args(&["stats", &f, "--format", "json"]).unwrap();
+        for key in [
+            "\"fp_resolver\"",
+            "\"edges_flta\"",
+            "\"edges_mlta\"",
+            "\"edges_pts\"",
+        ] {
+            assert!(out.contains(key), "missing {key} in: {out}");
+        }
+        assert!(out.contains("\"stage\": \"pts\""), "{out}");
     }
 
     #[test]

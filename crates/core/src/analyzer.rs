@@ -83,6 +83,13 @@ pub struct Analyzer<'s> {
     /// same `(variable, location)` is a genuine cyclic dependency (the
     /// paper's same-depth case) and degrades to the Steensgaard fallback.
     fsci_stack: RefCell<HashSet<(VarId, Loc)>>,
+    /// Scratch memo for *nested* FSCI results, valid only while one
+    /// top-level computation is in flight and cleared when it finishes.
+    /// Nested results may carry a cycle cut, so they never enter the
+    /// durable caches — but without any reuse the dovetailing recursion
+    /// re-walks every level from scratch, and on cyclic points-to shapes
+    /// (a struct with a back-pointer field) the tree grows exponentially.
+    fsci_scratch: RefCell<FsciMemo>,
     /// The arena engines of this analyzer intern into — the session's
     /// shared interner, or a private (typically larger) one for a
     /// degraded-cluster retry.
@@ -106,6 +113,7 @@ impl<'s> Analyzer<'s> {
             engines: RefCell::new(HashMap::new()),
             fsci_cache: RefCell::new(HashMap::new()),
             fsci_stack: RefCell::new(HashSet::new()),
+            fsci_scratch: RefCell::new(HashMap::new()),
             arena,
             poisoned: Cell::new(None),
         }
@@ -665,10 +673,18 @@ impl<'s> Analyzer<'s> {
         }
         // Results computed while an outer FSCI computation is on the stack
         // may have been degraded by a cycle cut (sound, but
-        // over-approximate relative to a clean run). Caching them would
-        // make query answers depend on query *order*; only top-level
-        // computations are memoized.
+        // over-approximate relative to a clean run). Caching them durably
+        // would make query answers depend on query *order*; only top-level
+        // computations enter the durable caches. Nested results are still
+        // reused *within* the current top-level computation (the scratch
+        // memo) — recomputing them at every level makes the dovetailing
+        // recursion exponential on cyclic points-to shapes.
         let clean = self.fsci_stack.borrow().is_empty();
+        if !clean {
+            if let Some(scratch) = self.fsci_scratch.borrow().get(&(v, loc)) {
+                return scratch.as_ref().map(|r| r.as_ref().clone());
+            }
+        }
         self.fsci_stack.borrow_mut().insert((v, loc));
         let mut budget = self.session.config().oracle_budget();
         let result = match self.sources(v, loc, &mut budget) {
@@ -688,10 +704,18 @@ impl<'s> Analyzer<'s> {
         };
         self.fsci_stack.borrow_mut().remove(&(v, loc));
         if clean {
+            // The top-level computation is over: its nested scratch
+            // results (possibly cycle-cut) must not leak into later,
+            // independently-ordered queries.
+            self.fsci_scratch.borrow_mut().clear();
             self.fsci_cache
                 .borrow_mut()
                 .insert((v, loc), result.clone());
             self.session.fsci_cache().insert(v, loc, result.clone());
+        } else {
+            self.fsci_scratch
+                .borrow_mut()
+                .insert((v, loc), result.clone());
         }
         result.map(|r| r.as_ref().clone())
     }
@@ -1046,5 +1070,55 @@ mod tests {
         let az = s.analyzer();
         assert!(az.may_alias(v(&p, "x"), v(&p, "y"), main_exit(&p)).unwrap());
         assert!(!az.may_alias(v(&p, "x"), v(&p, "z"), main_exit(&p)).unwrap());
+    }
+
+    #[test]
+    fn cyclic_back_pointer_queries_terminate() {
+        // A stream/state pair with a back-pointer field (the libbz2 shape):
+        // the dovetailing FSCI oracle recurses through the collapsed
+        // stores, and without the nested scratch memo the recursion tree
+        // grows exponentially — this test hung before it was added.
+        let (p, _) = session(
+            r#"
+            typedef unsigned char UChar;
+            typedef struct S_s { UChar *next_in; int avail_in; void *state; } S;
+            typedef struct E_s { S *strm; int nblock; UChar block[64]; } E;
+            S gs; E gee;
+            UChar input_buf[64];
+            int rle_run(S *s) {
+                E *e; int ch;
+                e = (E *)s->state;
+                while (s->avail_in > 0) {
+                    ch = (int)*s->next_in;
+                    s->next_in = s->next_in + 1;
+                    s->avail_in = s->avail_in - 1;
+                    e->block[e->nblock] = (UChar)ch;
+                }
+                return 0;
+            }
+            void main() {
+                int r;
+                gs.state = (void *)&gee;
+                gee.strm = &gs;
+                gs.next_in = input_buf;
+                gs.avail_in = 10;
+                r = rle_run(&gs);
+            }
+            "#,
+        );
+        // Modest budgets: the point is termination, not precision — with
+        // the scratch memo the budget is barely touched, without it the
+        // recursion re-spends the oracle budget at every level.
+        let c = Config {
+            query_step_budget: 50_000,
+            oracle_step_budget: 5_000,
+            ..Config::default()
+        };
+        let s = Session::new(&p, c);
+        let az = s.analyzer();
+        let exit = main_exit(&p);
+        for &ptr in s.pointers() {
+            let _ = s.query_at_loc(&az, ptr, exit);
+        }
     }
 }

@@ -329,6 +329,57 @@ fn read_only_store_consults_but_never_creates() {
 }
 
 #[test]
+fn field_path_keys_warm_start_without_collisions() {
+    // Field-sensitive locations put structured paths (`s.f`, `a[*]`) into
+    // the variable names that content keys derive from. Sibling fields
+    // with disjoint points-to sets must warm-start to *their own* cold
+    // answers — a key collision between them would splice one field's
+    // summary into the other and flip an answer.
+    let src = r#"
+        struct pair { int *fst; int *snd; };
+        struct pair g; struct pair h;
+        int a; int b; int c; int d;
+        int *pa; int *pb;
+        int buf[4]; int *pe;
+        void main() {
+            g.fst = &a; g.snd = &b;
+            h.fst = &c; h.snd = &d;
+            pa = g.fst; pb = g.snd;
+            pe = buf;
+            *pe = 0;
+        }
+    "#;
+    let program = parse_program(src).unwrap();
+    let dir = temp_dir("fieldkeys");
+
+    let cold_session = Session::new(&program, config_with_store(&dir));
+    let cold = query_all(&cold_session);
+    assert!(cold_session.store_counters().misses > 0);
+    drop(cold_session);
+
+    let warm_session = Session::new(&program, config_with_store(&dir));
+    let warm = query_all(&warm_session);
+    let counters = warm_session.store_counters();
+    assert!(counters.hits > 0, "warm run must hit: {counters:?}");
+    assert_eq!(counters.invalidated, 0, "no key collisions: {counters:?}");
+    assert_same_answers(&cold, &warm);
+
+    // And the warm answers keep the sibling fields apart: pa sees only &a,
+    // pb only &b (field sensitivity survives the store round-trip).
+    let pa = program.var_named("pa").unwrap();
+    let pb = program.var_named("pb").unwrap();
+    let srcs = |answers: &[(VarId, LadderAnswer)], v: VarId| {
+        answers
+            .iter()
+            .find(|(p, _)| *p == v)
+            .map(|(_, a)| a.sources.clone())
+            .unwrap()
+    };
+    assert_ne!(srcs(&warm, pa), srcs(&warm, pb));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn findings_stay_identical_when_program_actually_changes() {
     // Sanity check of content addressing itself: editing a relevant
     // statement moves the key, so the store silently cold-runs the new

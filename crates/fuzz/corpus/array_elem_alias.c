@@ -1,0 +1,10 @@
+int buf[8];
+int *pa;
+int *pb;
+int x;
+void main() {
+  pa = &buf[0];
+  pb = &buf[5];
+  *pa = 1;
+  x = *pb;
+}

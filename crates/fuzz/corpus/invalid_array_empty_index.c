@@ -1,0 +1,5 @@
+int a[4];
+int x;
+void main() {
+  x = a[];
+}

@@ -1,0 +1,4 @@
+int a[4;
+void main() {
+  a[0] = 1;
+}

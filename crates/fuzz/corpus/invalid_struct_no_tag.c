@@ -1,0 +1,4 @@
+struct { int *p; } s;
+void main() {
+  s.p = 0;
+}

@@ -1,0 +1,5 @@
+struct pair { int *fst;
+struct pair s;
+void main() {
+  s.fst = 0;
+}

@@ -1,0 +1,13 @@
+struct ops { void (*go)(); int *slot; };
+struct ops table;
+int *gp;
+int gx;
+void fill() {
+  gp = &gx;
+}
+void main() {
+  table.go = fill;
+  table.slot = &gx;
+  table.go();
+  gx = *gp;
+}

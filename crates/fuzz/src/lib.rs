@@ -157,6 +157,9 @@ pub fn config_for(seed: u64, iter: u64) -> MiniCConfig {
         control_flow: rng.gen_bool(0.8),
         multi_decls: rng.gen_bool(0.5),
         concurrency: rng.gen_bool(0.4),
+        structs: rng.gen_bool(0.5),
+        arrays: rng.gen_bool(0.5),
+        fn_ptrs: rng.gen_bool(0.4),
     }
 }
 

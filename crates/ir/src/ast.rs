@@ -40,6 +40,9 @@ pub enum Type {
     Struct(String),
     /// A pointer to `T`.
     Ptr(Box<Type>),
+    /// An array of `T` (`T name[N]`); the extent is dropped because the
+    /// lowering summarizes all elements into a single abstract location.
+    Array(Box<Type>),
     /// A function pointer (`ret (*name)(..)`); parameter types are not
     /// tracked — indirect calls are resolved by points-to analysis.
     FuncPtr,
@@ -49,6 +52,14 @@ impl Type {
     /// Returns `true` for pointer and function-pointer types.
     pub fn is_pointer(&self) -> bool {
         matches!(self, Type::Ptr(_) | Type::FuncPtr)
+    }
+
+    /// Strips array layers, yielding the ultimate element type.
+    pub fn array_elem(&self) -> &Type {
+        match self {
+            Type::Array(inner) => inner.array_elem(),
+            other => other,
+        }
     }
 
     /// Wraps the type in `levels` pointer layers.

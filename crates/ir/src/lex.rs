@@ -43,6 +43,8 @@ pub enum Tok {
     Minus,
     /// `/`
     Slash,
+    /// `%`
+    Percent,
     /// `!`
     Bang,
     /// A comparison/logical operator (`==`, `!=`, `<`, `<=`, `>`, `>=`,
@@ -74,6 +76,7 @@ impl fmt::Display for Tok {
             Tok::Plus => write!(f, "`+`"),
             Tok::Minus => write!(f, "`-`"),
             Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
             Tok::Bang => write!(f, "`!`"),
             Tok::CmpOp(op) => write!(f, "`{op}`"),
             Tok::Eof => write!(f, "end of input"),
@@ -194,6 +197,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             b'.' => push!(Tok::Dot, 1),
             b'+' => push!(Tok::Plus, 1),
             b'/' => push!(Tok::Slash, 1),
+            b'%' => push!(Tok::Percent, 1),
             b'&' if i + 1 < bytes.len() && bytes[i + 1] == b'&' => push!(Tok::CmpOp("&&"), 2),
             b'&' => push!(Tok::Amp, 1),
             b'|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => push!(Tok::CmpOp("||"), 2),
@@ -207,13 +211,77 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             b'<' => push!(Tok::CmpOp("<"), 1),
             b'>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => push!(Tok::CmpOp(">="), 2),
             b'>' => push!(Tok::CmpOp(">"), 1),
+            b'\'' => {
+                let (sl, sc) = (line, col);
+                i += 1;
+                col += 1;
+                let unterminated = LexError {
+                    msg: "unterminated character literal".into(),
+                    line: sl,
+                    col: sc,
+                };
+                let val = match bytes.get(i) {
+                    Some(b'\\') => {
+                        let esc = *bytes.get(i + 1).ok_or(unterminated.clone())?;
+                        i += 2;
+                        col += 2;
+                        match esc {
+                            b'n' => 10,
+                            b't' => 9,
+                            b'r' => 13,
+                            b'0' => 0,
+                            other => other as i64,
+                        }
+                    }
+                    Some(&c) if c != b'\'' && c != b'\n' => {
+                        i += 1;
+                        col += 1;
+                        c as i64
+                    }
+                    _ => {
+                        return Err(LexError {
+                            msg: "empty or unterminated character literal".into(),
+                            line: sl,
+                            col: sc,
+                        });
+                    }
+                };
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(unterminated);
+                }
+                toks.push(Token {
+                    tok: Tok::Num(val),
+                    line: sl,
+                    col: sc,
+                });
+                i += 1;
+                col += 1;
+            }
             b'0'..=b'9' => {
                 let start = i;
-                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                let hex = bytes[i] == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X'));
+                if hex {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Tolerate C integer suffixes (`100UL`, `0xFFu`).
+                while i < bytes.len() && matches!(bytes[i], b'u' | b'U' | b'l' | b'L') {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let n: i64 = text.parse().map_err(|_| LexError {
+                let digits = text.trim_end_matches(['u', 'U', 'l', 'L']);
+                let parsed = if hex {
+                    i64::from_str_radix(&digits[2..], 16)
+                } else {
+                    digits.parse()
+                };
+                let n: i64 = parsed.map_err(|_| LexError {
                     msg: format!("integer literal `{text}` out of range"),
                     line,
                     col,
@@ -383,6 +451,52 @@ mod tests {
         let err = tokenize("int caf\u{e9};").unwrap_err();
         assert!(err.to_string().contains('\u{e9}'), "{err}");
         assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn lexes_char_and_hex_literals() {
+        assert_eq!(
+            kinds("c = 'a'; d = '\\n'; e = 0xFF; f = 100UL;"),
+            vec![
+                Tok::Ident("c".into()),
+                Tok::Eq,
+                Tok::Num(97),
+                Tok::Semi,
+                Tok::Ident("d".into()),
+                Tok::Eq,
+                Tok::Num(10),
+                Tok::Semi,
+                Tok::Ident("e".into()),
+                Tok::Eq,
+                Tok::Num(255),
+                Tok::Semi,
+                Tok::Ident("f".into()),
+                Tok::Eq,
+                Tok::Num(100),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_percent() {
+        assert_eq!(
+            kinds("a % b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Percent,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_char_literal() {
+        assert!(tokenize("c = '';").is_err());
+        assert!(tokenize("c = 'ab';").is_err());
+        assert!(tokenize("c = 'a").is_err());
     }
 
     #[test]

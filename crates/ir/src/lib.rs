@@ -63,7 +63,7 @@ pub mod prog;
 pub use builder::{FuncBodyBuilder, ProgramBuilder};
 pub use callgraph::CallGraph;
 pub use ids::{CallSiteId, FuncId, Loc, StmtIdx, VarId};
-pub use prog::{CallTarget, Function, Program, Stmt, VarInfo, VarKind};
+pub use prog::{AbsLoc, CallTarget, Function, PathSeg, Program, Stmt, VarInfo, VarKind};
 
 /// Parses mini-C source text and lowers it to the four-form IR.
 ///

@@ -7,10 +7,20 @@
 //! * heap allocation at a site becomes `p = &heap@site`; `free(p)` becomes
 //!   a [`Stmt::Free`], which the alias analyses treat as `p = NULL` while
 //!   client checkers see the deallocation event;
-//! * structs are flattened into one variable per field (making the analysis
-//!   field-sensitive); struct variables whose address is taken, and
-//!   struct-typed parameters, are collapsed to a single variable instead
-//!   (a sound coarsening);
+//! * structs are flattened into one variable per field, each carrying a
+//!   structured [`crate::prog::AbsLoc`] (base + field path), making the
+//!   analysis field-sensitive; struct variables whose *whole* address is
+//!   taken (`&s`), and struct-typed parameters, are collapsed to a single
+//!   variable instead (a sound coarsening), while `&s.f` pins the field's
+//!   own abstract location;
+//! * arrays summarize all elements into a single abstract location per
+//!   array (`a[*]`); the array name decays to the address of that summary,
+//!   so `a[i]`, `*(a+i)` and `&a[i]` all resolve through it (multi-level
+//!   arrays collapse onto one self-referential summary);
+//! * whole-struct assignment expands fieldwise everywhere it can be typed —
+//!   variable-to-variable, through pointers (`*ps = s` stores every field;
+//!   `s = *ps` loads every field), into call arguments and out of returns
+//!   (collapsed on the callee side);
 //! * pointer arithmetic is handled naively by aliasing the result with each
 //!   pointer operand (lowered as a nondeterministic CFG diamond);
 //! * conditionals contribute only control-flow edges;
@@ -23,7 +33,7 @@ use std::collections::{HashMap, HashSet};
 
 use crate::ast::{self, Ast, BinOp, Block, Expr, FuncDef, Type};
 use crate::ids::{FuncId, Loc, StmtIdx, VarId};
-use crate::prog::{CallStmt, CallTarget, Function, Program, Stmt, VarKind};
+use crate::prog::{AbsLoc, CallStmt, CallTarget, Function, Program, Stmt, VarKind};
 
 /// Lowers a parsed [`Ast`] into a [`Program`].
 ///
@@ -37,13 +47,16 @@ pub fn lower(ast: &Ast) -> Program {
     lw.prog
 }
 
-/// How a struct-typed variable is represented after lowering.
+/// How a declared variable is represented after lowering.
 #[derive(Clone, Debug)]
 enum Entry {
     /// An ordinary variable (scalars, pointers, collapsed structs).
     Var(VarId),
     /// A flattened struct: one entry per field.
     Struct(HashMap<String, Entry>),
+    /// An array: all elements summarize into the one variable (`a[*]`).
+    /// The array name decays to the address of this summary.
+    Array(VarId),
 }
 
 /// An lvalue after normalization: either a variable or a single-level
@@ -58,12 +71,24 @@ struct Lowerer<'a> {
     ast: &'a Ast,
     prog: Program,
     structs: HashMap<String, Vec<(String, Type)>>,
-    /// Names that appear under `&` anywhere in the program (conservative,
-    /// name-based): struct variables with these names are collapsed.
+    /// Names that appear under a whole-variable `&name` anywhere in the
+    /// program (conservative, name-based): struct variables with these
+    /// names are collapsed. `&s.f` does *not* put `s` here — it pins the
+    /// field's own abstract location instead.
     addr_taken_names: HashSet<String>,
     globals: HashMap<String, Entry>,
     func_ids: HashMap<String, FuncId>,
     func_objs: HashMap<FuncId, VarId>,
+    /// Root names already claimed by a declaration (including struct roots
+    /// that own no variable themselves), so shadowed declarations get a
+    /// fresh `base#k` and field paths never collide across distinct roots.
+    used_bases: HashSet<String>,
+    /// `(dst, obj)` pairs for multi-level array summaries: `dst = &obj`
+    /// must execute before first use (at the declaration for locals, at
+    /// program entry for globals).
+    pending_links: Vec<(VarId, VarId)>,
+    /// Deferred links for global declarations, emitted at `main` entry.
+    global_links: Vec<(VarId, VarId)>,
 }
 
 impl<'a> Lowerer<'a> {
@@ -76,6 +101,9 @@ impl<'a> Lowerer<'a> {
             globals: HashMap::new(),
             func_ids: HashMap::new(),
             func_objs: HashMap::new(),
+            used_bases: HashSet::new(),
+            pending_links: Vec::new(),
+            global_links: Vec::new(),
         }
     }
 
@@ -101,10 +129,13 @@ impl<'a> Lowerer<'a> {
             let mut pvars = Vec::new();
             let mut pentries = Vec::new();
             for (pi, (pname, pty)) in f.params.iter().enumerate() {
+                // Array-typed parameters decay to pointers (C semantics);
+                // struct-typed parameters collapse to a single variable.
+                let is_ptr = matches!(pty, Type::Array(_)) || pty.is_pointer();
                 let v = self.prog.add_var(
                     format!("{}::{}", f.name, pname),
                     VarKind::Param(fid, pi),
-                    pty.is_pointer(),
+                    is_ptr,
                 );
                 pvars.push(v);
                 pentries.push((pname.clone(), Entry::Var(v)));
@@ -132,6 +163,9 @@ impl<'a> Lowerer<'a> {
                 global_inits.push((g.name.clone(), init.clone(), g.line));
             }
         }
+        // Multi-level array summaries declared at global scope get their
+        // `dst = &obj` links at program entry, like global initializers.
+        self.global_links = std::mem::take(&mut self.pending_links);
 
         // Function bodies.
         for (i, f) in self.ast.funcs.iter().enumerate() {
@@ -242,42 +276,74 @@ impl<'a> Lowerer<'a> {
             Some(f) => format!("{f}::{name}"),
             None => name.to_string(),
         };
+        // Collapse is decided on the *source* name: a whole-variable `&s`
+        // anywhere forces the struct into a single variable.
+        let collapse = matches!(ty, Type::Struct(_)) && self.addr_taken_names.contains(name);
+        let base = self.unique_base(full);
+        self.declare_entry(AbsLoc::root(base), ty, kind, collapse)
+    }
+
+    /// Recursively declares the abstract locations for `ty` rooted at `abs`,
+    /// assigning each leaf variable its structured [`AbsLoc`].
+    fn declare_entry(&mut self, abs: AbsLoc, ty: &Type, kind: VarKind, collapse: bool) -> Entry {
         match ty {
-            Type::Struct(sname)
-                if !self.addr_taken_names.contains(name) && self.structs.contains_key(sname) =>
-            {
+            Type::Struct(sname) if !collapse && self.structs.contains_key(sname) => {
                 let fields = self.structs[sname].clone();
                 let mut map = HashMap::new();
                 for (fname, fty) in fields {
-                    let sub =
-                        self.declare_flat_field(&format!("{full}.{fname}"), &fty, kind.clone());
+                    let sub = self.declare_entry(
+                        abs.clone().field(sname, &fname),
+                        &fty,
+                        kind.clone(),
+                        false,
+                    );
                     map.insert(fname, sub);
                 }
                 Entry::Struct(map)
             }
+            Type::Array(inner) => {
+                // All elements summarize into one `a[*]` location. Nested
+                // array dimensions collapse onto the same summary, which is
+                // made self-referential (`a[*] = &a[*]`) so a load through
+                // the summary — how `a[i][j]` lowers — reaches it again.
+                let multi = matches!(inner.as_ref(), Type::Array(_));
+                let is_ptr = multi || inner.array_elem().is_pointer();
+                let v = self.prog.add_var_at(abs.elem(), kind, is_ptr);
+                if multi {
+                    self.pending_links.push((v, v));
+                }
+                Entry::Array(v)
+            }
             _ => {
-                let unique = self.unique_name(full);
-                Entry::Var(self.prog.add_var(unique, kind, ty.is_pointer()))
+                let v = if abs.path.is_empty() {
+                    // Root scalars keep the historical plain name and carry
+                    // no AbsLoc (nothing structured to record).
+                    self.prog.add_var(abs.base, kind, ty.is_pointer())
+                } else {
+                    self.prog.add_var_at(abs, kind, ty.is_pointer())
+                };
+                Entry::Var(v)
             }
         }
     }
 
-    fn declare_flat_field(&mut self, full: &str, ty: &Type, kind: VarKind) -> Entry {
-        match ty {
-            Type::Struct(sname) if self.structs.contains_key(sname) => {
-                let fields = self.structs[sname].clone();
-                let mut map = HashMap::new();
-                for (fname, fty) in fields {
-                    let sub =
-                        self.declare_flat_field(&format!("{full}.{fname}"), &fty, kind.clone());
-                    map.insert(fname, sub);
-                }
-                Entry::Struct(map)
+    /// Claims a fresh root name: `base` itself, or `base#k` when a prior
+    /// declaration (variable or struct/array root) already used it. Field
+    /// paths hang off the root, so root uniqueness keeps every derived
+    /// display name — and thus every persistent-store key — collision-free.
+    fn unique_base(&mut self, base: String) -> String {
+        if !self.used_bases.contains(&base) && self.prog.var_named(&base).is_none() {
+            self.used_bases.insert(base.clone());
+            return base;
+        }
+        let mut k = 1;
+        loop {
+            let cand = format!("{base}#{k}");
+            if !self.used_bases.contains(&cand) && self.prog.var_named(&cand).is_none() {
+                self.used_bases.insert(cand.clone());
+                return cand;
             }
-            _ => {
-                let unique = self.unique_name(full.to_string());
-                Entry::Var(self.prog.add_var(unique, kind, ty.is_pointer()))
-            }
+            k += 1;
         }
     }
 
@@ -314,6 +380,13 @@ impl<'a> Lowerer<'a> {
         param_entries: Vec<(String, Entry)>,
         global_inits: &[(String, Expr, u32)],
     ) -> Function {
+        // Global multi-level array summaries get their self-links where
+        // global initializers run: at `main` entry.
+        let entry_links: Vec<(VarId, VarId)> = if f.name == "main" {
+            self.global_links.clone()
+        } else {
+            Vec::new()
+        };
         let mut fx = FnCx {
             lw: self,
             fid,
@@ -329,6 +402,9 @@ impl<'a> Lowerer<'a> {
             ret_var,
             branch_conds: Vec::new(),
         };
+        for (dst, obj) in entry_links {
+            fx.emit(Stmt::AddrOf { dst, obj });
+        }
         for (name, init, line) in global_inits {
             fx.current_line = *line;
             let rhs = init.clone();
@@ -449,6 +525,12 @@ impl FnCx<'_, '_> {
                     .last_mut()
                     .expect("scope stack is never empty")
                     .insert(d.name.clone(), entry);
+                // Local multi-level array summaries self-link at the
+                // declaration, before any use.
+                let links = std::mem::take(&mut self.lw.pending_links);
+                for (dst, obj) in links {
+                    self.emit(Stmt::AddrOf { dst, obj });
+                }
                 if let Some(init) = &d.init {
                     self.lower_assign(&Expr::Ident(d.name.clone()), init);
                 }
@@ -592,10 +674,11 @@ impl FnCx<'_, '_> {
         match e {
             Expr::Ident(name) => match self.lookup_or_create(name) {
                 Entry::Var(v) => Place::Var(v),
-                Entry::Struct(_) => {
-                    // Whole-struct place; callers that need fieldwise copies
-                    // handle Entry::Struct directly. As a raw place this
-                    // degrades to a fresh temp (no aliasing effect).
+                Entry::Struct(_) | Entry::Array(_) => {
+                    // Whole-struct places are handled fieldwise by
+                    // `lower_assign`; a whole array is not assignable in C.
+                    // As a raw place either degrades to a fresh temp (no
+                    // aliasing effect).
                     Place::Var(self.fresh_temp())
                 }
             },
@@ -606,7 +689,7 @@ impl FnCx<'_, '_> {
             Expr::Field(base, fname) => match self.resolve_field(base, fname) {
                 Some(entry) => match entry {
                     Entry::Var(v) => Place::Var(v),
-                    Entry::Struct(_) => Place::Var(self.fresh_temp()),
+                    Entry::Struct(_) | Entry::Array(_) => Place::Var(self.fresh_temp()),
                 },
                 // Field of a collapsed/pointed-to struct: field-insensitive.
                 None => self.lower_place(base),
@@ -631,7 +714,7 @@ impl FnCx<'_, '_> {
         match base {
             Expr::Ident(name) => match self.lookup_or_create(name) {
                 Entry::Struct(map) => map.get(fname).cloned(),
-                Entry::Var(_) => None,
+                Entry::Var(_) | Entry::Array(_) => None,
             },
             Expr::Field(inner, f2) => match self.resolve_field(inner, f2) {
                 Some(Entry::Struct(map)) => map.get(fname).cloned(),
@@ -660,7 +743,41 @@ impl FnCx<'_, '_> {
                 }
                 match self.lookup_or_create(name) {
                     Entry::Var(v) => v,
-                    Entry::Struct(_) => self.fresh_temp(),
+                    Entry::Array(v) => {
+                        // The array name decays: its value is `&a[*]`.
+                        let t = self.fresh_temp();
+                        self.emit(Stmt::AddrOf { dst: t, obj: v });
+                        t
+                    }
+                    Entry::Struct(map) => {
+                        // Whole struct as a value (e.g. a call argument):
+                        // collapse into a temp over-approximating all fields.
+                        let leaves = Self::map_leaves(&map);
+                        let t = self.fresh_temp();
+                        for s in leaves {
+                            self.emit(Stmt::Copy { dst: t, src: s });
+                        }
+                        t
+                    }
+                }
+            }
+            Expr::Field(base, f) => {
+                // A flattened field used as a value is the field variable
+                // itself — no temp. This matters for `s.fp(...)`: the
+                // indirect call's function pointer must be the field var so
+                // type- and points-to-based resolution see its targets.
+                match self.resolve_field(base, f) {
+                    Some(Entry::Var(v)) => v,
+                    Some(Entry::Array(v)) => {
+                        let t = self.fresh_temp();
+                        self.emit(Stmt::AddrOf { dst: t, obj: v });
+                        t
+                    }
+                    _ => {
+                        let t = self.fresh_temp();
+                        self.lower_into_place(Place::Var(t), e);
+                        t
+                    }
                 }
             }
             _ => {
@@ -671,19 +788,124 @@ impl FnCx<'_, '_> {
         }
     }
 
-    fn lower_assign(&mut self, lhs: &Expr, rhs: &Expr) {
-        // Whole-struct copies between flattened structs become fieldwise
-        // copies.
-        if let (Expr::Ident(ln), Expr::Ident(rn)) = (lhs, rhs) {
-            if let (Some(Entry::Struct(lm)), Some(Entry::Struct(rm))) =
-                (self.lookup(ln), self.lookup(rn))
-            {
-                self.copy_struct(&lm, &rm);
-                return;
+    /// The expression's flattened-struct entry, when it names one directly
+    /// (`s`, `s.inner`, `s.inner.deep`, ...).
+    fn struct_entry_of(&mut self, e: &Expr) -> Option<HashMap<String, Entry>> {
+        match e {
+            Expr::Ident(name) => match self.lookup(name) {
+                Some(Entry::Struct(m)) => Some(m),
+                _ => None,
+            },
+            Expr::Field(base, f) => match self.resolve_field(base, f) {
+                Some(Entry::Struct(m)) => Some(m),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The expression's array summary variable, when it names an array
+    /// directly (`a`, `s.buf`, ...).
+    fn array_entry_of(&mut self, e: &Expr) -> Option<VarId> {
+        match e {
+            Expr::Ident(name) => match self.lookup(name) {
+                Some(Entry::Array(v)) => Some(v),
+                _ => None,
+            },
+            Expr::Field(base, f) => match self.resolve_field(base, f) {
+                Some(Entry::Array(v)) => Some(v),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Leaf variables of a flattened struct in deterministic
+    /// (field-name-sorted, depth-first) order.
+    fn map_leaves(map: &HashMap<String, Entry>) -> Vec<VarId> {
+        fn walk(e: &Entry, out: &mut Vec<VarId>) {
+            match e {
+                Entry::Var(v) | Entry::Array(v) => out.push(*v),
+                Entry::Struct(map) => {
+                    let mut names: Vec<&String> = map.keys().collect();
+                    names.sort();
+                    for n in names {
+                        walk(&map[n], out);
+                    }
+                }
             }
+        }
+        let mut out = Vec::new();
+        let mut names: Vec<&String> = map.keys().collect();
+        names.sort();
+        for n in names {
+            walk(&map[n], &mut out);
+        }
+        out
+    }
+
+    fn lower_assign(&mut self, lhs: &Expr, rhs: &Expr) {
+        // Whole-struct destinations expand fieldwise (struct-to-struct
+        // copies, loads through pointers, collapsed sources).
+        if let Some(lm) = self.struct_entry_of(lhs) {
+            self.assign_struct(&lm, rhs);
+            return;
         }
         let place = self.lower_place(lhs);
         self.lower_into_place(place, rhs);
+    }
+
+    /// Lowers `S = rhs` where `S` is a flattened struct.
+    fn assign_struct(&mut self, lhs: &HashMap<String, Entry>, rhs: &Expr) {
+        if let Some(rm) = self.struct_entry_of(rhs) {
+            self.copy_struct(lhs, &rm);
+            return;
+        }
+        let leaves = Self::map_leaves(lhs);
+        match rhs {
+            Expr::Deref(inner) => {
+                // s = *ps: every field loads from the pointed-to object
+                // (which is collapsed, so one object feeds all fields).
+                let src = self.lower_to_var(inner);
+                for d in leaves {
+                    self.emit(Stmt::Load { dst: d, src });
+                }
+            }
+            Expr::Arrow(base, _) => {
+                // s = p->f: pointed-to structs are field-insensitive.
+                let src = self.lower_to_var(base);
+                for d in leaves {
+                    self.emit(Stmt::Load { dst: d, src });
+                }
+            }
+            Expr::Call { callee, args } => {
+                // Struct-returning call: the callee's return is collapsed;
+                // every field copies from it.
+                let t = self.fresh_temp();
+                self.lower_call(callee, args, Some(Place::Var(t)));
+                for d in leaves {
+                    self.emit(Stmt::Copy { dst: d, src: t });
+                }
+            }
+            Expr::Ident(_) | Expr::Field(..) => {
+                // Collapsed struct source: one variable feeds every field.
+                let src = match self.lower_place(rhs) {
+                    Place::Var(v) => v,
+                    Place::Deref(p) => {
+                        let t = self.fresh_temp();
+                        self.emit(Stmt::Load { dst: t, src: p });
+                        t
+                    }
+                };
+                for d in leaves {
+                    self.emit(Stmt::Copy { dst: d, src });
+                }
+            }
+            _ => {
+                // Not a struct-shaped source: no aliasing effect.
+                self.emit(Stmt::Skip);
+            }
+        }
     }
 
     fn copy_struct(&mut self, lhs: &HashMap<String, Entry>, rhs: &HashMap<String, Entry>) {
@@ -691,10 +913,14 @@ impl FnCx<'_, '_> {
         names.sort();
         for name in names {
             match (lhs.get(name), rhs.get(name)) {
-                (Some(Entry::Var(d)), Some(Entry::Var(s))) => {
+                (Some(Entry::Var(d)), Some(Entry::Var(s)))
+                | (Some(Entry::Array(d)), Some(Entry::Array(s))) => {
                     self.emit(Stmt::Copy { dst: *d, src: *s });
                 }
-                (Some(Entry::Struct(dm)), Some(Entry::Struct(sm))) => self.copy_struct(dm, sm),
+                (Some(Entry::Struct(dm)), Some(Entry::Struct(sm))) => {
+                    let (dm, sm) = (dm.clone(), sm.clone());
+                    self.copy_struct(&dm, &sm);
+                }
                 _ => {}
             }
         }
@@ -771,6 +997,59 @@ impl FnCx<'_, '_> {
                 }
             }
             Expr::Ident(_) | Expr::Field(..) | Expr::Arrow(..) => {
+                // Whole-struct sources expand fieldwise: every field copies
+                // into a (collapsed) variable place, and `*ps = s` stores
+                // every field through the pointer.
+                if let Some(map) = self.struct_entry_of(rhs) {
+                    let leaves = Self::map_leaves(&map);
+                    match place {
+                        Place::Var(d) => {
+                            for s in leaves {
+                                self.emit(Stmt::Copy { dst: d, src: s });
+                            }
+                        }
+                        Place::Deref(p) => {
+                            for s in leaves {
+                                self.emit(Stmt::Store { dst: p, src: s });
+                            }
+                        }
+                    }
+                    return;
+                }
+                // Array names decay to the address of the element summary.
+                if let Some(av) = self.array_entry_of(rhs) {
+                    match place {
+                        Place::Var(d) => {
+                            self.emit(Stmt::AddrOf { dst: d, obj: av });
+                        }
+                        Place::Deref(p) => {
+                            let t = self.fresh_temp();
+                            self.emit(Stmt::AddrOf { dst: t, obj: av });
+                            self.emit(Stmt::Store { dst: p, src: t });
+                        }
+                    }
+                    return;
+                }
+                // A bare function name decays to its address: `c.run = worker;`
+                // means `c.run = &worker;`.
+                if let Expr::Ident(name) = rhs {
+                    if self.lookup(name).is_none() {
+                        if let Some(&fid) = self.lw.func_ids.get(name) {
+                            let obj = self.lw.func_obj(fid);
+                            match place {
+                                Place::Var(d) => {
+                                    self.emit(Stmt::AddrOf { dst: d, obj });
+                                }
+                                Place::Deref(p) => {
+                                    let t = self.fresh_temp();
+                                    self.emit(Stmt::AddrOf { dst: t, obj });
+                                    self.emit(Stmt::Store { dst: p, src: t });
+                                }
+                            }
+                            return;
+                        }
+                    }
+                }
                 let src_place = self.lower_place(rhs);
                 let src = match src_place {
                     Place::Var(v) => v,
@@ -841,6 +1120,8 @@ impl FnCx<'_, '_> {
                 }
                 match self.lookup_or_create(name) {
                     Entry::Var(v) => AddrOperand::Obj(v),
+                    // &a on an array is the address of the element summary.
+                    Entry::Array(v) => AddrOperand::Obj(v),
                     Entry::Struct(_) => {
                         // Unreachable in practice: address-taken structs are
                         // collapsed by the prepass. Degrade to a fresh object.
@@ -848,8 +1129,10 @@ impl FnCx<'_, '_> {
                     }
                 }
             }
+            // &s.f pins the field's own abstract location (and &s.buf the
+            // array summary) instead of collapsing the whole struct.
             Expr::Field(base, fname) => match self.resolve_field(base, fname) {
-                Some(Entry::Var(v)) => AddrOperand::Obj(v),
+                Some(Entry::Var(v)) | Some(Entry::Array(v)) => AddrOperand::Obj(v),
                 _ => {
                     let p = self.lower_place(e);
                     match p {
@@ -1169,7 +1452,7 @@ mod tests {
         .unwrap();
         assert!(p.has_indirect_calls());
         let id = p.func_named("id").unwrap();
-        let n = p.devirtualize(|_| vec![id]);
+        let n = p.devirtualize(|_, _| vec![id]);
         assert_eq!(n, 1);
         assert!(!p.has_indirect_calls());
         // After devirt, the param copy exists.
@@ -1258,6 +1541,246 @@ mod tests {
         let p = parse_program("void main() { mystery = &mystery2; }").unwrap();
         assert!(p.var_named("mystery").is_some());
         assert!(p.var_named("mystery2").is_some());
+    }
+
+    #[test]
+    fn whole_struct_store_through_pointer_is_fieldwise() {
+        // *ps = b must store every field of b, not degrade to a temp.
+        let p = parse_program(
+            r#"
+            struct pair { int *fst; int *snd; };
+            struct pair b; struct pair *ps;
+            void main() { *ps = b; }
+            "#,
+        )
+        .unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let fst = p.var_named("b.fst").unwrap();
+        let snd = p.var_named("b.snd").unwrap();
+        let stored: Vec<VarId> = f
+            .body()
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Store { src, .. } => Some(*src),
+                _ => None,
+            })
+            .collect();
+        assert!(stored.contains(&fst) && stored.contains(&snd));
+    }
+
+    #[test]
+    fn whole_struct_load_through_pointer_is_fieldwise() {
+        // a = *ps loads into every field of a.
+        let p = parse_program(
+            r#"
+            struct pair { int *fst; int *snd; };
+            struct pair a; struct pair *ps;
+            void main() { a = *ps; }
+            "#,
+        )
+        .unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let fst = p.var_named("a.fst").unwrap();
+        let snd = p.var_named("a.snd").unwrap();
+        let loaded: Vec<VarId> = f
+            .body()
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Load { dst, .. } => Some(*dst),
+                _ => None,
+            })
+            .collect();
+        assert!(loaded.contains(&fst) && loaded.contains(&snd));
+    }
+
+    #[test]
+    fn struct_return_assigns_every_field() {
+        let p = parse_program(
+            r#"
+            struct pair { int *fst; int *snd; };
+            struct pair mk() { struct pair t; return t; }
+            void main() { struct pair a; a = mk(); }
+            "#,
+        )
+        .unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let fst = p.var_named("main::a.fst").unwrap();
+        let snd = p.var_named("main::a.snd").unwrap();
+        let copied: Vec<VarId> = f
+            .body()
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Copy { dst, .. } => Some(*dst),
+                _ => None,
+            })
+            .collect();
+        assert!(copied.contains(&fst) && copied.contains(&snd));
+    }
+
+    #[test]
+    fn addr_of_field_pins_field_location() {
+        // &s.f must take the address of the field variable itself, and the
+        // struct must stay flattened (sibling fields remain separate).
+        let p = parse_program(
+            r#"
+            struct pair { int *fst; int *snd; };
+            int *q;
+            void main() { struct pair s; int **pp; pp = &s.fst; q = *pp; }
+            "#,
+        )
+        .unwrap();
+        let fst = p.var_named("main::s.fst").expect("struct stays flattened");
+        assert!(p.var_named("main::s.snd").is_some());
+        let f = p.func(p.func_named("main").unwrap());
+        assert!(f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::AddrOf { obj, .. } if *obj == fst)));
+    }
+
+    #[test]
+    fn array_name_decays_to_element_summary() {
+        let p = parse_program("int a[8]; void main() { int *x; x = a; }").unwrap();
+        let summary = p.var_named("a[*]").expect("array declares a[*] summary");
+        let f = p.func(p.func_named("main").unwrap());
+        let x = p.var_named("main::x").unwrap();
+        assert!(f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::AddrOf { dst, obj } if *dst == x && *obj == summary)));
+    }
+
+    #[test]
+    fn array_index_stores_and_loads_through_summary() {
+        let p = parse_program("int *a[8]; int b; void main() { int *x; a[2] = &b; x = a[3]; }")
+            .unwrap();
+        let kinds = stmt_kinds(&p, "main");
+        // a[2] = &b: t = &a[*]; u = &b; *t = u. x = a[3]: t2 = &a[*]; x = *t2.
+        assert!(kinds.contains(&"store".to_string()));
+        assert!(kinds.contains(&"load".to_string()));
+        let summary = p.var_named("a[*]").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        assert!(f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::AddrOf { obj, .. } if *obj == summary)));
+    }
+
+    #[test]
+    fn addr_of_array_element_is_summary_address() {
+        let p = parse_program("int a[8]; void main() { int *x; x = &a[1]; }").unwrap();
+        let summary = p.var_named("a[*]").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let x = p.var_named("main::x").unwrap();
+        // &a[1] == &*(a+1): x ends up holding &a[*] (possibly via a temp).
+        let holds_summary = f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::AddrOf { obj, .. } if *obj == summary));
+        assert!(holds_summary);
+        assert!(p.var(x).is_pointer());
+    }
+
+    #[test]
+    fn multi_dim_array_summary_is_self_referential() {
+        let p = parse_program("int *m[2][3]; void main() { }").unwrap();
+        let summary = p.var_named("m[*]").expect("one summary for all dims");
+        assert!(p.var(summary).is_pointer());
+        // The self-link m[*] = &m[*] runs at main entry like a global init.
+        let f = p.func(p.func_named("main").unwrap());
+        assert!(f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::AddrOf { dst, obj } if *dst == summary && *obj == summary)));
+    }
+
+    #[test]
+    fn struct_with_array_field_copies_summary() {
+        let p = parse_program(
+            r#"
+            struct buf { int *p; int data[4]; };
+            struct buf a; struct buf b;
+            void main() { a = b; }
+            "#,
+        )
+        .unwrap();
+        let ad = p.var_named("a.data[*]").expect("field array summary");
+        let bd = p.var_named("b.data[*]").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        assert!(f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::Copy { dst, src } if *dst == ad && *src == bd)));
+    }
+
+    #[test]
+    fn field_fp_call_uses_field_variable() {
+        // s.run(x) must carry the *field variable* as the indirect target,
+        // so devirtualization by points-to/type keeps the call edge.
+        let p = parse_program(
+            r#"
+            struct ops { void (*run)(); };
+            void handler(int *p) { }
+            void main() { struct ops s; int a; s.run = &handler; s.run(&a); }
+            "#,
+        )
+        .unwrap();
+        let run = p.var_named("main::s.run").unwrap();
+        let f = p.func(p.func_named("main").unwrap());
+        let indirect_on_field = f.body().iter().any(|s| {
+            matches!(s, Stmt::Call(c) if matches!(c.target, CallTarget::Indirect(fp) if fp == run))
+        });
+        assert!(indirect_on_field, "indirect call must go through s.run");
+    }
+
+    #[test]
+    fn bare_function_name_rvalue_decays_to_addrof() {
+        // `o.go = w;` (no explicit `&`) must bind the function object,
+        // exactly like `o.go = &w;` — not invent a fresh variable `w`.
+        let p = parse_program(
+            r#"
+            struct ops { void (*go)(int *a); };
+            void w(int *a) { }
+            struct ops o;
+            int *gp;
+            void main() { o.go = w; gp = null; *gp = 1; }
+            "#,
+        )
+        .unwrap();
+        let go = p.var_named("o.go").unwrap();
+        let obj = p.var_named("&w").unwrap();
+        assert!(matches!(p.var(obj).kind(), VarKind::FuncObj(_)));
+        let f = p.func(p.func_named("main").unwrap());
+        let bound = f
+            .body()
+            .iter()
+            .any(|s| matches!(s, Stmt::AddrOf { dst, obj: o2 } if *dst == go && *o2 == obj));
+        assert!(
+            bound,
+            "o.go = w must lower to AddrOf of the function object"
+        );
+        // And no spurious scalar named `w` was created.
+        assert!(p.var_named("w").is_none());
+    }
+
+    #[test]
+    fn shadowed_struct_roots_get_distinct_bases() {
+        // Two declarations of `s` in nested scopes must not share field
+        // variables (the second root is renamed `...#1`).
+        let p = parse_program(
+            r#"
+            struct pair { int *fst; int *snd; };
+            void main() {
+                struct pair s;
+                int a;
+                s.fst = &a;
+                { struct pair s; s.fst = NULL; }
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(p.var_named("main::s.fst").is_some());
+        assert!(p.var_named("main::s#1.fst").is_some());
     }
 }
 

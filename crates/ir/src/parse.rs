@@ -1,5 +1,6 @@
 //! Recursive-descent parser for mini-C.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::ast::{Ast, BinOp, Block, Expr, FuncDef, Stmt, StructDef, Type, VarDecl};
@@ -45,6 +46,7 @@ pub fn parse(src: &str) -> Result<Ast, ParseError> {
         toks,
         pos: 0,
         depth: 0,
+        typedefs: HashMap::new(),
     };
     let mut ast = p.program()?;
     ast.source_lines = src.lines().count();
@@ -64,6 +66,9 @@ struct Parser {
     /// Current statement/expression nesting depth (see
     /// [`MAX_NESTING_DEPTH`]).
     depth: usize,
+    /// `typedef` names in scope, resolved to their underlying type at parse
+    /// time (the AST never sees typedef names).
+    typedefs: HashMap<String, Type>,
 }
 
 impl Parser {
@@ -132,14 +137,42 @@ impl Parser {
         }
     }
 
+    fn is_scalar_kw(s: &str) -> bool {
+        matches!(s, "int" | "char" | "long" | "short" | "unsigned" | "signed")
+    }
+
+    /// Storage-class specifiers and qualifiers that mini-C tolerates and
+    /// ignores (they do not affect aliasing).
+    fn is_qual(s: &str) -> bool {
+        matches!(
+            s,
+            "const" | "static" | "extern" | "register" | "volatile" | "inline"
+        )
+    }
+
+    fn skip_quals(&mut self) {
+        while matches!(self.peek(), Tok::Ident(s) if Self::is_qual(s)) {
+            self.bump();
+        }
+    }
+
     fn is_type_start(&self) -> bool {
-        matches!(self.peek(), Tok::Ident(s) if s == "int" || s == "void" || s == "char" || s == "long" || s == "unsigned" || s == "struct")
+        matches!(
+            self.peek(),
+            Tok::Ident(s) if Self::is_qual(s)
+                || Self::is_scalar_kw(s)
+                || s == "void"
+                || s == "struct"
+                || self.typedefs.contains_key(s)
+        )
     }
 
     fn program(&mut self) -> Result<Ast, ParseError> {
         let mut ast = Ast::default();
         while *self.peek() != Tok::Eof {
-            if self.is_struct_def() {
+            if matches!(self.peek(), Tok::Ident(s) if s == "typedef") {
+                self.typedef_decl(&mut ast)?;
+            } else if self.is_struct_def() {
                 ast.structs.push(self.struct_def()?);
             } else if self.is_type_start() {
                 let base = self.base_type()?;
@@ -180,6 +213,13 @@ impl Parser {
     fn struct_def(&mut self) -> Result<StructDef, ParseError> {
         self.bump(); // struct
         let name = self.expect_ident()?;
+        let fields = self.struct_fields()?;
+        self.expect(Tok::Semi)?;
+        Ok(StructDef { name, fields })
+    }
+
+    /// Parses a brace-delimited struct field list (the `{ ... }` part).
+    fn struct_fields(&mut self) -> Result<Vec<(String, Type)>, ParseError> {
         self.expect(Tok::LBrace)?;
         let mut fields = Vec::new();
         while *self.peek() != Tok::RBrace {
@@ -196,47 +236,91 @@ impl Parser {
             self.expect(Tok::Semi)?;
         }
         self.expect(Tok::RBrace)?;
-        self.expect(Tok::Semi)?;
-        Ok(StructDef { name, fields })
+        Ok(fields)
+    }
+
+    /// Parses `typedef base declarator ;` or an inline struct definition
+    /// `typedef struct [Tag] { ... } Name;` (an anonymous struct borrows
+    /// the typedef name as its tag). The resolved type is recorded in the
+    /// typedef table; the AST only ever sees resolved types.
+    fn typedef_decl(&mut self, ast: &mut Ast) -> Result<(), ParseError> {
+        self.bump(); // typedef
+        let inline = matches!(self.peek(), Tok::Ident(s) if s == "struct")
+            && (*self.peek_at(1) == Tok::LBrace
+                || (matches!(self.peek_at(1), Tok::Ident(_)) && *self.peek_at(2) == Tok::LBrace));
+        if inline {
+            self.bump(); // struct
+            let tag = match self.peek().clone() {
+                Tok::Ident(s) if *self.peek_at(1) == Tok::LBrace => {
+                    self.bump();
+                    Some(s)
+                }
+                _ => None,
+            };
+            let fields = self.struct_fields()?;
+            let mut stars = 0;
+            while *self.peek() == Tok::Star {
+                self.bump();
+                stars += 1;
+            }
+            let name = self.expect_ident()?;
+            self.expect(Tok::Semi)?;
+            let tag = tag.unwrap_or_else(|| name.clone());
+            ast.structs.push(StructDef {
+                name: tag.clone(),
+                fields,
+            });
+            self.typedefs
+                .insert(name, Type::Struct(tag).wrap_ptr(stars));
+        } else {
+            let base = self.base_type()?;
+            let (name, ty) = self.declarator(base)?;
+            self.expect(Tok::Semi)?;
+            self.typedefs.insert(name, ty);
+        }
+        Ok(())
     }
 
     fn base_type(&mut self) -> Result<Type, ParseError> {
-        match self.peek().clone() {
-            Tok::Ident(s) if s == "int" || s == "char" || s == "long" => {
+        self.skip_quals();
+        let ty = match self.peek().clone() {
+            Tok::Ident(s) if Self::is_scalar_kw(&s) => {
                 self.bump();
-                // Consume a second scalar keyword (`unsigned long` etc.).
-                Ok(Type::Int)
-            }
-            Tok::Ident(s) if s == "unsigned" => {
-                self.bump();
-                if matches!(self.peek(), Tok::Ident(k) if k == "int" || k == "char" || k == "long")
-                {
+                // Consume the remaining scalar keywords (`unsigned long
+                // int` etc.).
+                while matches!(self.peek(), Tok::Ident(k) if Self::is_scalar_kw(k)) {
                     self.bump();
                 }
-                Ok(Type::Int)
+                Type::Int
             }
             Tok::Ident(s) if s == "void" => {
                 self.bump();
-                Ok(Type::Void)
+                Type::Void
             }
             Tok::Ident(s) if s == "struct" => {
                 self.bump();
                 let name = self.expect_ident()?;
-                Ok(Type::Struct(name))
+                Type::Struct(name)
             }
-            other => self.err(format!("expected type, found {other}")),
-        }
+            Tok::Ident(s) if self.typedefs.contains_key(&s) => {
+                self.bump();
+                self.typedefs[&s].clone()
+            }
+            other => return self.err(format!("expected type, found {other}")),
+        };
+        self.skip_quals();
+        Ok(ty)
     }
 
     /// Parses one declarator given the base type: `* ... name`, a
-    /// function-pointer declarator `(*name)(..)`, or array suffixes (arrays
-    /// are treated as scalars, matching the paper's naive pointer
-    /// arithmetic).
+    /// function-pointer declarator `(*name)(..)`, or array suffixes
+    /// (`name[N]...`), which wrap the type in [`Type::Array`] layers.
     fn declarator(&mut self, base: Type) -> Result<(String, Type), ParseError> {
         let mut stars = 0;
         while *self.peek() == Tok::Star {
             self.bump();
             stars += 1;
+            self.skip_quals();
         }
         if *self.peek() == Tok::LParen && *self.peek_at(1) == Tok::Star {
             // Function pointer: (*name)(params-ignored)
@@ -250,14 +334,19 @@ impl Parser {
             return Ok((name, Type::FuncPtr));
         }
         let name = self.expect_ident()?;
+        let mut ty = base.wrap_ptr(stars);
         while *self.peek() == Tok::LBracket {
             self.bump();
-            if let Tok::Num(_) = self.peek() {
-                self.bump();
+            // The extent may be any constant expression (or empty, for
+            // `char buf[]` parameters); it is irrelevant to aliasing
+            // because all elements summarize into one location.
+            if *self.peek() != Tok::RBracket {
+                let _ = self.expr()?;
             }
             self.expect(Tok::RBracket)?;
+            ty = Type::Array(Box::new(ty));
         }
-        Ok((name, base.wrap_ptr(stars)))
+        Ok((name, ty))
     }
 
     /// Skips tokens until the matching `)` of an already-consumed `(`.
@@ -400,6 +489,45 @@ impl Parser {
                 let body = self.stmt_as_block()?;
                 Ok(Stmt::While { cond, body })
             }
+            Tok::Ident(kw) if kw == "for" && *self.peek_at(1) == Tok::LParen => {
+                // Desugared to `{ init; while (cond) { body; step; } }`.
+                // `continue` is not supported, so the step always runs at
+                // the end of the body.
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let (line, _) = self.here();
+                let mut stmts: Vec<Stmt> = Vec::new();
+                if *self.peek() != Tok::Semi {
+                    if self.is_type_start() {
+                        let base = self.base_type()?;
+                        stmts.extend(self.declarator_list(base)?.into_iter().map(Stmt::Decl));
+                    } else {
+                        stmts.push(self.simple_assign()?);
+                    }
+                }
+                self.expect(Tok::Semi)?;
+                let cond = if *self.peek() != Tok::Semi {
+                    self.expr()?
+                } else {
+                    Expr::Num(1)
+                };
+                self.expect(Tok::Semi)?;
+                let step = if *self.peek() != Tok::RParen {
+                    Some(self.simple_assign()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::RParen)?;
+                let mut body = self.stmt_as_block()?;
+                if let Some(s) = step {
+                    body.stmts.push(s);
+                    body.lines.push(line);
+                }
+                let mut lines = vec![line; stmts.len()];
+                stmts.push(Stmt::While { cond, body });
+                lines.push(line);
+                Ok(Stmt::Block(Block { stmts, lines }))
+            }
             Tok::Ident(kw) if kw == "return" => {
                 self.bump();
                 let e = if *self.peek() != Tok::Semi {
@@ -495,6 +623,19 @@ impl Parser {
         }
     }
 
+    /// An assignment or expression without the trailing `;` (the init/step
+    /// clauses of a `for`).
+    fn simple_assign(&mut self) -> Result<Stmt, ParseError> {
+        let lhs = self.expr()?;
+        if *self.peek() == Tok::Eq {
+            self.bump();
+            let rhs = self.expr()?;
+            Ok(Stmt::Assign { lhs, rhs })
+        } else {
+            Ok(Stmt::Expr(lhs))
+        }
+    }
+
     fn stmt_as_block(&mut self) -> Result<Block, ParseError> {
         if *self.peek() == Tok::LBrace {
             self.block()
@@ -569,8 +710,34 @@ impl Parser {
                 self.bump();
                 Ok(Expr::Unary(Box::new(self.unary_expr()?)))
             }
+            Tok::LParen if self.cast_ahead() => {
+                // A C cast `(type *) e` is aliasing-transparent: parse and
+                // discard the type, return the operand.
+                self.bump();
+                let _ = self.base_type()?;
+                while *self.peek() == Tok::Star {
+                    self.bump();
+                    self.skip_quals();
+                }
+                self.expect(Tok::RParen)?;
+                self.unary_expr()
+            }
             _ => self.postfix_expr(),
         }
+    }
+
+    /// `true` when the current `(` opens a cast (`(int *)`, `(UChar)`,
+    /// `(struct s *)`) rather than a parenthesized expression.
+    fn cast_ahead(&self) -> bool {
+        *self.peek() == Tok::LParen
+            && matches!(
+                self.peek_at(1),
+                Tok::Ident(s) if Self::is_qual(s)
+                    || Self::is_scalar_kw(s)
+                    || s == "void"
+                    || s == "struct"
+                    || self.typedefs.contains_key(s)
+            )
     }
 
     fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
@@ -911,6 +1078,122 @@ mod tests {
         // a variable of the same name keeps working.
         let ast = parse("int lock; void main() { lock = 3; }").unwrap();
         assert!(matches!(ast.funcs[0].body.stmts[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn parses_typedefs() {
+        let ast = parse(
+            r#"
+            typedef unsigned char UChar;
+            typedef struct state_s { int *buf; } State;
+            typedef struct { int *q; } Anon;
+            typedef int (*handler)();
+            UChar g;
+            State st;
+            Anon an;
+            State *ps;
+            handler h;
+            void main() { }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ast.structs.len(), 2);
+        assert_eq!(ast.structs[0].name, "state_s");
+        // Anonymous struct borrows the typedef name as its tag.
+        assert_eq!(ast.structs[1].name, "Anon");
+        assert_eq!(ast.globals[0].ty, Type::Int);
+        assert_eq!(ast.globals[1].ty, Type::Struct("state_s".into()));
+        assert_eq!(ast.globals[2].ty, Type::Struct("Anon".into()));
+        assert_eq!(
+            ast.globals[3].ty,
+            Type::Ptr(Box::new(Type::Struct("state_s".into())))
+        );
+        assert_eq!(ast.globals[4].ty, Type::FuncPtr);
+    }
+
+    #[test]
+    fn parses_array_declarators_as_array_types() {
+        let ast = parse("int *a[4]; int b[2][3]; void main() { }").unwrap();
+        assert_eq!(
+            ast.globals[0].ty,
+            Type::Array(Box::new(Type::Ptr(Box::new(Type::Int))))
+        );
+        assert_eq!(
+            ast.globals[1].ty,
+            Type::Array(Box::new(Type::Array(Box::new(Type::Int))))
+        );
+    }
+
+    #[test]
+    fn for_loop_desugars_to_while() {
+        let ast = parse(
+            r#"
+            void main() {
+                int i; int n;
+                for (i = 0; i < n; i = i + 1) { n = n - 1; }
+            }
+            "#,
+        )
+        .unwrap();
+        let Stmt::Block(b) = &ast.funcs[0].body.stmts[2] else {
+            panic!("expected desugared block");
+        };
+        assert!(matches!(b.stmts[0], Stmt::Assign { .. }));
+        let Stmt::While { body, .. } = &b.stmts[1] else {
+            panic!("expected while");
+        };
+        // Step statement appended to the body.
+        assert_eq!(body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn for_loop_with_decl_and_empty_clauses() {
+        let ast = parse("void main() { for (int i = 0;;) { i = 1; } }").unwrap();
+        let Stmt::Block(b) = &ast.funcs[0].body.stmts[0] else {
+            panic!("expected desugared block");
+        };
+        assert!(matches!(b.stmts[0], Stmt::Decl(_)));
+        assert!(matches!(b.stmts[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn casts_are_transparent() {
+        let ast = parse(
+            r#"
+            typedef struct bz_s { int *p; } Bz;
+            void main() { int *x; Bz *s; s = (Bz *)malloc(10); x = (int *)s; x = (unsigned)1; }
+            "#,
+        )
+        .unwrap();
+        let stmts = &ast.funcs[0].body.stmts;
+        assert!(matches!(
+            &stmts[2],
+            Stmt::Assign {
+                rhs: Expr::Malloc,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &stmts[3],
+            Stmt::Assign {
+                rhs: Expr::Ident(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn storage_qualifiers_are_tolerated() {
+        let ast = parse(
+            r#"
+            static const int limit;
+            static void helper(const char *msg) { }
+            void main() { static int once; helper(NULL); }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ast.funcs.len(), 2);
+        assert_eq!(ast.globals.len(), 1);
     }
 
     #[test]

@@ -190,12 +190,105 @@ impl VarKind {
     }
 }
 
+/// One step of an abstract-location field path.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PathSeg {
+    /// A named field of a struct with the given tag.
+    Field {
+        /// The struct tag the field belongs to.
+        tag: String,
+        /// The field name.
+        name: String,
+    },
+    /// The summarized element of an array (all indices collapse to one
+    /// abstract location).
+    Elem,
+}
+
+/// A first-class abstract location: a root storage object plus the field
+/// path carved out of it.
+///
+/// The lowering materializes one IR variable per abstract location, so
+/// `VarId` remains the dense runtime handle; `AbsLoc` is the structured
+/// identity behind it. Display names are derived deterministically from the
+/// path (`base.f`, `base.buf[*]`), which keeps persistent-store keys
+/// name-relocatable: two distinct fields can never collide on a key, and a
+/// summary recorded for `s.f` rebinds to the same field in a warm session.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AbsLoc {
+    /// Mangled name of the root variable (e.g. `g`, `main::s`).
+    pub base: String,
+    /// Field path from the root, outermost first.
+    pub path: Vec<PathSeg>,
+}
+
+impl AbsLoc {
+    /// An abstract location naming the whole root object.
+    pub fn root(base: impl Into<String>) -> Self {
+        Self {
+            base: base.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Extends the path with a struct field.
+    pub fn field(mut self, tag: impl Into<String>, name: impl Into<String>) -> Self {
+        self.path.push(PathSeg::Field {
+            tag: tag.into(),
+            name: name.into(),
+        });
+        self
+    }
+
+    /// Extends the path with the summarized array element.
+    pub fn elem(mut self) -> Self {
+        self.path.push(PathSeg::Elem);
+        self
+    }
+
+    /// The canonical display name (`base.f[*].g`), used as the variable's
+    /// mangled name and therefore as the persistent-store key component.
+    pub fn display_name(&self) -> String {
+        let mut out = self.base.clone();
+        for seg in &self.path {
+            match seg {
+                PathSeg::Field { name, .. } => {
+                    out.push('.');
+                    out.push_str(name);
+                }
+                PathSeg::Elem => out.push_str("[*]"),
+            }
+        }
+        out
+    }
+
+    /// The innermost `(struct tag, field name)` layer of the path, if any.
+    ///
+    /// This is the multi-layer type key MLTA indirect-call resolution
+    /// matches on: a function pointer loaded from `s.tab[i].fn` shares its
+    /// owner `(tag_of_tab_elem, "fn")` with every other location of that
+    /// shape, regardless of the root object.
+    pub fn field_owner(&self) -> Option<(&str, &str)> {
+        self.path.iter().rev().find_map(|seg| match seg {
+            PathSeg::Field { tag, name } => Some((tag.as_str(), name.as_str())),
+            PathSeg::Elem => None,
+        })
+    }
+}
+
+impl fmt::Display for AbsLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_name())
+    }
+}
+
 /// Metadata about a variable.
 #[derive(Clone, Debug)]
 pub struct VarInfo {
     name: String,
     kind: VarKind,
     is_pointer: bool,
+    abs: Option<AbsLoc>,
 }
 
 impl VarInfo {
@@ -213,6 +306,12 @@ impl VarInfo {
     /// variables uniformly; this flag is advisory and used for reporting).
     pub fn is_pointer(&self) -> bool {
         self.is_pointer
+    }
+
+    /// The structured abstract location this variable materializes, if the
+    /// lowering assigned one (field and array-element variables).
+    pub fn abs_loc(&self) -> Option<&AbsLoc> {
+        self.abs.as_ref()
     }
 }
 
@@ -436,8 +535,22 @@ impl Program {
             name,
             kind,
             is_pointer,
+            abs: None,
         });
         id
+    }
+
+    /// Adds a variable materializing the abstract location `abs`; its name
+    /// is the location's canonical display name.
+    pub(crate) fn add_var_at(&mut self, abs: AbsLoc, kind: VarKind, is_pointer: bool) -> VarId {
+        let id = self.add_var(abs.display_name(), kind, is_pointer);
+        self.vars[id.index()].abs = Some(abs);
+        id
+    }
+
+    /// The abstract location of `id`, if the lowering assigned one.
+    pub fn abs_loc(&self, id: VarId) -> Option<&AbsLoc> {
+        self.vars[id.index()].abs_loc()
     }
 
     pub(crate) fn add_function(&mut self, func: Function) {
@@ -547,16 +660,17 @@ impl Program {
     /// direct calls to the targets supplied by `resolve`, inserting the
     /// parameter- and return-binding copies for each target.
     ///
-    /// `resolve` maps a function-pointer variable to the candidate callees
-    /// (typically the function objects in its flow-insensitive points-to
-    /// set). Targets whose arity does not match the call are bound
+    /// `resolve` maps a function-pointer variable and the call-site arity
+    /// to the candidate callees (typically the function objects in the
+    /// pointer's flow-insensitive points-to set, optionally filtered by
+    /// signature). Targets whose arity does not match the call are bound
     /// positionally for the common prefix, matching the paper's naive
     /// treatment of ill-typed indirect calls.
     ///
     /// Returns the number of call sites rewritten.
     pub fn devirtualize<R>(&mut self, mut resolve: R) -> usize
     where
-        R: FnMut(VarId) -> Vec<FuncId>,
+        R: FnMut(VarId, usize) -> Vec<FuncId>,
     {
         let mut rewritten = 0;
         let func_params: Vec<(Vec<VarId>, Option<VarId>)> = self
@@ -580,7 +694,7 @@ impl Program {
                 continue;
             }
             for (idx, fp, args, ret) in indirect {
-                let targets = resolve(fp);
+                let targets = resolve(fp, args.len());
                 rewritten += 1;
                 let func = &mut self.funcs[fi];
                 let mut succs = func.succs_vec();
@@ -680,6 +794,23 @@ mod tests {
         assert_eq!(VarKind::Global.owner(), None);
         assert!(VarKind::Null.is_synthetic_object());
         assert!(!VarKind::Global.is_synthetic_object());
+    }
+
+    #[test]
+    fn abs_loc_display_and_owner() {
+        let loc = AbsLoc::root("main::s")
+            .field("state", "tab")
+            .elem()
+            .field("stage", "run");
+        assert_eq!(loc.display_name(), "main::s.tab[*].run");
+        assert_eq!(loc.field_owner(), Some(("stage", "run")));
+        let arr = AbsLoc::root("buf").elem();
+        assert_eq!(arr.display_name(), "buf[*]");
+        assert_eq!(arr.field_owner(), None);
+        // An array-of-structs field: the Elem after the Field does not mask
+        // the innermost field layer.
+        let tab = AbsLoc::root("g").field("state", "tab").elem();
+        assert_eq!(tab.field_owner(), Some(("state", "tab")));
     }
 
     #[test]

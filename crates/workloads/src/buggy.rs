@@ -455,6 +455,38 @@ pub fn generate(config: &BuggyConfig) -> BuggyProgram {
     }
 }
 
+/// A labeled preset whose defect is reachable **only** through an
+/// indirect call via a struct-field function pointer.
+///
+/// `main` parks `sfp_p` on a real object, then calls `sfp_ops.reset()`
+/// — which (and only which) re-points it at NULL — and dereferences.
+/// If lowering or devirtualization drops the `sfp_ops.reset → sfp_clear`
+/// call edge, the flow-sensitive walk sees only the healthy assignment
+/// and the labeled null-deref becomes a false negative. The caller must
+/// devirtualize (any resolver stage keeps the true edge) before running
+/// the checkers.
+pub fn struct_fp_preset() -> BuggyProgram {
+    let source = r#"
+        struct ops { void (*reset)(); };
+        struct ops sfp_ops;
+        int *sfp_p;
+        int sfp_o;
+        int sfp_x;
+        void sfp_clear() { sfp_p = null; }
+        void main() {
+            sfp_p = &sfp_o;
+            sfp_ops.reset = sfp_clear;
+            sfp_ops.reset();
+            sfp_x = *sfp_p;
+        }
+    "#;
+    let program = bootstrap_ir::parse_program(source).expect("embedded preset parses");
+    BuggyProgram {
+        program,
+        expected: vec![ExpectedDefect::new("null-deref", "sfp_p", "error")],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,19 @@ pub struct MiniCConfig {
     /// balanced `lock(&m); … unlock(&m);` critical sections over a small
     /// pool of global mutexes.
     pub concurrency: bool,
+    /// Declare a struct type with two pointer fields plus global
+    /// instances; field places (`st0.fst`) then join the variable pool
+    /// and are read, written, and address-taken like any pointer.
+    pub structs: bool,
+    /// Declare global scalar and pointer-element arrays; element places
+    /// (`ar0[c0]`) join the pool, exercising the summarized-element
+    /// location and `&a[i]` lowering.
+    pub arrays: bool,
+    /// Declare global function-pointer variables (and, with `structs`,
+    /// a callback field), assign helper functions to them — both the
+    /// bare-name decay and explicit `&f` forms — and call them
+    /// indirectly.
+    pub fn_ptrs: bool,
 }
 
 impl Default for MiniCConfig {
@@ -63,6 +76,9 @@ impl Default for MiniCConfig {
             control_flow: true,
             multi_decls: true,
             concurrency: false,
+            structs: false,
+            arrays: false,
+            fn_ptrs: false,
         }
     }
 }
@@ -127,6 +143,8 @@ struct Gen {
     conds: Vec<String>,
     /// Names of the mutex scalars (empty unless the concurrency knob is on).
     mutexes: Vec<String>,
+    /// Function-pointer places (`fp0`, `st0.cb`); empty unless `fn_ptrs`.
+    fps: Vec<String>,
 }
 
 impl Gen {
@@ -246,6 +264,21 @@ impl Gen {
             }
             return format!("while ({c}) {{ {c} = {c} - 1; {a} }}");
         }
+        if !self.fps.is_empty() && self.rng.gen_bool(0.2) {
+            let i = self.rng.gen_range(0..self.fps.len());
+            let fp = self.fps[i].clone();
+            if !callees.is_empty() {
+                let c = callees[self.rng.gen_range(0..callees.len())].clone();
+                return match self.rng.gen_range(0..3u32) {
+                    // Bare function name decays to its address.
+                    0 => format!("{fp} = {c};"),
+                    1 => format!("{fp} = &{c};"),
+                    // Assign-then-call as one removable element, so every
+                    // emitted indirect call has at least one target.
+                    _ => format!("{fp} = {c}; {fp}();"),
+                };
+            }
+        }
         if !callees.is_empty() && self.rng.gen_bool(0.15) {
             let i = self.rng.gen_range(0..callees.len());
             return format!("{}();", callees[i]);
@@ -286,12 +319,61 @@ pub fn generate(config: &MiniCConfig) -> MiniCProgram {
         global_lines.push(format!("int {m};"));
     }
 
+    // Struct surface: two instances of one tag; field places join the
+    // pool as ordinary level-1 pointers (`st0.fst = &g0_0;`).
+    if cfg.structs {
+        let cb_field = if cfg.fn_ptrs { " void (*cb)();" } else { "" };
+        global_lines.push(format!("struct pair {{ int *fst; int *snd;{cb_field} }};"));
+        for k in 0..2 {
+            global_lines.push(format!("struct pair st{k};"));
+            for field in ["fst", "snd"] {
+                globals.push(Var {
+                    name: format!("st{k}.{field}"),
+                    level: 1,
+                });
+            }
+        }
+    }
+
+    // Array surface: element places indexed by the live condition
+    // scalars; every element summarizes into one location.
+    if cfg.arrays {
+        global_lines.push("int ar0[8];".to_string());
+        global_lines.push("int *ap0[4];".to_string());
+        for c in &conds {
+            globals.push(Var {
+                name: format!("ar0[{c}]"),
+                level: 0,
+            });
+            globals.push(Var {
+                name: format!("ap0[{c}]"),
+                level: 1,
+            });
+        }
+    }
+
+    // Function-pointer surface: global fp variables plus (with the
+    // struct knob) a callback field per instance.
+    let mut fps = Vec::new();
+    if cfg.fn_ptrs {
+        for k in 0..2 {
+            global_lines.push(format!("void (*fp{k})();"));
+            fps.push(format!("fp{k}"));
+        }
+        if cfg.structs {
+            for k in 0..2 {
+                fps.push(format!("st{k}.cb"));
+            }
+        }
+    }
+
     let mut g = Gen {
         rng: StdRng::seed_from_u64(cfg.seed),
         cfg,
         globals,
         conds,
         mutexes,
+        fps,
     };
 
     let n_funcs = g.cfg.n_funcs;
@@ -414,6 +496,52 @@ mod tests {
         assert!(sweep.contains("free("));
         assert!(sweep.contains(", *"));
         assert!(sweep.contains("if ("));
+    }
+
+    #[test]
+    fn struct_array_fp_knobs_emit_their_surfaces_and_parse() {
+        let sweep: Vec<String> = (0..20)
+            .map(|seed| {
+                generate(&MiniCConfig {
+                    seed,
+                    structs: true,
+                    arrays: true,
+                    fn_ptrs: true,
+                    ..MiniCConfig::default()
+                })
+                .render()
+            })
+            .collect();
+        for (seed, src) in sweep.iter().enumerate() {
+            if let Err(e) = bootstrap_ir::parse_program(src) {
+                panic!("seed {seed} failed to parse: {e}\n{src}");
+            }
+        }
+        let all: String = sweep.concat();
+        assert!(
+            all.contains("struct pair {"),
+            "sweep never declared the struct"
+        );
+        assert!(all.contains(".fst"), "sweep never touched a field");
+        assert!(all.contains("ar0["), "sweep never indexed the scalar array");
+        assert!(
+            all.contains("ap0["),
+            "sweep never indexed the pointer array"
+        );
+        assert!(all.contains("(*fp0)"), "sweep never declared a global fp");
+        // Both assignment forms and the indirect call must appear.
+        let bare = sweep.iter().any(|s| {
+            s.lines()
+                .any(|l| l.contains(" = f") && !l.contains("&") && l.contains("fp"))
+        });
+        assert!(bare, "sweep never used bare-name decay");
+        assert!(all.contains("= &f"), "sweep never used explicit &f");
+        assert!(all.contains("fp0();") || all.contains("fp1();") || all.contains(".cb();"));
+        // Off by default: the plain surface has none of it.
+        let plain = generate(&MiniCConfig::default()).render();
+        assert!(!plain.contains("struct "));
+        assert!(!plain.contains('['));
+        assert!(!plain.contains("(*fp"));
     }
 
     #[test]

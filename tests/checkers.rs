@@ -55,6 +55,55 @@ fn buggy_corpus_findings_match_labels_exactly() {
     );
 }
 
+/// The struct-field function-pointer preset: the labeled null-deref is
+/// visible only through the devirtualized `sfp_ops.reset → sfp_clear`
+/// edge. Losing the edge (the old lowering collapsed `s.fp()` into a
+/// fresh temp with no targets) turns it into a false negative.
+#[test]
+fn struct_fp_preset_fires_through_the_field_call() {
+    use bootstrap_alias::analyses::fpresolve::{self, FpResolver};
+    use bootstrap_alias::ir::{CallTarget, Stmt};
+
+    let mut preset = buggy::struct_fp_preset();
+    let clear = preset.program.func_named("sfp_clear").unwrap();
+
+    // Devirtualize at the most precise stage and keep the true edge.
+    let r = fpresolve::resolve_calls(&mut preset.program, FpResolver::PointsTo);
+    assert_eq!(r.sites, 1);
+    assert!(r.edges >= 1, "the reset() site must keep at least one edge");
+    let main = preset
+        .program
+        .func(preset.program.func_named("main").unwrap());
+    let has_edge = main
+        .body()
+        .iter()
+        .any(|s| matches!(s, Stmt::Call(c) if c.target == CallTarget::Direct(clear)));
+    assert!(has_edge, "devirtualized call edge to sfp_clear must exist");
+
+    let session = Session::new(&preset.program, Config::default());
+    let report = run_checks(&session, &CheckerKind::ALL);
+    let found: BTreeSet<(String, String, String)> = report
+        .findings
+        .iter()
+        .map(|f| {
+            (
+                f.checker.name().to_string(),
+                f.var.clone(),
+                f.severity.label().to_string(),
+            )
+        })
+        .collect();
+    let labeled: BTreeSet<(String, String, String)> = preset
+        .expected
+        .iter()
+        .map(|e| (e.checker.clone(), e.var.clone(), e.severity.clone()))
+        .collect();
+    assert_eq!(
+        found, labeled,
+        "exactly the labeled defect, through the fp call"
+    );
+}
+
 /// A defect-free buggy-generator configuration (decoys and benign
 /// communities only) must yield zero findings.
 #[test]

@@ -1,0 +1,132 @@
+//! Field-sensitivity regression tests across the precision ladder.
+//!
+//! Two properties of per-field abstract locations are pinned down:
+//!
+//! 1. **Containment** — Andersen's points-to sets stay inside
+//!    Steensgaard's pointee classes even when fields are address-taken
+//!    (`&s.f` pins the field location; the coarser analysis must still
+//!    cover everything the finer one derives).
+//! 2. **Separation** — sibling fields of one struct keep *disjoint*
+//!    FSCS points-to sets when the program never conflates them; field
+//!    sensitivity must not leak one field's targets into its sibling.
+
+use std::collections::BTreeSet;
+
+use bootstrap_alias::analyses::{andersen, steensgaard};
+use bootstrap_alias::core::{AnalysisBudget, Config, Session, Source};
+use bootstrap_alias::ir::{parse_program, Program};
+use bootstrap_workloads::minic::{self, MiniCConfig};
+
+const SIBLINGS: &str = "
+    struct pair { int *fst; int *snd; };
+    int a; int b; int c;
+    struct pair s;
+    int **pp;
+    int *q;
+    void main() {
+        s.fst = &a;
+        s.snd = &b;
+        pp = &s.fst;
+        *pp = &c;
+        q = s.snd;
+    }
+";
+
+/// Andersen ⊆ Steensgaard, checked pointwise: every object Andersen
+/// derives for `v` must sit in the Steensgaard pointee class of `v`.
+fn assert_andersen_in_steensgaard(program: &Program, label: &str) {
+    let an = andersen::analyze(program);
+    let st = steensgaard::analyze(program);
+    let session = Session::new(program, Config::default());
+    for &v in session.pointers() {
+        let pointee = st.pointee(st.class_of(v));
+        for o in an.points_to_vars(v) {
+            assert_eq!(
+                pointee,
+                Some(st.class_of(o)),
+                "{label}: Andersen has {} -> {} but Steensgaard's pointee \
+                 class for it is {pointee:?}",
+                program.var(v).name(),
+                program.var(o).name()
+            );
+        }
+    }
+}
+
+#[test]
+fn andersen_is_contained_in_steensgaard_with_address_taken_fields() {
+    let program = parse_program(SIBLINGS).unwrap();
+    assert_andersen_in_steensgaard(&program, "siblings");
+
+    // And the finer analysis is strictly finer here: Andersen keeps the
+    // sibling fields apart while Steensgaard may merge them.
+    let an = andersen::analyze(&program);
+    let fst = program.var_named("s.fst").unwrap();
+    let snd = program.var_named("s.snd").unwrap();
+    let fst_pts: BTreeSet<_> = an.points_to_vars(fst).into_iter().collect();
+    let snd_pts: BTreeSet<_> = an.points_to_vars(snd).into_iter().collect();
+    assert!(!fst_pts.is_empty() && !snd_pts.is_empty());
+    assert!(
+        fst_pts.is_disjoint(&snd_pts),
+        "Andersen conflated the sibling fields: {fst_pts:?} vs {snd_pts:?}"
+    );
+}
+
+#[test]
+fn sibling_fields_have_disjoint_fscs_points_to() {
+    let program = parse_program(SIBLINGS).unwrap();
+    let session = Session::new(&program, Config::default());
+    let az = session.analyzer();
+    let exit = program.entry().unwrap().exit();
+    let mut budget = AnalysisBudget::unlimited();
+
+    let fst = program.var_named("s.fst").unwrap();
+    let snd = program.var_named("s.snd").unwrap();
+    let srcs = |v, budget: &mut AnalysisBudget| -> BTreeSet<String> {
+        az.sources(v, exit, budget)
+            .unwrap()
+            .iter()
+            .map(|(s, _)| s.display(&program))
+            .collect()
+    };
+    let fst_srcs = srcs(fst, &mut budget);
+    let snd_srcs = srcs(snd, &mut budget);
+
+    // The store through the pinned `&s.fst` location landed on fst…
+    let c = program.var_named("c").unwrap();
+    let a = program.var_named("a").unwrap();
+    let holds = |set: &BTreeSet<String>, o| {
+        let disp = Source::Addr(o).display(&program);
+        set.contains(&disp)
+    };
+    assert!(
+        holds(&fst_srcs, c) || holds(&fst_srcs, a),
+        "fst lost its targets: {fst_srcs:?}"
+    );
+    assert!(!snd_srcs.is_empty(), "snd lost its target");
+    // …and never leaked into the sibling.
+    assert!(
+        fst_srcs.is_disjoint(&snd_srcs),
+        "sibling fields conflated at FSCS: {fst_srcs:?} vs {snd_srcs:?}"
+    );
+}
+
+/// Containment holds across a generated sweep with the struct, array,
+/// and function-pointer surfaces enabled (after devirtualization, so
+/// indirect calls contribute their parameter bindings on both sides).
+#[test]
+fn andersen_is_contained_in_steensgaard_on_generated_struct_programs() {
+    for seed in 0..15 {
+        let cfg = MiniCConfig {
+            seed,
+            structs: true,
+            arrays: true,
+            fn_ptrs: true,
+            ..MiniCConfig::default()
+        };
+        let src = minic::generate(&cfg).render();
+        let mut program = parse_program(&src).unwrap();
+        steensgaard::resolve_and_devirtualize(&mut program);
+        assert_andersen_in_steensgaard(&program, &format!("seed {seed}"));
+    }
+}
