@@ -35,7 +35,7 @@ use std::collections::{HashMap, HashSet};
 
 use bootstrap_core::{
     Analyzer, Cond, DegradeReason, FsciCacheStats, InternerStats, PhaseSnapshot, Precision,
-    Session, SolverStats, Source, StoreCounters,
+    QueryLimits, Session, SolverStats, Source, StoreCounters,
 };
 use bootstrap_ir::{Loc, Program, Stmt, VarId, VarKind};
 
@@ -218,6 +218,7 @@ type Resolution = (Vec<(Source, Cond)>, Precision);
 struct Resolver<'a, 'p> {
     session: &'a Session<'p>,
     az: Analyzer<'a>,
+    limits: QueryLimits,
     resolved: HashMap<(VarId, Loc), Resolution>,
     /// Unique resolutions per tier, [`Precision::ALL`] order.
     tiers: [usize; 3],
@@ -235,7 +236,9 @@ fn tier_slot(p: Precision) -> usize {
 impl Resolver<'_, '_> {
     fn sources(&mut self, ptr: VarId, loc: Loc) -> (&[(Source, Cond)], Precision) {
         if !self.resolved.contains_key(&(ptr, loc)) {
-            let ans = self.session.query_at_loc(&self.az, ptr, loc);
+            let ans = self
+                .session
+                .query_at_loc_limited(&self.az, ptr, loc, &self.limits);
             self.tiers[tier_slot(ans.precision)] += 1;
             if let Some(r) = ans.reason {
                 *self.reasons.entry(r).or_insert(0) += 1;
@@ -266,6 +269,35 @@ impl Resolver<'_, '_> {
 /// ignored. The report's findings are deduplicated and deterministically
 /// ordered.
 pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
+    run_checks_limited(session, kinds, &QueryLimits::none())
+}
+
+/// [`run_checks`] with per-request [`QueryLimits`] (a wall deadline
+/// and/or a cancellation flag) threaded into every site resolution. The
+/// analysis daemon runs client `check` requests through this so a slow
+/// batch degrades tier-by-tier instead of wedging a worker, and a
+/// disconnected client's batch is abandoned at the next budget
+/// checkpoint.
+pub fn run_checks_limited(
+    session: &Session<'_>,
+    kinds: &[CheckerKind],
+    limits: &QueryLimits,
+) -> CheckReport {
+    run_checks_with(session, kinds, limits, session.analyzer())
+}
+
+/// [`run_checks_limited`] resolving through a caller-supplied analyzer.
+///
+/// The daemon's per-request isolation retries a panicked batch on a
+/// fresh analyzer with a doubled interning arena (mirroring the parallel
+/// driver's cluster retry); this entry point is what makes that retry
+/// possible without reaching into the resolver.
+pub fn run_checks_with<'a>(
+    session: &'a Session<'_>,
+    kinds: &[CheckerKind],
+    limits: &QueryLimits,
+    az: Analyzer<'a>,
+) -> CheckReport {
     let program = session.program();
     let want = |k: CheckerKind| kinds.contains(&k);
     let want_null = want(CheckerKind::NullDeref);
@@ -301,7 +333,8 @@ pub fn run_checks(session: &Session<'_>, kinds: &[CheckerKind]) -> CheckReport {
 
     let mut rs = Resolver {
         session,
-        az: session.analyzer(),
+        az,
+        limits: limits.clone(),
         resolved: HashMap::new(),
         tiers: [0; 3],
         reasons: HashMap::new(),

@@ -12,6 +12,8 @@
 //! bootstrap-alias stats       <file.c> [--format text|json]
 //! bootstrap-alias fuzz        [--seed N] [--iters N] [--corpus DIR]
 //! bootstrap-alias cache       --cache-dir DIR [clear]
+//! bootstrap-alias serve       --socket PATH [--cache-dir DIR] [--workers N]
+//!                             [--queue-cap N] [--deadline-ms N] [files..]
 //! ```
 //!
 //! Query locations default to the exit of `main`; `--at FUNC` queries at
@@ -34,6 +36,12 @@
 //! ([`bootstrap_fuzz`]) over random Mini-C programs (plus the
 //! fault-injection invariants with `--faults`) and exits with status 1
 //! when any cross-engine invariant is violated.
+//!
+//! `serve` hosts the crash-safe analysis daemon ([`bootstrap_daemon`])
+//! on a Unix socket; `check <file.c> --remote SOCKET` sends the file to
+//! a running daemon as an edit and runs the checkers against its
+//! resident (warm, incrementally invalidated) session, retrying shed
+//! requests with jittered exponential backoff.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,6 +89,9 @@ commands:
                [--seed N] [--iters N] [--corpus DIR] [--faults])
   cache        inspect a persistent cache directory (--cache-dir DIR);
                `cache --cache-dir DIR clear` deletes its entries
+  serve        host the analysis daemon on a Unix socket (--socket PATH
+               [--cache-dir DIR] [--workers N] [--queue-cap N]
+               [--deadline-ms N] [--fault-seed N] [seed files..])
 
 options:
   --at FUNC          query at the exit of FUNC (default: main)
@@ -98,6 +109,8 @@ options:
   --no-cache         ignore --cache-dir (run cold, publish nothing)
   --fp-resolver S    indirect-call resolver stage: flta | mlta | pts
                      (default pts; the stages form a precision ladder)
+  --remote SOCKET    `check`: run against a daemon instead of locally
+  --deadline-ms N    `check --remote`: per-request wall deadline
 ";
 
 /// Parsed command-line options.
@@ -117,6 +130,8 @@ struct Opts {
     cache_dir: Option<String>,
     no_cache: bool,
     fp_resolver: Option<String>,
+    remote: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, CliError> {
@@ -139,6 +154,8 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
         cache_dir: None,
         no_cache: false,
         fp_resolver: None,
+        remote: None,
+        deadline_ms: None,
     };
     let mut i = 2;
     while i < args.len() {
@@ -191,6 +208,18 @@ fn parse_args(args: &[String]) -> Result<Opts, CliError> {
             "--fp-resolver" => {
                 i += 1;
                 opts.fp_resolver = Some(take(args, i, "--fp-resolver")?);
+            }
+            "--remote" => {
+                i += 1;
+                opts.remote = Some(take(args, i, "--remote")?);
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let raw = take(args, i, "--deadline-ms")?;
+                opts.deadline_ms = Some(
+                    raw.parse()
+                        .map_err(|_| CliError(format!("invalid deadline `{raw}`")))?,
+                );
             }
             other => return err(format!("unknown option `{other}`\n{USAGE}")),
         }
@@ -248,9 +277,19 @@ pub fn run_full(args: &[String]) -> Result<CliOutput, CliError> {
     if args.first().map(String::as_str) == Some("cache") {
         return cmd_cache(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return cmd_serve(&args[1..]);
+    }
     let opts = parse_args(args)?;
     let source = std::fs::read_to_string(&opts.file)
         .map_err(|e| CliError(format!("cannot read {}: {e}", opts.file)))?;
+    if opts.command == "check" {
+        if let Some(socket) = &opts.remote {
+            return cmd_check_remote(socket, &source, &opts);
+        }
+    } else if opts.remote.is_some() {
+        return err("--remote is only supported by `check`");
+    }
     let mut program = bootstrap_ir::parse_program(&source)
         .map_err(|e| CliError(format!("{}: {e}", opts.file)))?;
     let stage = match opts.fp_resolver.as_deref() {
@@ -369,6 +408,162 @@ fn cmd_cache(args: &[String]) -> Result<CliOutput, CliError> {
         );
     }
     Ok(CliOutput { text, exit_code: 0 })
+}
+
+fn cmd_serve(args: &[String]) -> Result<CliOutput, CliError> {
+    let mut socket: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut workers = 2usize;
+    let mut queue_cap = 8usize;
+    let mut deadline_ms: Option<u64> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut seed_files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                socket = Some(take(args, i, "--socket")?);
+            }
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = Some(take(args, i, "--cache-dir")?);
+            }
+            "--workers" => {
+                i += 1;
+                let raw = take(args, i, "--workers")?;
+                workers = raw
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid worker count `{raw}`")))?;
+            }
+            "--queue-cap" => {
+                i += 1;
+                let raw = take(args, i, "--queue-cap")?;
+                queue_cap = raw
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid queue cap `{raw}`")))?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let raw = take(args, i, "--deadline-ms")?;
+                deadline_ms = Some(
+                    raw.parse()
+                        .map_err(|_| CliError(format!("invalid deadline `{raw}`")))?,
+                );
+            }
+            "--fault-seed" => {
+                i += 1;
+                let raw = take(args, i, "--fault-seed")?;
+                fault_seed = Some(
+                    raw.parse()
+                        .map_err(|_| CliError(format!("invalid fault seed `{raw}`")))?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return err(format!("unknown option `{flag}`\n{USAGE}"))
+            }
+            file => seed_files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    let socket = socket.ok_or_else(|| CliError("serve needs --socket PATH".into()))?;
+    let mut serve_opts = bootstrap_daemon::ServeOptions::new(&socket);
+    serve_opts.cache_dir = cache_dir.map(Into::into);
+    serve_opts.workers = workers;
+    serve_opts.queue_cap = queue_cap;
+    serve_opts.default_deadline_ms = deadline_ms;
+    serve_opts.fault_plan = fault_seed.map(bootstrap_core::FaultPlan::from_seed);
+    for file in &seed_files {
+        let content = std::fs::read_to_string(file)
+            .map_err(|e| CliError(format!("cannot read {file}: {e}")))?;
+        let name = std::path::Path::new(file)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or(file)
+            .to_string();
+        serve_opts.seed_files.insert(name, content);
+    }
+    bootstrap_daemon::serve(serve_opts).map_err(|e| CliError(format!("daemon failed: {e}")))?;
+    Ok(CliOutput {
+        text: String::new(),
+        exit_code: 0,
+    })
+}
+
+/// `check --remote`: send the file to a running daemon as an edit, then
+/// run the checkers against its resident session. Shed requests and
+/// connection failures are retried with jittered exponential backoff by
+/// the client.
+fn cmd_check_remote(socket: &str, source: &str, opts: &Opts) -> Result<CliOutput, CliError> {
+    use bootstrap_client::{Client, Request, Response};
+
+    let kinds: Vec<String> = match &opts.only {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                CheckerKind::parse(name)
+                    .map(|k| k.name().to_string())
+                    .ok_or_else(|| CliError(format!("unknown checker `{name}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let name = std::path::Path::new(&opts.file)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or(opts.file.as_str())
+        .to_string();
+    let client = Client::new(socket);
+    let rpc = |req: &Request| {
+        client
+            .request(req)
+            .map_err(|e| CliError(format!("daemon at {socket}: {e}")))
+    };
+
+    let mut text = String::new();
+    match rpc(&Request::Edit {
+        file: name,
+        content: Some(source.to_string()),
+    })? {
+        Response::EditOk { epoch, dirty } => {
+            let _ = writeln!(
+                text,
+                "daemon epoch {epoch}: {}/{} clusters dirty ({} adopted)",
+                dirty.dirty_clusters,
+                dirty.total_clusters,
+                if dirty.adopted { "rest" } else { "none" }
+            );
+        }
+        Response::Error { kind, message } => {
+            return err(format!("daemon rejected edit ({kind}): {message}"))
+        }
+        other => return err(format!("unexpected daemon response: {other:?}")),
+    }
+    match rpc(&Request::Check {
+        kinds,
+        deadline_ms: opts.deadline_ms,
+    })? {
+        Response::CheckOk {
+            text: findings,
+            findings: count,
+            exit_code,
+        } => {
+            text.push_str(&findings);
+            if count == 0 {
+                let _ = writeln!(text, "no defects found");
+            }
+            Ok(CliOutput {
+                text,
+                exit_code: exit_code as i32,
+            })
+        }
+        Response::Error { kind, message } => {
+            err(format!("daemon check failed ({kind}): {message}"))
+        }
+        other => err(format!("unexpected daemon response: {other:?}")),
+    }
 }
 
 fn cmd_check(program: &Program, opts: &Opts, fp: FpResolution) -> Result<CliOutput, CliError> {

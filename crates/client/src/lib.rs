@@ -1,0 +1,26 @@
+//! Wire protocol and retrying client for the bootstrap-alias analysis
+//! daemon.
+//!
+//! The daemon speaks length-prefixed JSON over a Unix socket: one
+//! [`wire`] frame carries one [`proto`] message, encoded with the
+//! hand-rolled [`json`] module (the workspace vendors no serde). The
+//! [`Client`] sends one request per connection and retries shed or
+//! failed requests with deterministic jittered exponential backoff.
+//!
+//! This crate deliberately knows nothing about the analysis itself: it
+//! is shared by the daemon (server side) and the CLI's `check --remote`
+//! (client side), and by the torture/chaos tests that replay malformed
+//! frames against a live daemon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod wire;
+
+pub use client::Client;
+pub use json::{hex_u64, parse_hex_u64, Json, JsonError};
+pub use proto::{decode_request, decode_response, DirtySummary, ProtoError, Request, Response};
+pub use wire::{read_frame, write_frame, MAX_FRAME};

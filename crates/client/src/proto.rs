@@ -1,0 +1,438 @@
+//! Request and response types for the daemon protocol.
+//!
+//! Each message is a JSON object with a `"type"` tag. Decoding is
+//! strict about the fields it needs and lenient about extras, so a
+//! newer peer can add fields without breaking an older one; an unknown
+//! `"type"` is a [`ProtoError`], which the daemon reports back as a
+//! structured `error` response instead of dropping the connection.
+
+use crate::json::{self, Json};
+use std::fmt;
+
+/// A malformed or unrecognized protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn bad(msg: impl Into<String>) -> ProtoError {
+    ProtoError(msg.into())
+}
+
+fn need_str(v: &Json, key: &str) -> Result<String, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| bad(format!("missing string field '{key}'")))
+}
+
+fn need_u64(v: &Json, key: &str) -> Result<u64, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(format!("missing integer field '{key}'")))
+}
+
+fn opt_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_u64)
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Run checkers over the resident workspace.
+    Check {
+        /// Checker names (empty means all).
+        kinds: Vec<String>,
+        /// Per-request wall deadline, if any.
+        deadline_ms: Option<u64>,
+    },
+    /// Resolve one pointer's sources at a program point.
+    Query {
+        /// Function name.
+        func: String,
+        /// Statement index inside the function.
+        stmt: u64,
+        /// Variable name.
+        var: String,
+        /// Per-request wall deadline, if any.
+        deadline_ms: Option<u64>,
+    },
+    /// Daemon and analysis counters.
+    Stats,
+    /// Replace (or with `content: None` remove) one workspace file.
+    Edit {
+        /// Workspace-relative file name.
+        file: String,
+        /// New contents, or `None` to delete the file.
+        content: Option<String>,
+    },
+    /// Stop the daemon after in-flight requests finish.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes to a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Check { kinds, deadline_ms } => {
+                let mut fields = vec![
+                    ("type", Json::str("check")),
+                    ("kinds", Json::Arr(kinds.iter().map(Json::str).collect())),
+                ];
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms", Json::Int(*ms as i64)));
+                }
+                Json::obj(fields)
+            }
+            Request::Query {
+                func,
+                stmt,
+                var,
+                deadline_ms,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::str("query")),
+                    ("func", Json::str(func)),
+                    ("stmt", Json::Int(*stmt as i64)),
+                    ("var", Json::str(var)),
+                ];
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms", Json::Int(*ms as i64)));
+                }
+                Json::obj(fields)
+            }
+            Request::Stats => Json::obj([("type", Json::str("stats"))]),
+            Request::Edit { file, content } => Json::obj([
+                ("type", Json::str("edit")),
+                ("file", Json::str(file)),
+                ("content", content.as_ref().map_or(Json::Null, Json::str)),
+            ]),
+            Request::Shutdown => Json::obj([("type", Json::str("shutdown"))]),
+        }
+    }
+
+    /// Decodes from a JSON value.
+    pub fn from_json(v: &Json) -> Result<Request, ProtoError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing 'type' tag"))?;
+        match tag {
+            "check" => {
+                let kinds = match v.get("kinds") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(k) => k
+                        .as_arr()
+                        .ok_or_else(|| bad("'kinds' must be an array"))?
+                        .iter()
+                        .map(|k| {
+                            k.as_str()
+                                .map(str::to_owned)
+                                .ok_or_else(|| bad("'kinds' entries must be strings"))
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                Ok(Request::Check {
+                    kinds,
+                    deadline_ms: opt_u64(v, "deadline_ms"),
+                })
+            }
+            "query" => Ok(Request::Query {
+                func: need_str(v, "func")?,
+                stmt: need_u64(v, "stmt")?,
+                var: need_str(v, "var")?,
+                deadline_ms: opt_u64(v, "deadline_ms"),
+            }),
+            "stats" => Ok(Request::Stats),
+            "edit" => Ok(Request::Edit {
+                file: need_str(v, "file")?,
+                content: match v.get("content") {
+                    None | Some(Json::Null) => None,
+                    Some(c) => Some(
+                        c.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| bad("'content' must be a string or null"))?,
+                    ),
+                },
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(bad(format!("unknown request type '{other}'"))),
+        }
+    }
+}
+
+/// How an `edit` changed the incremental dirty set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirtySummary {
+    /// Steensgaard partitions in the new epoch.
+    pub total_partitions: u64,
+    /// Partitions whose fingerprint changed (or whose deps did).
+    pub dirty_partitions: u64,
+    /// Clusters in the new epoch's cover.
+    pub total_clusters: u64,
+    /// Clusters overlapping a dirty partition — the recompute set.
+    pub dirty_clusters: u64,
+    /// Whether clean clusters were adopted from the previous epoch.
+    pub adopted: bool,
+}
+
+/// A daemon response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `check` finished.
+    CheckOk {
+        /// Findings-only text report (the cold/warm comparison basis).
+        text: String,
+        /// Number of findings.
+        findings: u64,
+        /// The exit code `check` would have returned (0, 1, or 3).
+        exit_code: u64,
+    },
+    /// `query` resolved.
+    QueryOk {
+        /// Rendered points-to sources.
+        sources: Vec<String>,
+        /// Precision tier that answered ("fscs", "andersen", "steensgaard").
+        precision: String,
+        /// Degradation reason, when below the top tier.
+        reason: Option<String>,
+    },
+    /// `stats` payload; schema is the daemon's to extend.
+    StatsOk(Json),
+    /// `edit` applied and the epoch advanced.
+    EditOk {
+        /// New epoch sequence number.
+        epoch: u64,
+        /// Dirty-set accounting for this edit.
+        dirty: DirtySummary,
+    },
+    /// Daemon is draining and will exit.
+    ShutdownOk,
+    /// The request failed; the connection is still usable semantics-wise
+    /// (the daemon closes per-request connections regardless).
+    Error {
+        /// Stable machine-readable kind ("bad-request", "parse-error", ...).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Queue full: retry after the hinted delay.
+    Overloaded {
+        /// Suggested backoff before retrying.
+        retry_after_ms: u64,
+    },
+}
+
+impl Response {
+    /// Encodes to a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::CheckOk {
+                text,
+                findings,
+                exit_code,
+            } => Json::obj([
+                ("type", Json::str("check_ok")),
+                ("text", Json::str(text)),
+                ("findings", Json::Int(*findings as i64)),
+                ("exit_code", Json::Int(*exit_code as i64)),
+            ]),
+            Response::QueryOk {
+                sources,
+                precision,
+                reason,
+            } => Json::obj([
+                ("type", Json::str("query_ok")),
+                (
+                    "sources",
+                    Json::Arr(sources.iter().map(Json::str).collect()),
+                ),
+                ("precision", Json::str(precision)),
+                ("reason", reason.as_ref().map_or(Json::Null, Json::str)),
+            ]),
+            Response::StatsOk(v) => {
+                Json::obj([("type", Json::str("stats_ok")), ("stats", v.clone())])
+            }
+            Response::EditOk { epoch, dirty } => Json::obj([
+                ("type", Json::str("edit_ok")),
+                ("epoch", Json::Int(*epoch as i64)),
+                ("total_partitions", Json::Int(dirty.total_partitions as i64)),
+                ("dirty_partitions", Json::Int(dirty.dirty_partitions as i64)),
+                ("total_clusters", Json::Int(dirty.total_clusters as i64)),
+                ("dirty_clusters", Json::Int(dirty.dirty_clusters as i64)),
+                ("adopted", Json::Bool(dirty.adopted)),
+            ]),
+            Response::ShutdownOk => Json::obj([("type", Json::str("shutdown_ok"))]),
+            Response::Error { kind, message } => Json::obj([
+                ("type", Json::str("error")),
+                ("kind", Json::str(kind)),
+                ("message", Json::str(message)),
+            ]),
+            Response::Overloaded { retry_after_ms } => Json::obj([
+                ("type", Json::str("overloaded")),
+                ("retry_after_ms", Json::Int(*retry_after_ms as i64)),
+            ]),
+        }
+    }
+
+    /// Decodes from a JSON value.
+    pub fn from_json(v: &Json) -> Result<Response, ProtoError> {
+        let tag = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing 'type' tag"))?;
+        match tag {
+            "check_ok" => Ok(Response::CheckOk {
+                text: need_str(v, "text")?,
+                findings: need_u64(v, "findings")?,
+                exit_code: need_u64(v, "exit_code")?,
+            }),
+            "query_ok" => Ok(Response::QueryOk {
+                sources: v
+                    .get("sources")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing 'sources' array"))?
+                    .iter()
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| bad("'sources' entries must be strings"))
+                    })
+                    .collect::<Result<_, _>>()?,
+                precision: need_str(v, "precision")?,
+                reason: v.get("reason").and_then(Json::as_str).map(str::to_owned),
+            }),
+            "stats_ok" => Ok(Response::StatsOk(
+                v.get("stats").cloned().unwrap_or(Json::Null),
+            )),
+            "edit_ok" => Ok(Response::EditOk {
+                epoch: need_u64(v, "epoch")?,
+                dirty: DirtySummary {
+                    total_partitions: need_u64(v, "total_partitions")?,
+                    dirty_partitions: need_u64(v, "dirty_partitions")?,
+                    total_clusters: need_u64(v, "total_clusters")?,
+                    dirty_clusters: need_u64(v, "dirty_clusters")?,
+                    adopted: v.get("adopted").and_then(Json::as_bool).unwrap_or(false),
+                },
+            }),
+            "shutdown_ok" => Ok(Response::ShutdownOk),
+            "error" => Ok(Response::Error {
+                kind: need_str(v, "kind")?,
+                message: need_str(v, "message")?,
+            }),
+            "overloaded" => Ok(Response::Overloaded {
+                retry_after_ms: need_u64(v, "retry_after_ms")?,
+            }),
+            other => Err(bad(format!("unknown response type '{other}'"))),
+        }
+    }
+}
+
+/// Parses request bytes off the wire.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let text = std::str::from_utf8(payload).map_err(|_| bad("frame is not UTF-8"))?;
+    let v = json::parse(text).map_err(|e| bad(e.to_string()))?;
+    Request::from_json(&v)
+}
+
+/// Parses response bytes off the wire.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let text = std::str::from_utf8(payload).map_err(|_| bad("frame is not UTF-8"))?;
+    let v = json::parse(text).map_err(|e| bad(e.to_string()))?;
+    Response::from_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Check {
+                kinds: vec!["null-deref".into(), "race".into()],
+                deadline_ms: Some(250),
+            },
+            Request::Check {
+                kinds: vec![],
+                deadline_ms: None,
+            },
+            Request::Query {
+                func: "main".into(),
+                stmt: 3,
+                var: "p".into(),
+                deadline_ms: None,
+            },
+            Request::Stats,
+            Request::Edit {
+                file: "a.c".into(),
+                content: Some("int x;".into()),
+            },
+            Request::Edit {
+                file: "b.c".into(),
+                content: None,
+            },
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let bytes = r.to_json().to_string().into_bytes();
+            assert_eq!(decode_request(&bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::CheckOk {
+                text: "null-deref at a.c:3\n".into(),
+                findings: 1,
+                exit_code: 1,
+            },
+            Response::QueryOk {
+                sources: vec!["&a".into()],
+                precision: "fscs".into(),
+                reason: None,
+            },
+            Response::QueryOk {
+                sources: vec![],
+                precision: "steensgaard".into(),
+                reason: Some("budget-wall".into()),
+            },
+            Response::StatsOk(Json::obj([("epoch", Json::Int(4))])),
+            Response::EditOk {
+                epoch: 7,
+                dirty: DirtySummary {
+                    total_partitions: 10,
+                    dirty_partitions: 2,
+                    total_clusters: 12,
+                    dirty_clusters: 3,
+                    adopted: true,
+                },
+            },
+            Response::ShutdownOk,
+            Response::Error {
+                kind: "bad-request".into(),
+                message: "unknown request type 'zap'".into(),
+            },
+            Response::Overloaded { retry_after_ms: 40 },
+        ];
+        for r in resps {
+            let bytes = r.to_json().to_string().into_bytes();
+            assert_eq!(decode_response(&bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn unknown_request_kind_is_a_proto_error_not_a_panic() {
+        let err = decode_request(b"{\"type\":\"zap\"}").unwrap_err();
+        assert!(err.0.contains("unknown request type"), "{err}");
+        assert!(decode_request(b"not json at all").is_err());
+        assert!(decode_request(&[0xff, 0xfe]).is_err());
+    }
+}

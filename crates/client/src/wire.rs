@@ -1,0 +1,86 @@
+//! Length-prefixed framing for the daemon socket.
+//!
+//! Every message is one frame: a little-endian `u32` byte length
+//! followed by that many bytes of UTF-8 JSON. The reader enforces a
+//! frame-size cap so a corrupt or hostile length prefix cannot make the
+//! daemon allocate unbounded memory — an oversized prefix is a framing
+//! error, and the connection is dropped without reading the body.
+
+use std::io::{self, Read, Write};
+
+/// Largest frame either side will read. A whole-workspace `edit` easily
+/// fits; anything bigger is a protocol violation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes one frame: `u32` little-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n as usize <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload.
+///
+/// Returns `Ok(None)` on clean EOF before any length byte (the peer
+/// closed between messages). A partial length prefix, a truncated body,
+/// or a length above [`MAX_FRAME`] is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut len_buf[n..])?,
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrips_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = Cursor::new(buf);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        // Partial length prefix.
+        let mut r = Cursor::new(vec![5u8, 0]);
+        assert!(read_frame(&mut r).is_err());
+        // Full prefix, short body.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut r = Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -10,6 +10,8 @@
 //! capacity, injected fault), and [`AnalysisBudget::degraded`] converts
 //! that into the [`Outcome::Degraded`] the precision ladder consumes.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::degrade::{DegradeReason, FaultKind, INJECTED_PANIC_MSG};
@@ -35,6 +37,7 @@ pub struct AnalysisBudget {
     max_steps: u64,
     steps: u64,
     deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
     reason: Option<DegradeReason>,
     fault: Option<(FaultKind, u64)>,
 }
@@ -46,6 +49,7 @@ impl AnalysisBudget {
             max_steps: u64::MAX,
             steps: 0,
             deadline: None,
+            cancel: None,
             reason: None,
             fault: None,
         }
@@ -74,6 +78,24 @@ impl AnalysisBudget {
             deadline: Some(Instant::now() + limit),
             ..Self::unlimited()
         }
+    }
+
+    /// Tightens the wall-clock deadline to `deadline` if it is earlier
+    /// than the current one (or the budget had none). Used by the daemon
+    /// to thread a per-request deadline into budgets built from config.
+    pub fn tighten_deadline(&mut self, deadline: Instant) {
+        match self.deadline {
+            Some(d) if d <= deadline => {}
+            _ => self.deadline = Some(deadline),
+        }
+    }
+
+    /// Attaches a cooperative cancellation flag, checked at the same
+    /// cadence as the wall-clock deadline. When another thread sets the
+    /// flag, the next deadline checkpoint exhausts the budget with
+    /// [`DegradeReason::Cancelled`] and the engine degrades soundly.
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
     }
 
     /// Arms a deterministic fault: inject `kind` when the budget records
@@ -136,6 +158,12 @@ impl AnalysisBudget {
 
     #[inline]
     fn check_deadline(&mut self) -> bool {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                self.reason = Some(DegradeReason::Cancelled);
+                return false;
+            }
+        }
         if let Some(d) = self.deadline {
             if Instant::now() > d {
                 self.reason = Some(DegradeReason::BudgetWall);
@@ -330,6 +358,33 @@ mod tests {
             crate::degrade::classify_panic(payload.as_ref()),
             crate::degrade::PanicClass::Injected
         );
+    }
+
+    #[test]
+    fn tighten_deadline_keeps_the_earlier_one() {
+        let mut b = AnalysisBudget::steps(10);
+        let near = Instant::now() + Duration::from_millis(1);
+        let far = Instant::now() + Duration::from_secs(3600);
+        b.tighten_deadline(far);
+        b.tighten_deadline(near);
+        assert_eq!(b.deadline, Some(near));
+        // A later deadline never loosens an earlier one.
+        b.tighten_deadline(far);
+        assert_eq!(b.deadline, Some(near));
+    }
+
+    #[test]
+    fn cancel_flag_exhausts_at_next_checkpoint() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut b = AnalysisBudget::unlimited();
+        b.set_cancel_flag(Arc::clone(&flag));
+        assert!(b.tick());
+        flag.store(true, Ordering::Relaxed);
+        // Regular ticks between checkpoints don't observe the flag...
+        assert!(b.tick());
+        // ...but a checked tick does, and records Cancelled.
+        assert!(!b.tick_checked());
+        assert_eq!(b.reason(), Some(DegradeReason::Cancelled));
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum DegradeReason {
     },
     /// A deterministic [`FaultPlan`] fired (budget-exhaustion flavour).
     Injected,
+    /// The request owning this work was cancelled (client disconnected or
+    /// the server is shutting down); the partial result is discarded.
+    Cancelled,
 }
 
 impl DegradeReason {
@@ -62,6 +65,7 @@ impl DegradeReason {
                 class: PanicClass::Other,
             } => "panicked",
             DegradeReason::Injected => "injected",
+            DegradeReason::Cancelled => "cancelled",
         }
     }
 }
@@ -199,6 +203,10 @@ pub enum FaultPhase {
     /// A persistent-store consult: the fault treats the entry as corrupt,
     /// forcing a recompute (the store's invalidation path).
     Store,
+    /// The analysis daemon's serving loop: connection drops, worker
+    /// stalls, and journal corruption at the chosen request tick. Inert in
+    /// plain (non-daemon) sessions — no engine budget carries this phase.
+    Serve,
 }
 
 impl FaultPhase {
@@ -209,6 +217,7 @@ impl FaultPhase {
             FaultPhase::Query => "query",
             FaultPhase::Oracle => "oracle",
             FaultPhase::Store => "store",
+            FaultPhase::Serve => "serve",
         }
     }
 
@@ -219,16 +228,18 @@ impl FaultPhase {
             "query" => Some(FaultPhase::Query),
             "oracle" => Some(FaultPhase::Oracle),
             "store" => Some(FaultPhase::Store),
+            "serve" => Some(FaultPhase::Serve),
             _ => None,
         }
     }
 
     /// All phases.
-    pub const ALL: [FaultPhase; 4] = [
+    pub const ALL: [FaultPhase; 5] = [
         FaultPhase::Summaries,
         FaultPhase::Query,
         FaultPhase::Oracle,
         FaultPhase::Store,
+        FaultPhase::Serve,
     ];
 }
 

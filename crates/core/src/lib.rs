@@ -45,6 +45,7 @@ pub mod degrade;
 pub mod engine;
 pub mod fsci_cache;
 mod fxhash;
+pub mod incremental;
 pub mod intern;
 pub mod parallel;
 mod persist;
@@ -65,9 +66,10 @@ pub use degrade::{
 };
 pub use engine::{ClusterEngine, EngineCx, EngineOptions, NoOracle, PtsOracle};
 pub use fsci_cache::FsciCacheStats;
+pub use incremental::{diff_and_adopt, snapshot, DirtyReport, PartitionSnapshot};
 pub use intern::{ArenaFull, CondId, DeadId, Interner, InternerStats};
 pub use parallel::ClusterReport;
 pub use profile::{Phase, PhaseSnapshot, PhaseStats};
 pub use relevant::{relevant_statements, RelevantSet};
-pub use session::{CascadeTimings, Config, MiddleStage, Session};
+pub use session::{CascadeTimings, Config, MiddleStage, QueryLimits, Session};
 pub use summary::{Source, SummaryTuple, Value};

@@ -56,6 +56,21 @@ pub(crate) struct ClusterStore {
     /// corrupt without reading it, forcing the recompute-and-overwrite
     /// path the fuzz matrix checks.
     faulted: bool,
+    /// Cross-epoch adoption: when the incremental differ proves a set of
+    /// alias partitions unchanged between the previous program epoch and
+    /// this one, entries recorded under the previous whole-program hash
+    /// are accepted for clusters wholly inside that clean set.
+    adoption: RwLock<Option<Adoption>>,
+}
+
+/// Proof, from the incremental partition differ, that entries written
+/// under `prev_program_hash` are still valid for clusters whose members
+/// all live in `clean` partitions (cluster independence: a cluster's
+/// summaries only consult facts inside its own relevant slice, and a
+/// clean fingerprint pins that slice byte-for-byte).
+pub(crate) struct Adoption {
+    pub(crate) prev_program_hash: u64,
+    pub(crate) clean: HashSet<bootstrap_analyses::ClassId>,
 }
 
 impl ClusterStore {
@@ -75,7 +90,14 @@ impl ClusterStore {
             program_hash: program_hash(program),
             hit_keys: RwLock::new(HashSet::new()),
             faulted,
+            adoption: RwLock::new(None),
         })
+    }
+
+    /// Arms cross-epoch adoption (see [`Adoption`]). Replaces any earlier
+    /// grant: each edit epoch re-derives its clean set from scratch.
+    pub(crate) fn adopt(&self, adoption: Adoption) {
+        *self.adoption.write() = Some(adoption);
     }
 
     /// This opening's hit/miss/invalidated counters.
@@ -144,12 +166,18 @@ impl ClusterStore {
             } => (payload, program_hash),
             LoadOutcome::Miss | LoadOutcome::Invalidated => return,
         };
+        let mut adopted = false;
         if entry_program_hash != self.program_hash {
             // A content-equal slice from a different program: the
             // summaries may have consulted FSCI facts that no longer
-            // hold. Recompute.
-            self.store.demote_hit();
-            return;
+            // hold — unless the incremental differ proved every partition
+            // this cluster touches unchanged since that exact epoch.
+            if self.may_adopt(session, engine, entry_program_hash) {
+                adopted = true;
+            } else {
+                self.store.demote_hit();
+                return;
+            }
         }
         let Some(entry) = decode_payload(&payload, program) else {
             self.store.demote_hit();
@@ -170,7 +198,36 @@ impl ClusterStore {
         for ((v, loc), pts) in entry.fsci {
             session.fsci_cache().insert(v, loc, pts.map(Arc::new));
         }
+        if adopted {
+            // Re-home the entry under the current epoch's program hash so
+            // the next epoch can chain its own adoption from this one.
+            let _ = self
+                .store
+                .save(key, self.options_hash, self.program_hash, &payload);
+        }
         self.hit_keys.write().insert(key);
+    }
+
+    /// `true` when an adoption grant covers this engine: the entry was
+    /// written at exactly the granted previous epoch and every member's
+    /// alias partition is in the proven-clean set.
+    fn may_adopt(
+        &self,
+        session: &Session<'_>,
+        engine: &ClusterEngine,
+        entry_program_hash: u64,
+    ) -> bool {
+        let adoption = self.adoption.read();
+        let Some(a) = adoption.as_ref() else {
+            return false;
+        };
+        if entry_program_hash != a.prev_program_hash {
+            return false;
+        }
+        engine
+            .members()
+            .iter()
+            .all(|&m| a.clean.contains(&session.steens().partition_key(m)))
     }
 
     /// Publishes one clean engine's artifacts (summaries, recorded query
@@ -220,7 +277,7 @@ fn options_hash(config: &Config) -> u64 {
 }
 
 /// Whole-program hash: fxhash of the program's canonical rendering.
-fn program_hash(program: &Program) -> u64 {
+pub(crate) fn program_hash(program: &Program) -> u64 {
     let mut h = FxHasher64::default();
     hash_str(&mut h, &program.to_string());
     h.finish()

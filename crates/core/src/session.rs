@@ -13,8 +13,9 @@
 //! The session itself is immutable and `Sync`; per-thread analyzers carry
 //! the caches.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -143,6 +144,44 @@ impl Config {
             }
         }
         b
+    }
+}
+
+/// Per-request limits threaded into the tier-1 query budget on top of the
+/// configured step budget: an absolute wall-clock deadline and a
+/// cooperative cancellation flag (set when e.g. the requesting client
+/// disconnects). Hitting either degrades the query down the precision
+/// ladder — tiers 2 and 3 are cheap enough to always run — so a limited
+/// query still always answers, just possibly coarsely.
+#[derive(Clone, Default)]
+pub struct QueryLimits {
+    /// Absolute deadline; tightens (never loosens) the budget's clock.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancel flag, checked at deadline-check cadence.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl QueryLimits {
+    /// No limits beyond the configured step budget.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Threads the limits into `budget`.
+    pub fn apply(&self, budget: &mut AnalysisBudget) {
+        if let Some(d) = self.deadline {
+            budget.tighten_deadline(d);
+        }
+        if let Some(flag) = &self.cancel {
+            budget.set_cancel_flag(Arc::clone(flag));
+        }
+    }
+
+    /// `true` once the cancel flag has been raised.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 }
 
@@ -347,13 +386,31 @@ impl<'p> Session<'p> {
     /// lost. Pass the same `az` for all queries of one batch so the
     /// per-thread memo and the shared FSCI cache are reused across sites.
     pub fn query_at_loc(&self, az: &Analyzer<'_>, p: VarId, loc: Loc) -> LadderAnswer {
+        self.query_at_loc_limited(az, p, loc, &QueryLimits::none())
+    }
+
+    /// [`Session::query_at_loc`] with per-request [`QueryLimits`] (a wall
+    /// deadline and/or a cancellation flag) threaded into the tier-1
+    /// budget. The analysis daemon uses this so one slow request degrades
+    /// to a coarser tier instead of wedging a worker, and a disconnected
+    /// client's in-flight work is abandoned at the next budget checkpoint.
+    pub fn query_at_loc_limited(
+        &self,
+        az: &Analyzer<'_>,
+        p: VarId,
+        loc: Loc,
+        limits: &QueryLimits,
+    ) -> LadderAnswer {
         let reason = if let Some(class) = az.poison_class() {
             // A previous query panicked mid-walk on this analyzer: its
             // engine and memo state are suspect, so FSCS answers from it
             // can no longer be trusted. Degrade until it is replaced.
             DegradeReason::Panicked { class }
+        } else if limits.cancelled() {
+            DegradeReason::Cancelled
         } else {
             let mut budget = self.config.query_budget();
+            limits.apply(&mut budget);
             let t0 = Instant::now();
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 // Warm path: a store hit for this pointer's partition may
@@ -511,6 +568,35 @@ impl<'p> Session<'p> {
     /// The persistent cluster store, when configured.
     pub(crate) fn cluster_store(&self) -> Option<&ClusterStore> {
         self.store.as_ref()
+    }
+
+    /// Whole-program content hash — the persistent store's cross-run
+    /// validity gate. Stable across sessions over identical program text.
+    pub fn program_content_hash(&self) -> u64 {
+        crate::persist::program_hash(self.program)
+    }
+
+    /// Arms cross-epoch store adoption: persisted entries recorded under
+    /// `prev_program_hash` are accepted for clusters whose members all
+    /// lie in `clean` alias partitions (as proven by
+    /// [`crate::incremental::diff_and_adopt`]), instead of being
+    /// invalidated by the whole-program-hash gate. Returns `false` (and
+    /// does nothing) when no store is configured.
+    pub fn adopt_previous_epoch(
+        &self,
+        prev_program_hash: u64,
+        clean: HashSet<bootstrap_analyses::ClassId>,
+    ) -> bool {
+        match &self.store {
+            Some(s) => {
+                s.adopt(crate::persist::Adoption {
+                    prev_program_hash,
+                    clean,
+                });
+                true
+            }
+            None => false,
+        }
     }
 
     /// This run's store hit/miss/invalidated counters (all zero when no

@@ -1,0 +1,25 @@
+//! Crash-safe incremental analysis daemon.
+//!
+//! Hosts a resident [`bootstrap_core::Session`] behind a Unix socket
+//! speaking the [`bootstrap_client`] protocol. Three modules:
+//!
+//! * [`workspace`] — named source files with cached per-file parses
+//!   (immutable inputs) merged and lowered per epoch (derived state);
+//! * [`journal`] — the checksummed temp+rename epoch journal that makes
+//!   the workspace durable across SIGKILL;
+//! * [`server`] — the epoch loop: bounded-queue acceptor with load
+//!   shedding, deadline/cancellation-aware workers, per-request panic
+//!   isolation with an arena-doubling retry, incremental invalidation
+//!   at every edit barrier, and [`bootstrap_core::FaultPhase::Serve`]
+//!   fault injection for the chaos soak.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod server;
+pub mod workspace;
+
+pub use journal::{JournalError, JournalState, JOURNAL_MAGIC, JOURNAL_VERSION};
+pub use server::{serve, ServeOptions};
+pub use workspace::{Workspace, WorkspaceError};

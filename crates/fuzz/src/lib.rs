@@ -676,6 +676,11 @@ pub fn check_faults(program: &Program) -> Result<(), InvariantViolation> {
                 // covered by the dedicated warm/cold check below.
                 continue;
             }
+            if phase == FaultPhase::Serve {
+                // Serve faults only bite inside the daemon's request loop;
+                // they are exercised by the daemon chaos soak.
+                continue;
+            }
             for kind in FaultKind::ALL {
                 let session = Session::new(
                     program,

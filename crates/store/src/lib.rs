@@ -57,6 +57,13 @@ const ENTRY_EXT: &str = "bsa";
 const COUNTERS_FILE: &str = "counters.bin";
 const COUNTERS_MAGIC: [u8; 8] = *b"BSACNTR1";
 
+/// Advisory-lock sentinel file. Writers (save, eviction, clear, counter
+/// flushes) take an exclusive flock on it so a daemon and a concurrent
+/// CLI on the same directory never interleave a temp+rename with an
+/// eviction scan. Readers don't lock: entry reads are made safe by the
+/// atomic rename plus the validation ladder.
+const LOCK_FILE: &str = "lock";
+
 /// Configuration of a persistent store attached to a session.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoreConfig {
@@ -206,6 +213,23 @@ impl Store {
         self.config.dir.join(format!("{key:016x}.{ENTRY_EXT}"))
     }
 
+    /// Takes the directory's exclusive advisory lock, blocking until any
+    /// concurrent writer releases it. Returns `None` (proceed unlocked)
+    /// when the sentinel cannot be created or the platform lacks flock —
+    /// the lock is a defence-in-depth layer over already-atomic renames,
+    /// not a correctness requirement. The lock releases when the returned
+    /// handle drops.
+    fn lock_exclusive(&self) -> Option<fs::File> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(self.config.dir.join(LOCK_FILE))
+            .ok()?;
+        file.lock().ok()?;
+        Some(file)
+    }
+
     /// Loads and validates the entry for `key`. Every validation
     /// failure returns [`LoadOutcome::Invalidated`]; a missing file
     /// returns [`LoadOutcome::Miss`]. Never panics on any file content.
@@ -289,6 +313,7 @@ impl Store {
             .config
             .dir
             .join(format!(".tmp-{key:016x}-{}", std::process::id()));
+        let _lock = self.lock_exclusive();
         fs::write(&tmp, w.finish())?;
         fs::rename(&tmp, self.entry_path(key))?;
         self.evict_to_cap();
@@ -346,6 +371,7 @@ impl Store {
     ///
     /// Propagates the first file-removal failure.
     pub fn clear(&self) -> io::Result<(usize, u64)> {
+        let _lock = self.lock_exclusive();
         let mut count = 0usize;
         let mut bytes = 0u64;
         for path in scan_entries(&self.config.dir) {
@@ -384,17 +410,24 @@ impl Store {
         if delta.loads() == 0 {
             return;
         }
+        let _lock = self.lock_exclusive();
+        // A corrupt sidecar (torn write from a crash) reads as zero, so
+        // the accumulation restarts from this flush's delta.
         let prev = read_lifetime_counters(&self.config.dir);
         let next = StoreCounters {
             hits: prev.hits + delta.hits,
             misses: prev.misses + delta.misses,
             invalidated: prev.invalidated + delta.invalidated,
         };
+        let mut body = Writer::new();
+        body.u64(next.hits);
+        body.u64(next.misses);
+        body.u64(next.invalidated);
+        let body = body.finish();
         let mut w = Writer::new();
         w.bytes(&COUNTERS_MAGIC);
-        w.u64(next.hits);
-        w.u64(next.misses);
-        w.u64(next.invalidated);
+        w.bytes(&body);
+        w.u64(hash_bytes(&body));
         let tmp = self
             .config
             .dir
@@ -427,24 +460,59 @@ fn scan_entries(dir: &Path) -> Vec<PathBuf> {
 
 /// Reads the lifetime counters accumulated in `dir` by every store
 /// opening that flushed there. Unreadable or malformed sidecars read
-/// as zero — the counters are diagnostics, not correctness state.
+/// as zero — the counters are diagnostics, not correctness state. A
+/// sidecar that is *present* but fails validation logs the demotion.
 pub fn read_lifetime_counters(dir: &Path) -> StoreCounters {
-    let Ok(raw) = fs::read(dir.join(COUNTERS_FILE)) else {
-        return StoreCounters::default();
+    match try_read_lifetime_counters(dir) {
+        Ok(c) => c,
+        Err(CorruptSidecar) => {
+            eprintln!(
+                "bootstrap-store: corrupt counters sidecar in {}; resetting lifetime counters to zero",
+                dir.display()
+            );
+            StoreCounters::default()
+        }
+    }
+}
+
+/// A counters sidecar that is present but fails validation (torn write,
+/// garbage bytes, checksum mismatch). Its contents are demoted to zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorruptSidecar;
+
+/// The fallible sidecar read behind [`read_lifetime_counters`]: `Ok` with
+/// the counters (zero when the sidecar is absent), `Err` when a sidecar
+/// exists but fails the validation ladder — wrong magic, truncation, a
+/// checksum mismatch, or trailing bytes. Exposed so tests and callers
+/// can distinguish "no history" from "history was torn and demoted".
+pub fn try_read_lifetime_counters(dir: &Path) -> Result<StoreCounters, CorruptSidecar> {
+    let raw = match fs::read(dir.join(COUNTERS_FILE)) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(StoreCounters::default()),
+        Err(_) => return Err(CorruptSidecar),
     };
     let mut r = Reader::new(&raw);
-    let parsed = (|| -> Result<StoreCounters, codec::CodecError> {
-        let magic = r.bytes()?;
+    (|| -> Result<StoreCounters, CorruptSidecar> {
+        let magic = r.bytes().map_err(|_| CorruptSidecar)?;
         if magic != COUNTERS_MAGIC {
-            return Ok(StoreCounters::default());
+            return Err(CorruptSidecar);
         }
-        Ok(StoreCounters {
-            hits: r.u64()?,
-            misses: r.u64()?,
-            invalidated: r.u64()?,
-        })
-    })();
-    parsed.unwrap_or_default()
+        let body = r.bytes().map_err(|_| CorruptSidecar)?;
+        let checksum = r.u64().map_err(|_| CorruptSidecar)?;
+        if checksum != hash_bytes(body) || r.remaining() != 0 {
+            return Err(CorruptSidecar);
+        }
+        let mut b = Reader::new(body);
+        let counters = StoreCounters {
+            hits: b.u64().map_err(|_| CorruptSidecar)?,
+            misses: b.u64().map_err(|_| CorruptSidecar)?,
+            invalidated: b.u64().map_err(|_| CorruptSidecar)?,
+        };
+        if b.remaining() != 0 {
+            return Err(CorruptSidecar);
+        }
+        Ok(counters)
+    })()
 }
 
 /// Validation ladder for one raw entry file: magic → version → key echo
@@ -693,6 +761,88 @@ mod tests {
         let c = store.counters();
         assert_eq!((c.misses, c.invalidated), (1, 1));
         cleanup(&store);
+    }
+
+    #[test]
+    fn corrupt_sidecar_resets_to_zero_and_restarts_accumulation() {
+        let store = temp_store("sidecar");
+        let dir = store.config().dir.clone();
+        store.save(1, 7, 0, b"x").unwrap();
+        let _ = store.load(1, 7); // hit
+        store.flush_counters();
+        assert_eq!(read_lifetime_counters(&dir).hits, 1);
+        let path = dir.join(COUNTERS_FILE);
+        let raw = fs::read(&path).unwrap();
+        // Torn writes: every proper prefix demotes to zero, never errors.
+        for cut in [1usize, 8, raw.len() / 2, raw.len() - 1] {
+            fs::write(&path, &raw[..cut]).unwrap();
+            assert_eq!(try_read_lifetime_counters(&dir), Err(CorruptSidecar));
+            assert_eq!(read_lifetime_counters(&dir), StoreCounters::default());
+        }
+        // A bit flip inside the body is caught by the checksum.
+        let mut bad = raw.clone();
+        bad[20] ^= 0x01;
+        fs::write(&path, &bad).unwrap();
+        assert_eq!(try_read_lifetime_counters(&dir), Err(CorruptSidecar));
+        // Garbage with the right magic is caught too.
+        fs::write(&path, b"garbage-not-a-sidecar").unwrap();
+        assert_eq!(read_lifetime_counters(&dir), StoreCounters::default());
+        // Accumulation restarts cleanly from the demoted zero.
+        let _ = store.load(2, 7); // miss
+        store.flush_counters();
+        let life = try_read_lifetime_counters(&dir).expect("rewritten sidecar validates");
+        assert_eq!((life.hits, life.misses), (0, 1));
+        cleanup(&store);
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_dir_never_tear_entries() {
+        // A daemon and a CLI check sharing one --cache-dir: two stores,
+        // two threads, saves + loads + evictions + counter flushes racing
+        // on a tiny size cap. The advisory lock serializes the writers;
+        // every surviving file must decode cleanly afterwards.
+        let base = temp_store("locking");
+        let dir = base.config().dir.clone();
+        let open = || {
+            Store::open(StoreConfig {
+                dir: dir.clone(),
+                read_only: false,
+                max_bytes: 2048,
+            })
+            .unwrap()
+        };
+        let stores = [open(), open()];
+        std::thread::scope(|s| {
+            for (t, store) in stores.iter().enumerate() {
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = i % 16;
+                        store.save(key, 7, t as u64, &[i as u8; 100]).unwrap();
+                        // The entry may already be evicted by the peer,
+                        // but an atomic rename can never leave it torn.
+                        assert_ne!(
+                            store.load(key, 7),
+                            LoadOutcome::Invalidated,
+                            "torn entry observed at key {key}"
+                        );
+                        if i % 16 == 0 {
+                            store.flush_counters();
+                        }
+                    }
+                });
+            }
+        });
+        for path in scan_entries(&dir) {
+            let stem = path.file_stem().unwrap().to_str().unwrap();
+            let key = u64::from_str_radix(stem, 16).unwrap();
+            let raw = fs::read(&path).unwrap();
+            assert!(
+                decode_entry(&raw, key, 7).is_some(),
+                "torn entry on disk: {path:?}"
+            );
+        }
+        assert!(try_read_lifetime_counters(&dir).is_ok(), "torn sidecar");
+        cleanup(&base);
     }
 
     #[test]
